@@ -1,0 +1,64 @@
+//! The `Armci` world object: initialization, fences, barrier.
+
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+use scioto_sim::Ctx;
+
+use crate::gmem::Segment;
+use crate::locks::MutexStorage;
+
+/// The ARMCI communication world for one machine.
+///
+/// Created collectively by [`Armci::init`]; all operations are methods on
+/// this object and take the calling rank's [`Ctx`].
+pub struct Armci {
+    pub(crate) nranks: usize,
+    pub(crate) segments: RwLock<Vec<Arc<Segment>>>,
+    pub(crate) mutex_sets: RwLock<Vec<Arc<MutexStorage>>>,
+}
+
+impl Armci {
+    /// Collectively initialize the ARMCI layer. Every rank must call this
+    /// once, at the same point of the program.
+    pub fn init(ctx: &Ctx) -> Arc<Armci> {
+        let n = ctx.nranks();
+        ctx.collective(|| Armci {
+            nranks: n,
+            segments: RwLock::new(Vec::new()),
+            mutex_sets: RwLock::new(Vec::new()),
+        })
+    }
+
+    /// Number of ranks in the world.
+    pub fn nranks(&self) -> usize {
+        self.nranks
+    }
+
+    /// Wait for completion of outstanding one-sided operations issued to
+    /// `target`. Operations complete synchronously in this model, so a
+    /// fence only charges the confirmation round-trip.
+    pub fn fence(&self, ctx: &Ctx, target: usize) {
+        ctx.yield_point();
+        let cost = if target == ctx.rank() {
+            ctx.latency().local_get
+        } else {
+            ctx.latency().remote_op
+        };
+        ctx.charge_net(cost);
+    }
+
+    /// Fence all targets.
+    pub fn all_fence(&self, ctx: &Ctx) {
+        ctx.yield_point();
+        ctx.charge_net(ctx.latency().remote_op);
+    }
+
+    /// ARMCI barrier: an all-fence followed by a tree barrier.
+    pub fn barrier(&self, ctx: &Ctx) {
+        let l = ctx.latency();
+        let cost = l.remote_op + l.barrier_cost(self.nranks);
+        ctx.barrier_with_cost(cost);
+    }
+}

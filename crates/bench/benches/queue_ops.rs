@@ -1,0 +1,72 @@
+//! Real (wall-clock) software overhead of the queue operations — the
+//! host-side complement to the modelled Table 1 numbers: how many
+//! nanoseconds of actual CPU the split-queue code paths cost in this
+//! implementation, measured on a 2-rank zero-latency machine.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use scioto::{Task, TaskCollection, TcConfig};
+use scioto_armci::Armci;
+use scioto_sim::{Machine, MachineConfig};
+
+/// Run `iters` local push+pop pairs inside one machine and return the
+/// wall time of the whole run.
+fn push_pop_run(iters: u64) -> std::time::Duration {
+    let start = std::time::Instant::now();
+    Machine::run(MachineConfig::virtual_time(1), |ctx| {
+        let armci = Armci::init(ctx);
+        let tc = TaskCollection::create(ctx, &armci, TcConfig::new(64, 10, 1 << 14));
+        let h = tc.register(ctx, std::sync::Arc::new(|_| {}));
+        let task = Task::with_body_size(h, 64);
+        for _ in 0..iters {
+            tc.bench_push_local(ctx, &task);
+            std::hint::black_box(tc.bench_pop_local(ctx));
+        }
+    });
+    start.elapsed()
+}
+
+/// Steal path: rank 1 repeatedly steals chunks that rank 0 replenishes.
+fn steal_run(iters: u64) -> std::time::Duration {
+    let start = std::time::Instant::now();
+    Machine::run(MachineConfig::virtual_time(2), move |ctx| {
+        let armci = Armci::init(ctx);
+        // Criterion scales `iters`; the queue must hold all seeded tasks.
+        let capacity = (iters as usize * 10 + 64).next_power_of_two();
+        let cfg = TcConfig {
+            release_threshold: 1 << 20,
+            ..TcConfig::new(64, 10, capacity)
+        };
+        let tc = TaskCollection::create(ctx, &armci, cfg);
+        let h = tc.register(ctx, std::sync::Arc::new(|_| {}));
+        let task = Task::with_body_size(h, 64);
+        if ctx.rank() == 0 {
+            for _ in 0..iters * 10 {
+                tc.bench_push_local(ctx, &task);
+            }
+        }
+        armci.barrier(ctx);
+        if ctx.rank() == 1 {
+            for _ in 0..iters {
+                std::hint::black_box(tc.bench_steal(ctx, 0));
+            }
+        }
+        armci.barrier(ctx);
+    });
+    start.elapsed()
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("queue_software_overhead");
+    g.sample_size(10);
+    g.bench_function("local_push_pop_pair", |b| {
+        b.iter_custom(|iters| push_pop_run(iters.max(1)))
+    });
+    g.bench_function("steal_chunk10", |b| {
+        b.iter_custom(|iters| steal_run(iters.max(1)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

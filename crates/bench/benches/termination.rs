@@ -1,0 +1,43 @@
+//! Host-side cost of running the full termination-detection protocol to
+//! completion (all ranks passive, single no-op task) at several machine
+//! sizes — the wall-clock complement of Figure 4's virtual-time numbers,
+//! and an ablation of the §5.3 votes-before optimization's bookkeeping.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use scioto::{Task, TaskCollection, TcConfig, AFFINITY_HIGH};
+use scioto_armci::Armci;
+use scioto_sim::{LatencyModel, Machine, MachineConfig};
+
+fn run_once(p: usize, votes_before: bool) {
+    Machine::run(
+        MachineConfig::virtual_time(p).with_latency(LatencyModel::cluster()),
+        |ctx| {
+            let armci = Armci::init(ctx);
+            let cfg = TcConfig::new(8, 10, 64).with_votes_before_opt(votes_before);
+            let tc = TaskCollection::create(ctx, &armci, cfg);
+            let h = tc.register(ctx, std::sync::Arc::new(|_| {}));
+            if ctx.rank() == 0 {
+                tc.add(ctx, 0, AFFINITY_HIGH, &Task::new(h, vec![]));
+            }
+            tc.process(ctx);
+        },
+    );
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("termination_detection");
+    g.sample_size(10);
+    for p in [2usize, 8, 32] {
+        g.bench_with_input(BenchmarkId::new("noop_phase", p), &p, |b, &p| {
+            b.iter(|| run_once(p, true))
+        });
+    }
+    g.bench_function("noop_phase_no_votes_before_opt_p8", |b| {
+        b.iter(|| run_once(8, false))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,150 @@
+//! Ablation studies of Scioto's design choices (§5, §5.1, §5.3):
+//!
+//! * **steal chunk size** — tasks moved per steal operation vs. UTS
+//!   throughput (the `chunk_sz` parameter of `tc_create`);
+//! * **split release policy** — how much private work the owner exposes
+//!   for stealing;
+//! * **votes-before optimization** — dirty-mark messages elided by the
+//!   §5.3 rule, and its effect on termination cost.
+//!
+//! Run: `cargo run --release -p scioto-bench --bin ablation`
+
+use std::sync::Arc;
+
+use scioto::{StatsSummary, Task, TaskCollection, TcConfig, AFFINITY_HIGH};
+use scioto_armci::Armci;
+use scioto_bench::{render_table, us, Args};
+use scioto_sim::{LatencyModel, Machine, MachineConfig, SpeedModel};
+use scioto_uts::scioto_driver::{run_scioto_uts, SciotoUtsConfig};
+use scioto_uts::{presets, TreeStats};
+
+fn uts_rate(p: usize, chunk: usize) -> (f64, u64) {
+    let params = presets::small();
+    let out = Machine::run(
+        MachineConfig::virtual_time(p)
+            .with_latency(LatencyModel::cluster())
+            .with_speed(SpeedModel::hetero_cluster(p)),
+        move |ctx| {
+            let cfg = SciotoUtsConfig {
+                chunk,
+                ..SciotoUtsConfig::new(params)
+            };
+            run_scioto_uts(ctx, &cfg)
+        },
+    );
+    let mut total = TreeStats::default();
+    let mut steals = 0;
+    for (t, s) in &out.results {
+        total.merge(t);
+        steals += s.steals_succeeded;
+    }
+    (
+        total.nodes as f64 / (out.report.makespan_ns as f64 / 1e9) / 1e6,
+        steals,
+    )
+}
+
+fn chunk_sweep() {
+    let mut rows = Vec::new();
+    for chunk in [1usize, 2, 5, 10, 20, 50] {
+        let (rate, steals) = uts_rate(16, chunk);
+        rows.push(vec![
+            chunk.to_string(),
+            format!("{rate:.2}"),
+            steals.to_string(),
+        ]);
+    }
+    print!(
+        "{}",
+        render_table(
+            "Ablation: steal chunk size (UTS, 16 ranks, heterogeneous cluster)",
+            &["chunk", "Mnodes/s", "successful steals"],
+            &rows,
+        )
+    );
+}
+
+fn release_sweep() {
+    let params = presets::small();
+    let mut rows = Vec::new();
+    for (threshold, fraction) in [(1usize, 0.25f64), (10, 0.5), (10, 0.9), (64, 0.5)] {
+        let out = Machine::run(
+            MachineConfig::virtual_time(16)
+                .with_latency(LatencyModel::cluster())
+                .with_speed(SpeedModel::hetero_cluster(16)),
+            move |ctx| {
+                let cfg = SciotoUtsConfig {
+                    release_threshold: Some(threshold),
+                    release_fraction: Some(fraction),
+                    ..SciotoUtsConfig::new(params)
+                };
+                run_scioto_uts(ctx, &cfg).0
+            },
+        );
+        let mut total = TreeStats::default();
+        out.results.iter().for_each(|t| total.merge(t));
+        rows.push(vec![
+            format!("{threshold}/{fraction}"),
+            format!(
+                "{:.2}",
+                total.nodes as f64 / (out.report.makespan_ns as f64 / 1e9) / 1e6
+            ),
+        ]);
+    }
+    print!(
+        "{}",
+        render_table(
+            "Ablation: split release threshold/fraction (UTS, 16 ranks)",
+            &["threshold/fraction", "Mnodes/s"],
+            &rows,
+        )
+    );
+}
+
+fn votes_before() {
+    let mut rows = Vec::new();
+    for opt in [true, false] {
+        let out = Machine::run(
+            MachineConfig::virtual_time(16).with_latency(LatencyModel::cluster()),
+            move |ctx| {
+                let armci = Armci::init(ctx);
+                let cfg = TcConfig::new(8, 2, 4096).with_votes_before_opt(opt);
+                let tc = TaskCollection::create(ctx, &armci, cfg);
+                let h = tc.register(ctx, Arc::new(|t| t.ctx.compute(5_000)));
+                if ctx.rank() == 0 {
+                    for _ in 0..500 {
+                        tc.add(ctx, 0, AFFINITY_HIGH, &Task::new(h, vec![]));
+                    }
+                }
+                let t0 = ctx.now();
+                let stats = tc.process(ctx);
+                (stats, ctx.now() - t0)
+            },
+        );
+        let summary = StatsSummary::from_ranks(
+            &out.results.iter().map(|(s, _)| *s).collect::<Vec<_>>(),
+        );
+        let makespan = out.results.iter().map(|(_, t)| *t).max().unwrap();
+        rows.push(vec![
+            if opt { "on (§5.3)" } else { "off" }.to_string(),
+            summary.totals.dirty_marks_sent.to_string(),
+            summary.totals.dirty_marks_elided.to_string(),
+            us(makespan),
+        ]);
+    }
+    print!(
+        "{}",
+        render_table(
+            "Ablation: votes-before dirty-mark elision (500 tasks, 16 ranks)",
+            &["optimization", "marks sent", "marks elided", "phase µs"],
+            &rows,
+        )
+    );
+}
+
+fn main() {
+    let _ = Args::parse();
+    chunk_sweep();
+    release_sweep();
+    votes_before();
+}

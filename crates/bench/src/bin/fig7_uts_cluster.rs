@@ -1,0 +1,95 @@
+//! Figure 7 — UTS on the heterogeneous cluster: Scioto split queues vs.
+//! the MPI work-stealing implementation vs. the locked ("No Split")
+//! queue ablation.
+//!
+//! Performance is reported in millions of tree nodes processed per second
+//! of virtual time. The paper's findings: split queues beat both the MPI
+//! implementation (which pays explicit polling) and the locked queue
+//! (which loses concurrency to lock contention), and heterogeneity is
+//! absorbed transparently.
+//!
+//! Run: `cargo run --release -p scioto-bench --bin fig7_uts_cluster`
+//! Options: `--max-ranks N` (default 64), `--tree small|medium|large`.
+
+use scioto_bench::{cluster_rank_sweep, render_table, Args};
+use scioto_sim::{LatencyModel, Machine, MachineConfig, SpeedModel};
+use scioto_uts::mpi_ws::{run_mpi_uts, MpiUtsConfig};
+use scioto_uts::scioto_driver::{run_scioto_uts, SciotoUtsConfig};
+use scioto_uts::{presets, TreeParams, TreeStats};
+
+fn machine(p: usize) -> MachineConfig {
+    MachineConfig::virtual_time(p)
+        .with_latency(LatencyModel::cluster())
+        .with_speed(SpeedModel::hetero_cluster(p))
+}
+
+/// (total nodes, makespan ns) → Mnodes/s.
+fn rate(nodes: u64, ns: u64) -> f64 {
+    nodes as f64 / (ns as f64 / 1e9) / 1e6
+}
+
+fn scioto_rate(p: usize, params: TreeParams, queue: scioto::QueueKind) -> f64 {
+    let out = Machine::run(machine(p), move |ctx| {
+        let cfg = SciotoUtsConfig {
+            queue,
+            ..SciotoUtsConfig::new(params)
+        };
+        run_scioto_uts(ctx, &cfg).0
+    });
+    let mut total = TreeStats::default();
+    for s in &out.results {
+        total.merge(s);
+    }
+    rate(total.nodes, out.report.makespan_ns)
+}
+
+fn mpi_rate(p: usize, params: TreeParams) -> f64 {
+    let out = Machine::run(machine(p), move |ctx| {
+        run_mpi_uts(ctx, &MpiUtsConfig::new(params)).0
+    });
+    let mut total = TreeStats::default();
+    for s in &out.results {
+        total.merge(s);
+    }
+    rate(total.nodes, out.report.makespan_ns)
+}
+
+fn main() {
+    let args = Args::parse();
+    let max_p: usize = args.get("max-ranks", 64);
+    let tree: String = args.get("tree", "medium".to_string());
+    let params = match tree.as_str() {
+        "small" => presets::small(),
+        "medium" => presets::medium(),
+        "large" => presets::large(),
+        other => panic!("unknown tree preset {other}"),
+    };
+    let mut rows = Vec::new();
+    for p in cluster_rank_sweep(max_p) {
+        eprintln!("running P = {p} ...");
+        let split = scioto_rate(p, params, scioto::QueueKind::Split);
+        let mpi = mpi_rate(p, params);
+        let nosplit = scioto_rate(p, params, scioto::QueueKind::Locked);
+        rows.push(vec![
+            p.to_string(),
+            format!("{split:.2}"),
+            format!("{mpi:.2}"),
+            format!("{nosplit:.2}"),
+        ]);
+    }
+    print!(
+        "{}",
+        render_table(
+            &format!(
+                "Figure 7: UTS throughput on the heterogeneous cluster \
+                 (Mnodes/s, {tree} tree)"
+            ),
+            &["P", "Split-Queues", "MPI-WS", "No Split"],
+            &rows,
+        )
+    );
+    println!(
+        "\npaper (64 procs): Split-Queues ~72, MPI-WS ~62, No Split ~49 Mnodes/s; \
+         split > MPI > no-split at every scale."
+    );
+}

@@ -1,0 +1,141 @@
+//! Table 1 — microbenchmark timings for core task-collection operations.
+//!
+//! Reproduces: local insert, remote insert, local get, remote steal, with
+//! a 1 KiB task body and chunk size 10, under the cluster and Cray XT4
+//! latency models. Times are *modelled* (virtual) microseconds; the
+//! paper's measured values are printed alongside for comparison.
+//!
+//! Run: `cargo run --release -p scioto-bench --bin table1`
+
+use scioto::{Task, TaskCollection, TcConfig};
+use scioto_armci::Armci;
+use scioto_bench::{render_table, us};
+use scioto_sim::{LatencyModel, Machine, MachineConfig};
+
+const BODY: usize = 1024;
+const CHUNK: usize = 10;
+
+/// Measured virtual-time costs of the four operations, in ns.
+struct OpTimes {
+    local_insert: u64,
+    local_get: u64,
+    remote_insert: u64,
+    remote_steal: u64,
+}
+
+fn measure(latency: LatencyModel) -> OpTimes {
+    let out = Machine::run(
+        MachineConfig::virtual_time(2).with_latency(latency),
+        |ctx| {
+            let armci = Armci::init(ctx);
+            // Local-op collection with default split policy.
+            let tc = TaskCollection::create(ctx, &armci, TcConfig::new(BODY, CHUNK, 8192));
+            // Steal-target collection with an eager release policy so the
+            // shared portion always has chunks available.
+            let steal_cfg = TcConfig {
+                release_threshold: 1 << 20,
+                ..TcConfig::new(BODY, CHUNK, 8192)
+            };
+            let tc2 = TaskCollection::create(ctx, &armci, steal_cfg);
+            let h = tc.register(ctx, std::sync::Arc::new(|_| {}));
+            let h2 = tc2.register(ctx, std::sync::Arc::new(|_| {}));
+            let task = Task::with_body_size(h, BODY);
+            let task2 = Task::with_body_size(h2, BODY);
+
+            let mut times = [0u64; 4];
+            const N: u64 = 1000;
+            if ctx.rank() == 0 {
+                // Local insert.
+                let t0 = ctx.now();
+                for _ in 0..N {
+                    tc.bench_push_local(ctx, &task);
+                }
+                times[0] = (ctx.now() - t0) / N;
+                // Local get.
+                let t0 = ctx.now();
+                for _ in 0..N {
+                    assert!(tc.bench_pop_local(ctx));
+                }
+                times[1] = (ctx.now() - t0) / N;
+                // Seed the steal-target collection generously.
+                for _ in 0..2000 {
+                    tc2.bench_push_local(ctx, &task2);
+                }
+            }
+            armci.barrier(ctx);
+            if ctx.rank() == 1 {
+                // Remote insert.
+                let t0 = ctx.now();
+                for _ in 0..N {
+                    tc.bench_insert_remote(ctx, 0, &task);
+                }
+                times[2] = (ctx.now() - t0) / N;
+                // Remote steal (chunk tasks per operation).
+                const S: u64 = 100;
+                let t0 = ctx.now();
+                for _ in 0..S {
+                    let got = tc2.bench_steal(ctx, 0);
+                    assert_eq!(got, CHUNK, "steal bench ran out of shared tasks");
+                }
+                times[3] = (ctx.now() - t0) / S;
+            }
+            armci.barrier(ctx);
+            times
+        },
+    );
+    OpTimes {
+        local_insert: out.results[0][0],
+        local_get: out.results[0][1],
+        remote_insert: out.results[1][2],
+        remote_steal: out.results[1][3],
+    }
+}
+
+fn main() {
+    let cluster = measure(LatencyModel::cluster());
+    let xt4 = measure(LatencyModel::xt4());
+    let rows = vec![
+        vec![
+            "Local Insert".into(),
+            us(cluster.local_insert),
+            "0.4952".into(),
+            us(xt4.local_insert),
+            "0.9330".into(),
+        ],
+        vec![
+            "Remote Insert".into(),
+            us(cluster.remote_insert),
+            "18.0819".into(),
+            us(xt4.remote_insert),
+            "27.018".into(),
+        ],
+        vec![
+            "Local Get".into(),
+            us(cluster.local_get),
+            "0.3613".into(),
+            us(xt4.local_get),
+            "0.6913".into(),
+        ],
+        vec![
+            "Remote Steal".into(),
+            us(cluster.remote_steal),
+            "29.0080".into(),
+            us(xt4.remote_steal),
+            "32.384".into(),
+        ],
+    ];
+    print!(
+        "{}",
+        render_table(
+            "Table 1: task collection operation timings (µs; 1 KiB body, chunk 10)",
+            &[
+                "Operation",
+                "Cluster (model)",
+                "Cluster (paper)",
+                "XT4 (model)",
+                "XT4 (paper)",
+            ],
+            &rows,
+        )
+    );
+}

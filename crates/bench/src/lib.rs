@@ -1,0 +1,115 @@
+//! Shared plumbing for the table/figure regeneration binaries: argument
+//! parsing, aligned table printing, and common sweep helpers.
+
+use std::fmt::Write as _;
+
+/// Minimal flag parser: `--key value` pairs and bare flags.
+pub struct Args {
+    raw: Vec<String>,
+}
+
+impl Args {
+    /// Parse the process arguments.
+    pub fn parse() -> Args {
+        Args {
+            raw: std::env::args().skip(1).collect(),
+        }
+    }
+
+    /// Value of `--key <v>` parsed as `T`, or the default.
+    pub fn get<T: std::str::FromStr>(&self, key: &str, default: T) -> T {
+        let flag = format!("--{key}");
+        self.raw
+            .iter()
+            .position(|a| a == &flag)
+            .and_then(|i| self.raw.get(i + 1))
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
+    }
+
+    /// Whether the bare flag `--key` is present.
+    pub fn has(&self, key: &str) -> bool {
+        let flag = format!("--{key}");
+        self.raw.iter().any(|a| a == &flag)
+    }
+}
+
+impl Default for Args {
+    fn default() -> Self {
+        Args::parse()
+    }
+}
+
+/// Render an aligned text table.
+pub fn render_table(title: &str, headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let _ = writeln!(out, "\n== {title} ==");
+    let mut line = String::new();
+    for (h, w) in headers.iter().zip(&widths) {
+        let _ = write!(line, "{h:>w$}  ", w = w);
+    }
+    let _ = writeln!(out, "{}", line.trim_end());
+    let _ = writeln!(out, "{}", "-".repeat(line.trim_end().len()));
+    for row in rows {
+        let mut line = String::new();
+        for (cell, w) in row.iter().zip(&widths) {
+            let _ = write!(line, "{cell:>w$}  ", w = w);
+        }
+        let _ = writeln!(out, "{}", line.trim_end());
+    }
+    out
+}
+
+/// Format nanoseconds as microseconds with 2 decimals.
+pub fn us(ns: u64) -> String {
+    format!("{:.2}", ns as f64 / 1e3)
+}
+
+/// Format nanoseconds as seconds with 3 decimals.
+pub fn secs(ns: u64) -> String {
+    format!("{:.3}", ns as f64 / 1e9)
+}
+
+/// The rank counts used by the paper's cluster figures.
+pub fn cluster_rank_sweep(max: usize) -> Vec<usize> {
+    [2usize, 4, 8, 16, 32, 64]
+        .into_iter()
+        .filter(|&p| p <= max)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let t = render_table(
+            "demo",
+            &["P", "value"],
+            &[
+                vec!["2".into(), "1.00".into()],
+                vec!["64".into(), "123.45".into()],
+            ],
+        );
+        assert!(t.contains("demo"));
+        assert!(t.contains("123.45"));
+    }
+
+    #[test]
+    fn unit_formatting() {
+        assert_eq!(us(1_500), "1.50");
+        assert_eq!(secs(2_500_000_000), "2.500");
+    }
+
+    #[test]
+    fn sweep_respects_cap() {
+        assert_eq!(cluster_rank_sweep(16), vec![2, 4, 8, 16]);
+    }
+}

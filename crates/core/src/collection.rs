@@ -1,0 +1,378 @@
+//! The task collection: `tc_create` / `tc_add` / `tc_process` / `tc_reset`.
+
+use std::any::Any;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+use rand::Rng;
+
+use scioto_armci::Armci;
+use scioto_sim::Ctx;
+
+use crate::clo::{CloHandle, CloRegistry};
+use crate::config::{LbKind, TcConfig};
+use crate::queue::PatchQueue;
+use crate::registry::{Registry, TaskHandle};
+use crate::stats::{ProcessStats, RankCounters};
+use crate::task::{Task, TaskFn, TaskHeader, TaskRecord};
+use crate::termination::{Poll, WaveDetector};
+
+/// A global-view collection of task objects, distributed as one queue per
+/// process in ARMCI shared space.
+///
+/// Created collectively with [`TaskCollection::create`]; seeded with
+/// [`TaskCollection::add`]; processed to global quiescence with the
+/// collective [`TaskCollection::process`]; reusable after
+/// [`TaskCollection::reset`].
+pub struct TaskCollection {
+    armci: Arc<Armci>,
+    cfg: TcConfig,
+    queue: PatchQueue,
+    detector: WaveDetector,
+    registry: Registry,
+    clos: CloRegistry,
+    counters: Vec<RankCounters>,
+}
+
+/// Execution context handed to every task callback: the simulated process
+/// context, the collection (for spawning subtasks and CLO lookup), and the
+/// task's descriptor fields.
+pub struct TaskCtx<'a> {
+    /// The executing rank's machine context.
+    pub ctx: &'a Ctx,
+    /// The collection the task is executing on.
+    pub tc: &'a TaskCollection,
+    header: TaskHeader,
+    body: &'a [u8],
+}
+
+impl<'a> TaskCtx<'a> {
+    /// The opaque task body (a private copy; the queue slot is already
+    /// released).
+    pub fn body(&self) -> &[u8] {
+        self.body
+    }
+
+    /// Affinity the task was added with.
+    pub fn affinity(&self) -> i32 {
+        self.header.affinity
+    }
+
+    /// Rank that created this task.
+    pub fn creator(&self) -> usize {
+        self.header.creator as usize
+    }
+}
+
+impl TaskCollection {
+    /// Collectively create a task collection (`tc_create`).
+    pub fn create(ctx: &Ctx, armci: &Arc<Armci>, cfg: TcConfig) -> Arc<TaskCollection> {
+        let n = ctx.nranks();
+        let queue = PatchQueue::new(ctx, armci, &cfg);
+        let detector = WaveDetector::new(ctx, armci, cfg.td_votes_before_opt);
+        let armci2 = Arc::clone(armci);
+        let tc = ctx.collective(move || TaskCollection {
+            armci: armci2,
+            cfg,
+            queue,
+            detector,
+            registry: Registry::new(n),
+            clos: CloRegistry::new(n),
+            counters: (0..n).map(|_| RankCounters::default()).collect(),
+        });
+        tc.queue.reset_local(ctx, &tc.armci);
+        tc.detector.reset_local(ctx, &tc.armci);
+        tc.armci.barrier(ctx);
+        tc
+    }
+
+    /// The configuration the collection was created with.
+    pub fn config(&self) -> &TcConfig {
+        &self.cfg
+    }
+
+    /// The ARMCI world backing the collection.
+    pub fn armci(&self) -> &Arc<Armci> {
+        &self.armci
+    }
+
+    /// Collectively register a task callback (`tc_register_callback`).
+    /// Every rank must register its instance of the same logical function
+    /// in the same order; the returned handle is identical everywhere.
+    pub fn register(&self, ctx: &Ctx, f: TaskFn) -> TaskHandle {
+        self.registry.register(ctx.rank(), f)
+    }
+
+    /// Collectively register a common local object (§2.3). Each rank
+    /// passes its own local instance; the handle is identical everywhere.
+    pub fn register_clo<T: Send + Sync + 'static>(&self, ctx: &Ctx, obj: Arc<T>) -> CloHandle {
+        self.clos.register(ctx.rank(), obj)
+    }
+
+    /// Look up the executing rank's instance of a common local object.
+    ///
+    /// # Panics
+    /// Panics if the handle was not registered on this rank or the type
+    /// does not match the registration.
+    pub fn clo<T: Send + Sync + 'static>(&self, ctx: &Ctx, h: CloHandle) -> Arc<T> {
+        let any: Arc<dyn Any + Send + Sync> = self.clos.lookup(ctx.rank(), h);
+        any.downcast::<T>()
+            .expect("common local object type mismatch")
+    }
+
+    /// Add a task to `proc`'s patch of the collection with the given
+    /// affinity (`tc_add`). Copy-in semantics: `task` is reusable on
+    /// return.
+    ///
+    /// High-affinity local adds are lock-free; low-affinity and remote
+    /// adds insert at the stealable tail of the target queue.
+    pub fn add(&self, ctx: &Ctx, proc: usize, affinity: i32, task: &Task) {
+        assert!(
+            task.body().len() <= self.cfg.max_body,
+            "task body of {} bytes exceeds max_body = {}",
+            task.body().len(),
+            self.cfg.max_body
+        );
+        let me = ctx.rank();
+        self.counters[me].tasks_spawned.fetch_add(1, Ordering::Relaxed);
+        let rec = TaskRecord {
+            header: TaskHeader {
+                callback: task.handle().0,
+                affinity,
+                creator: me as u32,
+                body_len: task.body().len() as u32,
+            },
+            body: task.body().to_vec(),
+        };
+        if proc == me {
+            self.queue
+                .push_local(ctx, &self.armci, &rec, &self.counters[me]);
+        } else {
+            self.queue.insert_tail(ctx, &self.armci, proc, &rec);
+            // A remote add transfers work: fold it into the termination
+            // detector exactly like a steal (§5.3).
+            let marked = self.detector.note_transfer(ctx, &self.armci, proc);
+            self.count_mark(me, marked);
+        }
+    }
+
+    fn count_mark(&self, me: usize, marked: bool) {
+        if marked {
+            self.counters[me]
+                .dirty_marks_sent
+                .fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.counters[me]
+                .dirty_marks_elided
+                .fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Collectively process the collection to global quiescence
+    /// (`tc_process`): a MIMD region in which every rank executes local
+    /// tasks, releases/reclaims shared work, steals when idle, and
+    /// participates in termination detection. Returns this rank's
+    /// statistics for the phase.
+    pub fn process(&self, ctx: &Ctx) -> ProcessStats {
+        let me = ctx.rank();
+        let n = ctx.nranks();
+        // Statistics accumulate from `create` (or the last `reset`), so the
+        // seeding phase's spawn counts are part of the report.
+        self.armci.barrier(ctx);
+        let stealing = self.cfg.ldbal == LbKind::WorkStealing && n > 1;
+        let mut since_td = 0u32;
+        // Exponential backoff on consecutive failed steals: when the
+        // machine is running dry, detector polls (cheap, local) dominate
+        // the idle loop instead of lock round-trips to empty victims.
+        let mut failed_steals = 0u32;
+        let mut backoff = 0u32;
+        loop {
+            // Drain local (private) work.
+            while let Some(rec) = self.queue.pop_local(ctx, &self.armci, &self.counters[me]) {
+                self.execute(ctx, rec);
+                since_td += 1;
+                if since_td >= 16 {
+                    since_td = 0;
+                    // Keep waves and TERM announcements flowing while busy.
+                    self.detector.progress(ctx, &self.armci, false);
+                }
+            }
+            // Private portion empty: reclaim shared work if any.
+            if self
+                .queue
+                .reclaim(ctx, &self.armci, &self.counters[me])
+            {
+                continue;
+            }
+            // Passive: detect termination, then hunt for work.
+            if self.detector.progress(ctx, &self.armci, true) == Poll::Terminated {
+                break;
+            }
+            // Every idle iteration costs at least a poll's worth of CPU,
+            // even under a zero-cost latency model — otherwise idle ranks
+            // would starve working ranks of virtual time.
+            ctx.compute(100);
+            if stealing {
+                if backoff > 0 {
+                    backoff -= 1;
+                    ctx.compute(200);
+                    continue;
+                }
+                let victim = {
+                    let mut rng = ctx.rng();
+                    let mut v = rng.gen_range(0..n - 1);
+                    if v >= me {
+                        v += 1;
+                    }
+                    v
+                };
+                self.counters[me]
+                    .steals_attempted
+                    .fetch_add(1, Ordering::Relaxed);
+                let stolen = self.queue.steal(ctx, &self.armci, victim);
+                if !stolen.is_empty() {
+                    self.counters[me]
+                        .steals_succeeded
+                        .fetch_add(1, Ordering::Relaxed);
+                    self.counters[me]
+                        .tasks_stolen
+                        .fetch_add(stolen.len() as u64, Ordering::Relaxed);
+                    let marked = self.detector.note_transfer(ctx, &self.armci, victim);
+                    self.count_mark(me, marked);
+                    for rec in &stolen {
+                        self.queue
+                            .push_local(ctx, &self.armci, rec, &self.counters[me]);
+                    }
+                    failed_steals = 0;
+                } else {
+                    failed_steals += 1;
+                    // Cap the nap at ~16 detector polls (~10 µs): long
+                    // enough to keep failed-steal lock traffic off the
+                    // critical path, short enough to react when a busy
+                    // owner releases a burst of work mid-phase.
+                    backoff = 4 << failed_steals.min(3);
+                }
+            } else {
+                // No load balancing: just poll the detector.
+                ctx.compute(200);
+            }
+        }
+        // Safety invariant: termination may only be declared when this
+        // rank's queue is completely empty.
+        assert!(
+            self.queue.is_empty_local(ctx, &self.armci),
+            "termination detected with tasks remaining on rank {me}"
+        );
+        self.counters[me]
+            .td_waves
+            .store(self.detector.waves(me), Ordering::Relaxed);
+        // No exit barrier: the TERM announcement propagating down the
+        // spanning tree is already a collective exit signal, and no rank
+        // can initiate further operations on this collection's queues
+        // after observing it.
+        self.counters[me].snapshot()
+    }
+
+    fn execute(&self, ctx: &Ctx, rec: TaskRecord) {
+        let me = ctx.rank();
+        let f = self.registry.lookup(me, TaskHandle(rec.header.callback));
+        let tctx = TaskCtx {
+            ctx,
+            tc: self,
+            header: rec.header,
+            body: &rec.body,
+        };
+        f(&tctx);
+        self.counters[me]
+            .tasks_executed
+            .fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Collectively reset the collection for reuse (`tc_reset`): empties
+    /// every queue and re-arms termination detection. Registered callbacks
+    /// and CLOs are kept.
+    pub fn reset(&self, ctx: &Ctx) {
+        self.armci.barrier(ctx);
+        self.queue.reset_local(ctx, &self.armci);
+        self.detector.reset_local(ctx, &self.armci);
+        self.counters[ctx.rank()].reset();
+        self.armci.barrier(ctx);
+    }
+
+    /// This rank's statistics from the most recent processing phase.
+    pub fn stats(&self, rank: usize) -> ProcessStats {
+        self.counters[rank].snapshot()
+    }
+
+    /// `(head, split, tail)` indices of this rank's queue — exposed for
+    /// tests and diagnostics.
+    pub fn queue_indices(&self, ctx: &Ctx) -> (i64, i64, i64) {
+        self.queue.indices_local(ctx, &self.armci)
+    }
+
+    /// Size in bytes of one serialized task slot.
+    pub fn slot_bytes(&self) -> usize {
+        self.queue.slot_sz()
+    }
+
+    /// Number of callbacks registered on `rank` (diagnostics).
+    pub fn registered_callbacks(&self, rank: usize) -> usize {
+        self.registry.len(rank)
+    }
+
+    // ---- raw queue operations for the Table 1 microbenchmarks ----
+
+    /// Push one task onto the local queue (the paper's "local insert").
+    #[doc(hidden)]
+    pub fn bench_push_local(&self, ctx: &Ctx, task: &Task) {
+        let rec = self.record_for(ctx, 1, task);
+        self.queue
+            .push_local(ctx, &self.armci, &rec, &self.counters[ctx.rank()]);
+    }
+
+    /// Pop one task from the local queue (the paper's "local get").
+    /// Returns whether a task was available.
+    #[doc(hidden)]
+    pub fn bench_pop_local(&self, ctx: &Ctx) -> bool {
+        let me = ctx.rank();
+        if self
+            .queue
+            .pop_local(ctx, &self.armci, &self.counters[me])
+            .is_some()
+        {
+            return true;
+        }
+        self.queue.reclaim(ctx, &self.armci, &self.counters[me])
+            && self
+                .queue
+                .pop_local(ctx, &self.armci, &self.counters[me])
+                .is_some()
+    }
+
+    /// Insert one task at the tail of `target`'s queue (the paper's
+    /// "remote insert").
+    #[doc(hidden)]
+    pub fn bench_insert_remote(&self, ctx: &Ctx, target: usize, task: &Task) {
+        let rec = self.record_for(ctx, 1, task);
+        self.queue.insert_tail(ctx, &self.armci, target, &rec);
+    }
+
+    /// One steal operation against `victim` (the paper's "remote steal").
+    /// Returns the number of tasks transferred.
+    #[doc(hidden)]
+    pub fn bench_steal(&self, ctx: &Ctx, victim: usize) -> usize {
+        self.queue.steal(ctx, &self.armci, victim).len()
+    }
+
+    fn record_for(&self, ctx: &Ctx, affinity: i32, task: &Task) -> TaskRecord {
+        TaskRecord {
+            header: TaskHeader {
+                callback: task.handle().0,
+                affinity,
+                creator: ctx.rank() as u32,
+                body_len: task.body().len() as u32,
+            },
+            body: task.body().to_vec(),
+        }
+    }
+}

@@ -1,0 +1,561 @@
+//! The per-process patch of a task collection: a circular queue of
+//! fixed-size task slots in ARMCI shared space (§5 of the paper).
+//!
+//! Ring positions are monotonically increasing virtual indices
+//! (`tail <= split <= head`, slot = `index mod capacity`):
+//!
+//! ```text
+//!     tail ──────────── split ─────────── head
+//!       [ shared portion )[ private portion )
+//!        stolen from here   owner pops here
+//! ```
+//!
+//! * the **owner** pushes and pops at `head` without any lock — only the
+//!   owner ever writes `head` or `split`, and thieves never read `head`;
+//! * **thieves** lock the queue, read `(split, tail)`, transfer up to
+//!   `chunk` tasks from the tail (the low-affinity end) with one one-sided
+//!   get per contiguous run, advance `tail`, and unlock;
+//! * the owner moves the **split pointer** under the lock to release
+//!   private work for stealing or to reclaim shared work for local
+//!   execution — no task is ever copied by these operations (§5);
+//! * with [`QueueKind::Locked`] every operation takes the lock and
+//!   `split == head` is maintained, which is the paper's original
+//!   implementation kept as the "No Split" ablation of Figure 7.
+//!
+//! Low-affinity local adds and all remote adds insert at the tail
+//! (decrementing it), making them the first candidates for stealing and the
+//! last for local execution — the priority order of §5.1.
+
+use scioto_armci::{Armci, Gmem, MutexSet};
+use scioto_sim::Ctx;
+
+use crate::config::{QueueKind, TcConfig};
+use crate::stats::RankCounters;
+use crate::task::{TaskRecord, HEADER_BYTES};
+
+const HEAD: usize = 0;
+const SPLIT: usize = 8;
+const TAIL: usize = 16;
+const META_BYTES: usize = 24;
+
+pub(crate) struct PatchQueue {
+    kind: QueueKind,
+    cap: i64,
+    slot_sz: usize,
+    chunk: usize,
+    release_threshold: i64,
+    release_fraction: f64,
+    meta: Gmem,
+    slots: Gmem,
+    locks: MutexSet,
+}
+
+impl PatchQueue {
+    pub(crate) fn new(ctx: &Ctx, armci: &Armci, cfg: &TcConfig) -> Self {
+        let slot_sz = (HEADER_BYTES + cfg.max_body).div_ceil(8) * 8;
+        let meta = armci.malloc(ctx, META_BYTES);
+        let slots = armci.malloc(ctx, cfg.max_tasks * slot_sz);
+        let locks = armci.create_mutexes(ctx, 1);
+        PatchQueue {
+            kind: cfg.queue,
+            cap: cfg.max_tasks as i64,
+            slot_sz,
+            chunk: cfg.chunk,
+            release_threshold: cfg.release_threshold as i64,
+            release_fraction: cfg.release_fraction,
+            meta,
+            slots,
+            locks,
+        }
+    }
+
+    pub(crate) fn slot_sz(&self) -> usize {
+        self.slot_sz
+    }
+
+    // ---- owner-private metadata access (no scheduling point) ----
+
+    fn write_meta_local(&self, ctx: &Ctx, armci: &Armci, off: usize, v: i64) {
+        armci.with_local_mut(ctx, self.meta, |b| {
+            b[off..off + 8].copy_from_slice(&v.to_le_bytes())
+        });
+    }
+
+    fn slot_pos(&self, index: i64) -> usize {
+        (index.rem_euclid(self.cap)) as usize * self.slot_sz
+    }
+
+    fn write_slot_local(&self, ctx: &Ctx, armci: &Armci, index: i64, rec: &TaskRecord) {
+        let pos = self.slot_pos(index);
+        armci.with_local_mut(ctx, self.slots, |b| {
+            rec.encode_into(&mut b[pos..pos + self.slot_sz]);
+        });
+    }
+
+    fn read_slot_local(&self, ctx: &Ctx, armci: &Armci, index: i64) -> TaskRecord {
+        let pos = self.slot_pos(index);
+        armci.with_local(ctx, self.slots, |b| {
+            TaskRecord::decode(&b[pos..pos + self.slot_sz])
+        })
+    }
+
+    /// Zero the owner's metadata (collective reset; caller barriers).
+    pub(crate) fn reset_local(&self, ctx: &Ctx, armci: &Armci) {
+        armci.with_local_mut(ctx, self.meta, |b| b.fill(0));
+    }
+
+    /// `(head, split, tail)` of the owner's queue.
+    pub(crate) fn indices_local(&self, ctx: &Ctx, armci: &Armci) -> (i64, i64, i64) {
+        armci.with_local(ctx, self.meta, |b| {
+            (
+                i64::from_le_bytes(b[HEAD..HEAD + 8].try_into().expect("8")),
+                i64::from_le_bytes(b[SPLIT..SPLIT + 8].try_into().expect("8")),
+                i64::from_le_bytes(b[TAIL..TAIL + 8].try_into().expect("8")),
+            )
+        })
+    }
+
+    /// True when the owner's queue holds no tasks.
+    pub(crate) fn is_empty_local(&self, ctx: &Ctx, armci: &Armci) -> bool {
+        let (head, _, tail) = self.indices_local(ctx, armci);
+        head == tail
+    }
+
+    // ---- owner operations ----
+
+    /// Owner push. High-affinity tasks go to the head (private end);
+    /// low-affinity tasks (`affinity < 0`) are inserted at the tail, the
+    /// first position to be stolen.
+    pub(crate) fn push_local(
+        &self,
+        ctx: &Ctx,
+        armci: &Armci,
+        rec: &TaskRecord,
+        counters: &RankCounters,
+    ) {
+        if rec.header.affinity < 0 && self.kind == QueueKind::Split {
+            self.insert_tail(ctx, armci, ctx.rank(), rec);
+            return;
+        }
+        match self.kind {
+            QueueKind::Split => {
+                let (head, _, tail) = self.indices_local(ctx, armci);
+                self.check_capacity(head, tail);
+                self.write_slot_local(ctx, armci, head, rec);
+                self.write_meta_local(ctx, armci, HEAD, head + 1);
+                ctx.charge_cpu(ctx.latency().local_insert);
+                self.maybe_release(ctx, armci, counters);
+            }
+            QueueKind::Locked => {
+                armci.lock(ctx, self.locks, 0, ctx.rank());
+                let (head, _, tail) = self.indices_local(ctx, armci);
+                self.check_capacity(head, tail);
+                self.write_slot_local(ctx, armci, head, rec);
+                self.write_meta_local(ctx, armci, HEAD, head + 1);
+                self.write_meta_local(ctx, armci, SPLIT, head + 1);
+                ctx.charge_cpu(ctx.latency().local_insert);
+                armci.unlock(ctx, self.locks, 0, ctx.rank());
+            }
+        }
+    }
+
+    /// Owner pop from the head. For the split queue this touches only the
+    /// private portion; returns `None` when the private portion is empty
+    /// (callers should then try [`PatchQueue::reclaim`]).
+    pub(crate) fn pop_local(
+        &self,
+        ctx: &Ctx,
+        armci: &Armci,
+        counters: &RankCounters,
+    ) -> Option<TaskRecord> {
+        match self.kind {
+            QueueKind::Split => {
+                let (head, split, _) = self.indices_local(ctx, armci);
+                if head <= split {
+                    return None;
+                }
+                let h = head - 1;
+                let rec = self.read_slot_local(ctx, armci, h);
+                self.write_meta_local(ctx, armci, HEAD, h);
+                ctx.charge_cpu(ctx.latency().local_get);
+                // Keep work available for thieves while draining a deep
+                // private portion (the owner "moves tasks between the shared
+                // and local portions as the computation progresses", §5).
+                self.maybe_release(ctx, armci, counters);
+                Some(rec)
+            }
+            QueueKind::Locked => {
+                armci.lock(ctx, self.locks, 0, ctx.rank());
+                let (head, _, tail) = self.indices_local(ctx, armci);
+                if head <= tail {
+                    armci.unlock(ctx, self.locks, 0, ctx.rank());
+                    return None;
+                }
+                let h = head - 1;
+                let rec = self.read_slot_local(ctx, armci, h);
+                self.write_meta_local(ctx, armci, HEAD, h);
+                self.write_meta_local(ctx, armci, SPLIT, h);
+                ctx.charge_cpu(ctx.latency().local_get);
+                armci.unlock(ctx, self.locks, 0, ctx.rank());
+                Some(rec)
+            }
+        }
+    }
+
+    /// Owner reclaims shared work for local execution by moving the split
+    /// pointer toward the tail (split queue only). Returns whether any
+    /// tasks became private.
+    pub(crate) fn reclaim(&self, ctx: &Ctx, armci: &Armci, counters: &RankCounters) -> bool {
+        if self.kind != QueueKind::Split {
+            return false;
+        }
+        // Cheap unsynchronized pre-check: `tail` may be stale (thieves only
+        // advance it), so a nonzero result here may still vanish under the
+        // lock — but zero means definitely nothing to reclaim.
+        let (_, split, tail) = self.indices_local(ctx, armci);
+        if split - tail <= 0 {
+            return false;
+        }
+        armci.lock(ctx, self.locks, 0, ctx.rank());
+        let (_, split, tail) = self.indices_local(ctx, armci);
+        let avail = split - tail;
+        if avail <= 0 {
+            armci.unlock(ctx, self.locks, 0, ctx.rank());
+            return false;
+        }
+        // Reclaim half (at least one); no task is copied, only the split
+        // pointer moves.
+        let take = (avail + 1) / 2;
+        self.write_meta_local(ctx, armci, SPLIT, split - take);
+        ctx.charge_cpu(ctx.latency().local_get);
+        armci.unlock(ctx, self.locks, 0, ctx.rank());
+        counters
+            .splits_reclaimed
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        true
+    }
+
+    /// After a push, release private work to the shared portion when
+    /// thieves have drained it below the threshold.
+    fn maybe_release(&self, ctx: &Ctx, armci: &Armci, counters: &RankCounters) {
+        let (head, split, tail) = self.indices_local(ctx, armci);
+        let shared = split - tail;
+        let private = head - split;
+        if shared >= self.release_threshold || private < 2 {
+            return;
+        }
+        armci.lock(ctx, self.locks, 0, ctx.rank());
+        let (head, split, _) = self.indices_local(ctx, armci);
+        let private = head - split;
+        if private >= 2 {
+            let give = ((private as f64 * self.release_fraction) as i64).clamp(1, private - 1);
+            self.write_meta_local(ctx, armci, SPLIT, split + give);
+            counters
+                .splits_released
+                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        }
+        ctx.charge_cpu(ctx.latency().local_get);
+        armci.unlock(ctx, self.locks, 0, ctx.rank());
+    }
+
+    fn check_capacity(&self, head: i64, tail: i64) {
+        assert!(
+            head - tail < self.cap,
+            "task collection overflow: queue holds {} tasks (max_tasks = {})",
+            head - tail,
+            self.cap
+        );
+    }
+
+    // ---- remote / shared-portion operations ----
+
+    /// Insert a task at the tail of `target`'s queue (used for remote adds
+    /// and low-affinity local adds): lock, read indices, write the slot and
+    /// the decremented tail one-sided, unlock.
+    pub(crate) fn insert_tail(&self, ctx: &Ctx, armci: &Armci, target: usize, rec: &TaskRecord) {
+        armci.lock(ctx, self.locks, 0, target);
+        let idx = armci.get_i64s(ctx, self.meta, target, HEAD, 3);
+        let (head, _split, tail) = (idx[0], idx[1], idx[2]);
+        self.check_capacity(head, tail);
+        let t = tail - 1;
+        let pos = self.slot_pos(t);
+        let mut buf = vec![0u8; self.slot_sz];
+        rec.encode_into(&mut buf);
+        armci.put(ctx, self.slots, target, pos, &buf);
+        armci.put_i64s(ctx, self.meta, target, TAIL, &[t]);
+        armci.unlock(ctx, self.locks, 0, target);
+    }
+
+    /// Steal up to `chunk` tasks from the tail of `victim`'s shared
+    /// portion. Returns the transferred tasks (oldest first).
+    pub(crate) fn steal(&self, ctx: &Ctx, armci: &Armci, victim: usize) -> Vec<TaskRecord> {
+        debug_assert_ne!(victim, ctx.rank(), "cannot steal from self");
+        armci.lock(ctx, self.locks, 0, victim);
+        // One one-sided get covers both `split` and `tail`.
+        let idx = armci.get_i64s(ctx, self.meta, victim, SPLIT, 2);
+        let (split, tail) = (idx[0], idx[1]);
+        let avail = split - tail;
+        if avail <= 0 {
+            armci.unlock(ctx, self.locks, 0, victim);
+            return Vec::new();
+        }
+        let k = (self.chunk as i64).min(avail);
+        let mut buf = vec![0u8; (k as usize) * self.slot_sz];
+        // The ring window [tail, tail+k) is at most two contiguous runs.
+        let start = tail.rem_euclid(self.cap);
+        let run1 = k.min(self.cap - start);
+        armci.get(
+            ctx,
+            self.slots,
+            victim,
+            start as usize * self.slot_sz,
+            &mut buf[..run1 as usize * self.slot_sz],
+        );
+        if run1 < k {
+            armci.get(
+                ctx,
+                self.slots,
+                victim,
+                0,
+                &mut buf[run1 as usize * self.slot_sz..],
+            );
+        }
+        armci.put_i64s(ctx, self.meta, victim, TAIL, &[tail + k]);
+        armci.unlock(ctx, self.locks, 0, victim);
+        buf.chunks_exact(self.slot_sz)
+            .map(TaskRecord::decode)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::TcConfig;
+    use crate::task::TaskHeader;
+    use scioto_sim::{Machine, MachineConfig};
+    use std::sync::Arc;
+
+    fn rec(id: u32, affinity: i32) -> TaskRecord {
+        TaskRecord {
+            header: TaskHeader {
+                callback: id,
+                affinity,
+                creator: 0,
+                body_len: 4,
+            },
+            body: id.to_le_bytes().to_vec(),
+        }
+    }
+
+    fn setup(ctx: &Ctx, cfg: TcConfig) -> (Arc<Armci>, PatchQueue) {
+        let armci = Armci::init(ctx);
+        let q = PatchQueue::new(ctx, &armci, &cfg);
+        (armci, q)
+    }
+
+    #[test]
+    fn lifo_pop_order_for_local_work() {
+        let out = Machine::run(MachineConfig::virtual_time(1), |ctx| {
+            let (armci, q) = setup(ctx, TcConfig::new(16, 2, 32));
+            let c = RankCounters::default();
+            for i in 0..5 {
+                q.push_local(ctx, &armci, &rec(i, 1), &c);
+            }
+            let mut got = Vec::new();
+            loop {
+                match q.pop_local(ctx, &armci, &c) {
+                    Some(r) => got.push(r.header.callback),
+                    None => {
+                        if !q.reclaim(ctx, &armci, &c) {
+                            break;
+                        }
+                    }
+                }
+            }
+            got
+        });
+        assert_eq!(out.results[0], vec![4, 3, 2, 1, 0]);
+    }
+
+    #[test]
+    fn release_makes_work_stealable_and_steal_takes_from_tail() {
+        let out = Machine::run(MachineConfig::virtual_time(2), |ctx| {
+            let (armci, q) = setup(ctx, TcConfig::new(16, 2, 64));
+            let c = RankCounters::default();
+            if ctx.rank() == 0 {
+                for i in 0..8 {
+                    q.push_local(ctx, &armci, &rec(i, 1), &c);
+                }
+                armci.barrier(ctx);
+                armci.barrier(ctx);
+                Vec::new()
+            } else {
+                armci.barrier(ctx);
+                let stolen = q.steal(ctx, &armci, 0);
+                armci.barrier(ctx);
+                stolen.iter().map(|r| r.header.callback).collect()
+            }
+        });
+        // With release threshold 1, one task (the oldest, task 0 at the
+        // tail = lowest local priority) is shared when the thief arrives.
+        assert_eq!(out.results[1], vec![0]);
+    }
+
+    #[test]
+    fn owner_and_thief_never_lose_or_duplicate_tasks() {
+        for kind in [QueueKind::Split, QueueKind::Locked] {
+            let out = Machine::run(MachineConfig::virtual_time(4), move |ctx| {
+                let cfg = TcConfig::new(16, 3, 256).with_queue(kind);
+                let (armci, q) = setup(ctx, cfg);
+                let c = RankCounters::default();
+                // Rank 0 pushes 60 tasks, interleaving with thieves.
+                let mut seen = Vec::new();
+                if ctx.rank() == 0 {
+                    for i in 0..60 {
+                        q.push_local(ctx, &armci, &rec(i, 1), &c);
+                        ctx.compute(100);
+                    }
+                    armci.barrier(ctx);
+                    loop {
+                        match q.pop_local(ctx, &armci, &c) {
+                            Some(r) => seen.push(r.header.callback),
+                            None => {
+                                if !q.reclaim(ctx, &armci, &c) {
+                                    break;
+                                }
+                            }
+                        }
+                    }
+                } else {
+                    armci.barrier(ctx);
+                    for _ in 0..4 {
+                        for r in q.steal(ctx, &armci, 0) {
+                            seen.push(r.header.callback);
+                        }
+                        ctx.compute(500);
+                    }
+                }
+                armci.barrier(ctx);
+                seen
+            });
+            let mut all: Vec<u32> = out.results.into_iter().flatten().collect();
+            all.sort_unstable();
+            assert_eq!(all, (0..60).collect::<Vec<u32>>(), "kind={kind:?}");
+        }
+    }
+
+    #[test]
+    fn tail_insert_is_stolen_first() {
+        let out = Machine::run(MachineConfig::virtual_time(2), |ctx| {
+            let (armci, q) = setup(ctx, TcConfig::new(16, 1, 32));
+            let c = RankCounters::default();
+            if ctx.rank() == 0 {
+                q.push_local(ctx, &armci, &rec(100, 1), &c);
+                q.push_local(ctx, &armci, &rec(101, 1), &c);
+                // Low-affinity task: tail insert, first steal candidate.
+                q.push_local(ctx, &armci, &rec(7, -1), &c);
+                armci.barrier(ctx);
+                armci.barrier(ctx);
+                0
+            } else {
+                armci.barrier(ctx);
+                let stolen = q.steal(ctx, &armci, 0);
+                armci.barrier(ctx);
+                stolen[0].header.callback
+            }
+        });
+        assert_eq!(out.results[1], 7);
+    }
+
+    #[test]
+    fn remote_insert_lands_on_target_queue() {
+        let out = Machine::run(MachineConfig::virtual_time(3), |ctx| {
+            let (armci, q) = setup(ctx, TcConfig::new(16, 4, 32));
+            let c = RankCounters::default();
+            if ctx.rank() != 1 {
+                q.insert_tail(ctx, &armci, 1, &rec(ctx.rank() as u32, 0));
+            }
+            armci.barrier(ctx);
+            if ctx.rank() == 1 {
+                let mut got = Vec::new();
+                while q.reclaim(ctx, &armci, &c) {
+                    while let Some(r) = q.pop_local(ctx, &armci, &c) {
+                        got.push(r.header.callback);
+                    }
+                }
+                got.sort_unstable();
+                got
+            } else {
+                Vec::new()
+            }
+        });
+        assert_eq!(out.results[1], vec![0, 2]);
+    }
+
+    #[test]
+    fn ring_wraparound_preserves_tasks() {
+        let out = Machine::run(MachineConfig::virtual_time(1), |ctx| {
+            // Capacity 4: repeatedly push/pop to force index wraparound.
+            let (armci, q) = setup(ctx, TcConfig::new(8, 2, 4));
+            let c = RankCounters::default();
+            let mut popped = Vec::new();
+            for round in 0..10u32 {
+                q.push_local(ctx, &armci, &rec(round * 2, 1), &c);
+                q.push_local(ctx, &armci, &rec(round * 2 + 1, 1), &c);
+                for _ in 0..2 {
+                    loop {
+                        if let Some(r) = q.pop_local(ctx, &armci, &c) {
+                            popped.push(r.header.callback);
+                            break;
+                        }
+                        assert!(q.reclaim(ctx, &armci, &c));
+                    }
+                }
+            }
+            popped.len()
+        });
+        assert_eq!(out.results[0], 20);
+    }
+
+    #[test]
+    #[should_panic(expected = "task collection overflow")]
+    fn overflow_detected() {
+        Machine::run(MachineConfig::virtual_time(1), |ctx| {
+            let (armci, q) = setup(ctx, TcConfig::new(8, 2, 4));
+            let c = RankCounters::default();
+            for i in 0..5 {
+                q.push_local(ctx, &armci, &rec(i, 1), &c);
+            }
+        });
+    }
+
+    #[test]
+    fn steal_from_empty_returns_nothing() {
+        let out = Machine::run(MachineConfig::virtual_time(2), |ctx| {
+            let (armci, q) = setup(ctx, TcConfig::new(8, 2, 8));
+            if ctx.rank() == 1 {
+                q.steal(ctx, &armci, 0).len()
+            } else {
+                0
+            }
+        });
+        assert_eq!(out.results[1], 0);
+    }
+
+    #[test]
+    fn locked_queue_keeps_split_equal_to_head() {
+        let out = Machine::run(MachineConfig::virtual_time(1), |ctx| {
+            let cfg = TcConfig::new(8, 2, 16).with_queue(QueueKind::Locked);
+            let (armci, q) = setup(ctx, cfg);
+            let c = RankCounters::default();
+            q.push_local(ctx, &armci, &rec(0, 1), &c);
+            q.push_local(ctx, &armci, &rec(1, 1), &c);
+            let (h1, s1, _) = q.indices_local(ctx, &armci);
+            q.pop_local(ctx, &armci, &c);
+            let (h2, s2, _) = q.indices_local(ctx, &armci);
+            (h1 == s1, h2 == s2)
+        });
+        assert_eq!(out.results[0], (true, true));
+    }
+}

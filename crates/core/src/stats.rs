@@ -1,0 +1,148 @@
+//! Per-process statistics for a `tc_process` phase.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Mutable per-rank counters, updated during processing.
+#[derive(Debug, Default)]
+pub(crate) struct RankCounters {
+    pub tasks_executed: AtomicU64,
+    pub tasks_spawned: AtomicU64,
+    pub steals_attempted: AtomicU64,
+    pub steals_succeeded: AtomicU64,
+    pub tasks_stolen: AtomicU64,
+    pub td_waves: AtomicU64,
+    pub dirty_marks_sent: AtomicU64,
+    pub dirty_marks_elided: AtomicU64,
+    pub splits_released: AtomicU64,
+    pub splits_reclaimed: AtomicU64,
+}
+
+impl RankCounters {
+    pub(crate) fn snapshot(&self) -> ProcessStats {
+        ProcessStats {
+            tasks_executed: self.tasks_executed.load(Ordering::Relaxed),
+            tasks_spawned: self.tasks_spawned.load(Ordering::Relaxed),
+            steals_attempted: self.steals_attempted.load(Ordering::Relaxed),
+            steals_succeeded: self.steals_succeeded.load(Ordering::Relaxed),
+            tasks_stolen: self.tasks_stolen.load(Ordering::Relaxed),
+            td_waves: self.td_waves.load(Ordering::Relaxed),
+            dirty_marks_sent: self.dirty_marks_sent.load(Ordering::Relaxed),
+            dirty_marks_elided: self.dirty_marks_elided.load(Ordering::Relaxed),
+            splits_released: self.splits_released.load(Ordering::Relaxed),
+            splits_reclaimed: self.splits_reclaimed.load(Ordering::Relaxed),
+        }
+    }
+
+    pub(crate) fn reset(&self) {
+        self.tasks_executed.store(0, Ordering::Relaxed);
+        self.tasks_spawned.store(0, Ordering::Relaxed);
+        self.steals_attempted.store(0, Ordering::Relaxed);
+        self.steals_succeeded.store(0, Ordering::Relaxed);
+        self.tasks_stolen.store(0, Ordering::Relaxed);
+        self.td_waves.store(0, Ordering::Relaxed);
+        self.dirty_marks_sent.store(0, Ordering::Relaxed);
+        self.dirty_marks_elided.store(0, Ordering::Relaxed);
+        self.splits_released.store(0, Ordering::Relaxed);
+        self.splits_reclaimed.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Immutable statistics for one rank's participation in one
+/// [`crate::TaskCollection::process`] phase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ProcessStats {
+    /// Tasks this rank executed.
+    pub tasks_executed: u64,
+    /// Tasks this rank added (seeds and subtasks).
+    pub tasks_spawned: u64,
+    /// Steal operations attempted.
+    pub steals_attempted: u64,
+    /// Steal operations that returned at least one task.
+    pub steals_succeeded: u64,
+    /// Tasks acquired by stealing.
+    pub tasks_stolen: u64,
+    /// Termination-detection waves this rank participated in.
+    pub td_waves: u64,
+    /// Dirty-mark messages sent to steal victims.
+    pub dirty_marks_sent: u64,
+    /// Dirty marks avoided by the §5.3 votes-before optimization.
+    pub dirty_marks_elided: u64,
+    /// Times the owner moved the split pointer to release work.
+    pub splits_released: u64,
+    /// Times the owner reclaimed shared work for local execution.
+    pub splits_reclaimed: u64,
+}
+
+impl ProcessStats {
+    /// Accumulate `other` into `self` (for cross-rank aggregation).
+    pub fn merge(&mut self, other: &ProcessStats) {
+        self.tasks_executed += other.tasks_executed;
+        self.tasks_spawned += other.tasks_spawned;
+        self.steals_attempted += other.steals_attempted;
+        self.steals_succeeded += other.steals_succeeded;
+        self.tasks_stolen += other.tasks_stolen;
+        self.td_waves = self.td_waves.max(other.td_waves);
+        self.dirty_marks_sent += other.dirty_marks_sent;
+        self.dirty_marks_elided += other.dirty_marks_elided;
+        self.splits_released += other.splits_released;
+        self.splits_reclaimed += other.splits_reclaimed;
+    }
+}
+
+/// Aggregated statistics across all ranks of a processing phase.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StatsSummary {
+    /// Sum/max-merged totals.
+    pub totals: ProcessStats,
+    /// Number of ranks merged.
+    pub ranks: usize,
+}
+
+impl StatsSummary {
+    /// Merge per-rank stats into a summary.
+    pub fn from_ranks(stats: &[ProcessStats]) -> Self {
+        let mut totals = ProcessStats::default();
+        for s in stats {
+            totals.merge(s);
+        }
+        StatsSummary {
+            totals,
+            ranks: stats.len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_and_reset() {
+        let c = RankCounters::default();
+        c.tasks_executed.fetch_add(3, Ordering::Relaxed);
+        c.steals_attempted.fetch_add(2, Ordering::Relaxed);
+        let s = c.snapshot();
+        assert_eq!(s.tasks_executed, 3);
+        assert_eq!(s.steals_attempted, 2);
+        c.reset();
+        assert_eq!(c.snapshot(), ProcessStats::default());
+    }
+
+    #[test]
+    fn merge_sums_counts_and_maxes_waves() {
+        let a = ProcessStats {
+            tasks_executed: 5,
+            td_waves: 2,
+            ..Default::default()
+        };
+        let b = ProcessStats {
+            tasks_executed: 7,
+            td_waves: 9,
+            ..Default::default()
+        };
+        let sum = StatsSummary::from_ranks(&[a, b]);
+        assert_eq!(sum.totals.tasks_executed, 12);
+        assert_eq!(sum.totals.td_waves, 9);
+        assert_eq!(sum.ranks, 2);
+    }
+}

@@ -1,0 +1,404 @@
+//! Wave-based termination detection (§5.2–5.3 of the paper).
+//!
+//! Termination of a task-parallel phase means: every process is passive
+//! (no local tasks) *and* no load-balancing operation is in flight. The
+//! detector follows Francez & Rodeh's wave scheme, adapted for one-sided
+//! work stealing as in the paper:
+//!
+//! * a binary spanning tree is mapped onto the process space (parent
+//!   `(r-1)/2`, children `2r+1` / `2r+2`);
+//! * the root starts a **down-wave** by writing the wave number into its
+//!   children's detector state (the token "splits" as it passes down);
+//! * when a **passive** process has seen the down-wave and collected both
+//!   children's up-tokens, it votes: the up-token is **black** if the
+//!   process stole or remotely added work since its last vote, if a thief
+//!   marked it **dirty**, or if any child token was black; otherwise
+//!   **white**;
+//! * an all-white wave at the root means global termination, announced by
+//!   a TERM flag propagated down the tree; a black wave triggers a re-vote
+//!   (a new down-wave);
+//! * a successful thief must mark its victim dirty so the victim retracts
+//!   a potentially stale white vote — **unless** the §5.3 *votes-before*
+//!   optimization applies: the mark can be elided when the thief has not
+//!   yet voted in the current wave, or when the victim is a descendant of
+//!   the thief (`victim ⟶votes-before thief`), because in either case the
+//!   necessary re-vote is already guaranteed.
+//!
+//! All inter-process communication is one-sided: tokens, dirty marks and
+//! the TERM flag are `i64` slots in each process's ARMCI segment, written
+//! by relatives and polled locally.
+
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
+
+use scioto_armci::{Armci, Gmem};
+use scioto_sim::Ctx;
+
+/// Byte offsets of the per-rank detector slots in ARMCI space.
+const DOWN: usize = 0; // wave id pushed by the parent (root: self-managed)
+const UP0: usize = 8; // encoded token from child 2r+1
+const UP1: usize = 16; // encoded token from child 2r+2
+const DIRTY: usize = 24; // set to 1 one-sidedly by thieves
+const TERM: usize = 32; // set to 1 when termination is announced
+pub(crate) const TD_BYTES: usize = 40;
+
+const WHITE: i64 = 1;
+const BLACK: i64 = 2;
+
+/// Parent of `rank` in the binary spanning tree.
+pub fn parent(rank: usize) -> Option<usize> {
+    (rank > 0).then(|| (rank - 1) / 2)
+}
+
+/// Children of `rank` among `n` ranks.
+pub fn children(rank: usize, n: usize) -> impl Iterator<Item = usize> {
+    [2 * rank + 1, 2 * rank + 2]
+        .into_iter()
+        .filter(move |c| *c < n)
+}
+
+/// True when `desc` is a (proper or improper) descendant of `anc` — i.e.
+/// `desc` casts its vote no later than `anc` (the votes-before relation of
+/// §5.3).
+pub fn is_descendant(desc: usize, anc: usize) -> bool {
+    let mut v = desc;
+    while v > anc {
+        v = (v - 1) / 2;
+    }
+    v == anc
+}
+
+/// Per-rank local detector state (shared-memory resident so that
+/// [`crate::TaskCollection::add`] can update the transfer flag from inside
+/// task execution).
+#[derive(Debug, Default)]
+pub(crate) struct TdLocal {
+    /// Most recent wave this rank has seen/forwarded.
+    pub last_down: AtomicI64,
+    /// Wave this rank last voted in (0 = none).
+    pub voted: AtomicI64,
+    /// Work transferred (steal or remote add) since the last vote.
+    pub transferred: AtomicBool,
+    /// TERM flag has been forwarded to the children.
+    pub term_propagated: AtomicBool,
+    /// Down-waves this rank participated in (statistics).
+    pub waves: AtomicU64,
+}
+
+impl TdLocal {
+    pub(crate) fn reset(&self) {
+        self.last_down.store(0, Ordering::Relaxed);
+        self.voted.store(0, Ordering::Relaxed);
+        self.transferred.store(false, Ordering::Relaxed);
+        self.term_propagated.store(false, Ordering::Relaxed);
+        self.waves.store(0, Ordering::Relaxed);
+    }
+}
+
+/// The distributed wave detector: per-rank slots in ARMCI space plus the
+/// local state vector.
+pub struct WaveDetector {
+    td: Gmem,
+    local: Vec<TdLocal>,
+    /// Enable the §5.3 votes-before optimization (disable for ablation).
+    pub(crate) votes_before_opt: bool,
+}
+
+/// Outcome of one detector poll.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Poll {
+    /// Keep working/stealing.
+    Continue,
+    /// Global termination has been announced.
+    Terminated,
+}
+
+impl WaveDetector {
+    pub(crate) fn new(ctx: &Ctx, armci: &Armci, votes_before_opt: bool) -> Self {
+        let td = armci.malloc(ctx, TD_BYTES);
+        let n = ctx.nranks();
+        WaveDetector {
+            td,
+            local: (0..n).map(|_| TdLocal::default()).collect(),
+            votes_before_opt,
+        }
+    }
+
+    pub(crate) fn reset_local(&self, ctx: &Ctx, armci: &Armci) {
+        armci.with_local_mut(ctx, self.td, |b| b.fill(0));
+        self.local[ctx.rank()].reset();
+    }
+
+    pub(crate) fn waves(&self, rank: usize) -> u64 {
+        self.local[rank].waves.load(Ordering::Relaxed)
+    }
+
+    /// One-sided store of a token slot. Tokens are single-writer values,
+    /// so a plain put (no atomic RMW service queue) is sufficient.
+    fn put_slot(&self, ctx: &Ctx, armci: &Armci, rank: usize, off: usize, v: i64) {
+        armci.put(ctx, self.td, rank, off, &v.to_le_bytes());
+    }
+
+    fn read_slot(&self, ctx: &Ctx, armci: &Armci, off: usize) -> i64 {
+        armci.with_local(ctx, self.td, |b| {
+            i64::from_le_bytes(b[off..off + 8].try_into().expect("8 bytes"))
+        })
+    }
+
+    /// Atomically read and clear the local dirty flag (a thief may be
+    /// writing it concurrently in real-thread mode).
+    fn take_dirty(&self, ctx: &Ctx, armci: &Armci) -> bool {
+        armci.with_local_mut(ctx, self.td, |b| {
+            let v = i64::from_le_bytes(b[DIRTY..DIRTY + 8].try_into().expect("8 bytes"));
+            b[DIRTY..DIRTY + 8].copy_from_slice(&0i64.to_le_bytes());
+            v != 0
+        })
+    }
+
+    /// One detector step for `ctx.rank()`. `passive` must be true iff the
+    /// rank currently has no local work; only passive ranks vote (and only
+    /// a passive root starts waves), but every caller forwards waves and
+    /// the TERM announcement.
+    pub(crate) fn progress(&self, ctx: &Ctx, armci: &Armci, passive: bool) -> Poll {
+        let me = ctx.rank();
+        let n = ctx.nranks();
+        let st = &self.local[me];
+        // The detector slots are written by other ranks: polling them is a
+        // shared-state access and therefore a scheduling point (this also
+        // keeps idle ranks from monopolizing the virtual-time baton).
+        ctx.yield_point();
+        ctx.charge_cpu(ctx.latency().local_get);
+
+        // Termination announcement.
+        if self.read_slot(ctx, armci, TERM) == 1 {
+            if !st.term_propagated.swap(true, Ordering::Relaxed) {
+                for c in children(me, n) {
+                    self.put_slot(ctx, armci, c, TERM, 1);
+                }
+            }
+            return Poll::Terminated;
+        }
+
+        // Down-wave handling.
+        if me == 0 {
+            if passive && st.last_down.load(Ordering::Relaxed) == st.voted.load(Ordering::Relaxed)
+            {
+                // Previous wave completed (black) or none started: begin the
+                // next wave.
+                let w = st.last_down.load(Ordering::Relaxed) + 1;
+                st.last_down.store(w, Ordering::Relaxed);
+                st.waves.fetch_add(1, Ordering::Relaxed);
+                for c in children(me, n) {
+                    self.put_slot(ctx, armci, c, DOWN, w);
+                }
+            }
+        } else {
+            let w = self.read_slot(ctx, armci, DOWN);
+            if w > st.last_down.load(Ordering::Relaxed) {
+                st.last_down.store(w, Ordering::Relaxed);
+                st.waves.fetch_add(1, Ordering::Relaxed);
+                for c in children(me, n) {
+                    self.put_slot(ctx, armci, c, DOWN, w);
+                }
+            }
+        }
+
+        if !passive {
+            return Poll::Continue;
+        }
+
+        // Voting.
+        let w = st.last_down.load(Ordering::Relaxed);
+        if w > st.voted.load(Ordering::Relaxed) {
+            let mut color = WHITE;
+            let mut ready = true;
+            for (i, _c) in children(me, n).enumerate() {
+                let tok = self.read_slot(ctx, armci, if i == 0 { UP0 } else { UP1 });
+                if tok / 4 == w {
+                    if tok % 4 == BLACK {
+                        color = BLACK;
+                    }
+                } else {
+                    ready = false;
+                }
+            }
+            if ready {
+                if self.take_dirty(ctx, armci) || st.transferred.swap(false, Ordering::Relaxed) {
+                    color = BLACK;
+                }
+                st.voted.store(w, Ordering::Relaxed);
+                if me == 0 {
+                    if color == WHITE {
+                        // Global termination: announce down the tree.
+                        armci.with_local_mut(ctx, self.td, |b| {
+                            b[TERM..TERM + 8].copy_from_slice(&1i64.to_le_bytes())
+                        });
+                        st.term_propagated.store(true, Ordering::Relaxed);
+                        for c in children(me, n) {
+                            self.put_slot(ctx, armci, c, TERM, 1);
+                        }
+                        return Poll::Terminated;
+                    }
+                    // Black wave: the next progress call starts a re-vote.
+                } else {
+                    let p = parent(me).expect("non-root has a parent");
+                    let slot = if me == 2 * p + 1 { UP0 } else { UP1 };
+                    self.put_slot(ctx, armci, p, slot, w * 4 + color);
+                }
+            }
+        }
+        Poll::Continue
+    }
+
+    /// Record a work transfer from `victim`/to `target` and apply the dirty
+    /// marking rule of §5.3. Called by a successful thief (victim = the
+    /// rank stolen from) and by remote adds (victim = the rank given work).
+    ///
+    /// Returns whether a dirty mark was actually sent (for statistics).
+    pub(crate) fn note_transfer(&self, ctx: &Ctx, armci: &Armci, other: usize) -> bool {
+        let me = ctx.rank();
+        let st = &self.local[me];
+        st.transferred.store(true, Ordering::Relaxed);
+        let voted_current = {
+            let w = st.last_down.load(Ordering::Relaxed);
+            w > 0 && st.voted.load(Ordering::Relaxed) == w
+        };
+        let must_mark = if self.votes_before_opt {
+            // §5.3: marking is needed only if we already voted in this
+            // wave and the other process does not vote before us.
+            voted_current && !is_descendant(other, me)
+        } else {
+            true
+        };
+        if must_mark {
+            self.put_slot(ctx, armci, other, DIRTY, 1);
+        }
+        must_mark
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scioto_sim::{Machine, MachineConfig};
+
+    #[test]
+    fn tree_relations() {
+        assert_eq!(parent(0), None);
+        assert_eq!(parent(1), Some(0));
+        assert_eq!(parent(2), Some(0));
+        assert_eq!(parent(5), Some(2));
+        assert_eq!(children(0, 6).collect::<Vec<_>>(), vec![1, 2]);
+        assert_eq!(children(2, 6).collect::<Vec<_>>(), vec![5]);
+        assert_eq!(children(3, 6).count(), 0);
+    }
+
+    #[test]
+    fn descendant_relation() {
+        assert!(is_descendant(5, 0));
+        assert!(is_descendant(5, 2));
+        assert!(is_descendant(3, 1));
+        assert!(!is_descendant(3, 2));
+        assert!(!is_descendant(0, 1));
+        assert!(is_descendant(4, 4), "relation is reflexive");
+    }
+
+    #[test]
+    fn all_passive_ranks_terminate() {
+        for n in [1, 2, 3, 5, 8, 16, 33] {
+            let out = Machine::run(MachineConfig::virtual_time(n), move |ctx| {
+                let armci = Armci::init(ctx);
+                let det = WaveDetector::new(ctx, &armci, true);
+                armci.barrier(ctx);
+                let mut polls = 0u64;
+                loop {
+                    if det.progress(ctx, &armci, true) == Poll::Terminated {
+                        break;
+                    }
+                    ctx.compute(100);
+                    polls += 1;
+                    assert!(polls < 1_000_000, "termination never detected (n={n})");
+                }
+                polls
+            });
+            assert_eq!(out.results.len(), n);
+        }
+    }
+
+    #[test]
+    fn transfer_blackens_the_first_wave() {
+        // Rank 1 "transfers work" before going passive; the first wave must
+        // come back black and termination needs at least a second wave.
+        let out = Machine::run(MachineConfig::virtual_time(4), |ctx| {
+            let armci = Armci::init(ctx);
+            let det = WaveDetector::new(ctx, &armci, true);
+            armci.barrier(ctx);
+            if ctx.rank() == 1 {
+                det.note_transfer(ctx, &armci, 2);
+            }
+            loop {
+                if det.progress(ctx, &armci, true) == Poll::Terminated {
+                    break;
+                }
+                ctx.compute(100);
+            }
+            det.waves(ctx.rank())
+        });
+        assert!(
+            out.results[0] >= 2,
+            "root must run at least two waves, ran {}",
+            out.results[0]
+        );
+    }
+
+    #[test]
+    fn votes_before_optimization_elides_descendant_marks() {
+        let out = Machine::run(MachineConfig::virtual_time(8), |ctx| {
+            let armci = Armci::init(ctx);
+            let det = WaveDetector::new(ctx, &armci, true);
+            armci.barrier(ctx);
+            if ctx.rank() == 1 {
+                // Rank 3 is a descendant of rank 1: no mark needed even
+                // after voting.
+                det.local[1].last_down.store(5, Ordering::Relaxed);
+                det.local[1].voted.store(5, Ordering::Relaxed);
+                let marked_desc = det.note_transfer(ctx, &armci, 3);
+                let marked_other = det.note_transfer(ctx, &armci, 2);
+                (marked_desc, marked_other)
+            } else {
+                (false, false)
+            }
+        });
+        assert_eq!(out.results[1], (false, true));
+    }
+
+    #[test]
+    fn unvoted_thief_never_marks() {
+        let out = Machine::run(MachineConfig::virtual_time(4), |ctx| {
+            let armci = Armci::init(ctx);
+            let det = WaveDetector::new(ctx, &armci, true);
+            armci.barrier(ctx);
+            if ctx.rank() == 2 {
+                det.note_transfer(ctx, &armci, 1)
+            } else {
+                false
+            }
+        });
+        assert!(!out.results[2]);
+    }
+
+    #[test]
+    fn disabled_optimization_always_marks() {
+        let out = Machine::run(MachineConfig::virtual_time(4), |ctx| {
+            let armci = Armci::init(ctx);
+            let det = WaveDetector::new(ctx, &armci, false);
+            armci.barrier(ctx);
+            if ctx.rank() == 1 {
+                det.note_transfer(ctx, &armci, 3)
+            } else {
+                false
+            }
+        });
+        assert!(out.results[1]);
+    }
+}
+

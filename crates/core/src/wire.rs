@@ -1,0 +1,57 @@
+//! Helpers for packing task bodies ("the user views the task body as a
+//! contiguous buffer ... where they can store any arguments they wish in
+//! any format", §2.1). Fixed-width little-endian codecs keep bodies
+//! portable between ranks.
+
+/// Append a `u64` to a body buffer.
+pub fn put_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Append an `i64` to a body buffer.
+pub fn put_i64(buf: &mut Vec<u8>, v: i64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Append an `f64` to a body buffer.
+pub fn put_f64(buf: &mut Vec<u8>, v: f64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Read the `u64` at byte offset `off`.
+pub fn get_u64(buf: &[u8], off: usize) -> u64 {
+    u64::from_le_bytes(buf[off..off + 8].try_into().expect("8 bytes"))
+}
+
+/// Read the `i64` at byte offset `off`.
+pub fn get_i64(buf: &[u8], off: usize) -> i64 {
+    i64::from_le_bytes(buf[off..off + 8].try_into().expect("8 bytes"))
+}
+
+/// Read the `f64` at byte offset `off`.
+pub fn get_f64(buf: &[u8], off: usize) -> f64 {
+    f64::from_le_bytes(buf[off..off + 8].try_into().expect("8 bytes"))
+}
+
+/// Overwrite the `u64` at byte offset `off`.
+pub fn set_u64(buf: &mut [u8], off: usize, v: u64) {
+    buf[off..off + 8].copy_from_slice(&v.to_le_bytes());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pack_unpack_mixed() {
+        let mut b = Vec::new();
+        put_u64(&mut b, 42);
+        put_i64(&mut b, -7);
+        put_f64(&mut b, 1.5);
+        assert_eq!(get_u64(&b, 0), 42);
+        assert_eq!(get_i64(&b, 8), -7);
+        assert_eq!(get_f64(&b, 16), 1.5);
+        set_u64(&mut b, 0, 99);
+        assert_eq!(get_u64(&b, 0), 99);
+    }
+}

@@ -1,0 +1,246 @@
+//! Edge cases of the task-collection lifecycle: empty phases, capacity
+//! boundaries, degenerate machine sizes, body-size limits, and stats
+//! accessors.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use scioto::{
+    LbKind, QueueKind, Task, TaskCollection, TcConfig, AFFINITY_HIGH, AFFINITY_LOW,
+};
+use scioto_armci::Armci;
+use scioto_sim::{ExecMode, LatencyModel, Machine, MachineConfig};
+
+#[test]
+fn empty_phase_terminates_promptly() {
+    // No tasks at all: processing must still detect termination.
+    for ranks in [1, 2, 9] {
+        let out = Machine::run(
+            MachineConfig::virtual_time(ranks).with_latency(LatencyModel::cluster()),
+            |ctx| {
+                let armci = Armci::init(ctx);
+                let tc = TaskCollection::create(ctx, &armci, TcConfig::new(8, 2, 16));
+                let _h = tc.register(ctx, Arc::new(|_| {}));
+                let stats = tc.process(ctx);
+                stats.tasks_executed
+            },
+        );
+        assert_eq!(out.results.iter().sum::<u64>(), 0, "ranks={ranks}");
+    }
+}
+
+#[test]
+fn single_rank_with_stealing_config_works() {
+    let out = Machine::run(MachineConfig::virtual_time(1), |ctx| {
+        let armci = Armci::init(ctx);
+        let tc = TaskCollection::create(ctx, &armci, TcConfig::new(8, 2, 64));
+        let n = Arc::new(AtomicU64::new(0));
+        let clo = tc.register_clo(ctx, n.clone());
+        let h = tc.register(
+            ctx,
+            Arc::new(move |t| {
+                let c: Arc<AtomicU64> = t.tc.clo(t.ctx, clo);
+                c.fetch_add(1, Ordering::Relaxed);
+            }),
+        );
+        for _ in 0..30 {
+            tc.add(ctx, 0, AFFINITY_HIGH, &Task::new(h, vec![]));
+        }
+        tc.process(ctx);
+        n.load(Ordering::Relaxed)
+    });
+    assert_eq!(out.results[0], 30);
+}
+
+#[test]
+fn body_at_exact_max_size_is_accepted() {
+    let out = Machine::run(MachineConfig::virtual_time(2), |ctx| {
+        let armci = Armci::init(ctx);
+        let tc = TaskCollection::create(ctx, &armci, TcConfig::new(32, 2, 16));
+        let seen = Arc::new(AtomicU64::new(0));
+        let clo = tc.register_clo(ctx, seen.clone());
+        let h = tc.register(
+            ctx,
+            Arc::new(move |t| {
+                assert_eq!(t.body().len(), 32);
+                assert!(t.body().iter().all(|&b| b == 0xAB));
+                let c: Arc<AtomicU64> = t.tc.clo(t.ctx, clo);
+                c.fetch_add(1, Ordering::Relaxed);
+            }),
+        );
+        if ctx.rank() == 0 {
+            tc.add(ctx, 1, AFFINITY_HIGH, &Task::new(h, vec![0xAB; 32]));
+        }
+        tc.process(ctx);
+        seen.load(Ordering::Relaxed)
+    });
+    assert_eq!(out.results.iter().sum::<u64>(), 1);
+}
+
+#[test]
+fn oversized_body_is_rejected() {
+    let r = std::panic::catch_unwind(|| {
+        Machine::run(MachineConfig::virtual_time(1), |ctx| {
+            let armci = Armci::init(ctx);
+            let tc = TaskCollection::create(ctx, &armci, TcConfig::new(8, 2, 16));
+            let h = tc.register(ctx, Arc::new(|_| {}));
+            tc.add(ctx, 0, AFFINITY_HIGH, &Task::new(h, vec![0; 9]));
+        });
+    });
+    assert!(r.is_err(), "oversized body must panic");
+}
+
+#[test]
+fn queue_filled_to_capacity_processes_fully() {
+    // max_tasks tasks seeded into a queue of exactly that capacity.
+    let out = Machine::run(MachineConfig::virtual_time(1), |ctx| {
+        let armci = Armci::init(ctx);
+        let tc = TaskCollection::create(ctx, &armci, TcConfig::new(8, 2, 64));
+        let n = Arc::new(AtomicU64::new(0));
+        let clo = tc.register_clo(ctx, n.clone());
+        let h = tc.register(
+            ctx,
+            Arc::new(move |t| {
+                let c: Arc<AtomicU64> = t.tc.clo(t.ctx, clo);
+                c.fetch_add(1, Ordering::Relaxed);
+            }),
+        );
+        for _ in 0..63 {
+            tc.add(ctx, 0, AFFINITY_HIGH, &Task::new(h, vec![]));
+        }
+        tc.process(ctx);
+        n.load(Ordering::Relaxed)
+    });
+    assert_eq!(out.results[0], 63);
+}
+
+#[test]
+fn mixed_affinity_low_remote_seeding() {
+    // All-low-affinity tasks seeded remotely still execute exactly once.
+    let out = Machine::run(
+        MachineConfig::virtual_time(3).with_latency(LatencyModel::cluster()),
+        |ctx| {
+            let armci = Armci::init(ctx);
+            let tc = TaskCollection::create(ctx, &armci, TcConfig::new(8, 1, 128));
+            let n = Arc::new(AtomicU64::new(0));
+            let clo = tc.register_clo(ctx, n.clone());
+            let h = tc.register(
+                ctx,
+                Arc::new(move |t| {
+                    let c: Arc<AtomicU64> = t.tc.clo(t.ctx, clo);
+                    c.fetch_add(1, Ordering::Relaxed);
+                    t.ctx.compute(2_000);
+                }),
+            );
+            if ctx.rank() == 0 {
+                for i in 0..24 {
+                    tc.add(ctx, i % 3, AFFINITY_LOW, &Task::new(h, vec![]));
+                }
+            }
+            tc.process(ctx);
+            n.load(Ordering::Relaxed)
+        },
+    );
+    assert_eq!(out.results.iter().sum::<u64>(), 24);
+}
+
+#[test]
+fn disabled_ldbal_locked_queue_combination() {
+    let out = Machine::run(MachineConfig::virtual_time(2), |ctx| {
+        let armci = Armci::init(ctx);
+        let cfg = TcConfig::new(8, 2, 64)
+            .with_queue(QueueKind::Locked)
+            .with_ldbal(LbKind::Disabled);
+        let tc = TaskCollection::create(ctx, &armci, cfg);
+        let n = Arc::new(AtomicU64::new(0));
+        let clo = tc.register_clo(ctx, n.clone());
+        let h = tc.register(
+            ctx,
+            Arc::new(move |t| {
+                let c: Arc<AtomicU64> = t.tc.clo(t.ctx, clo);
+                c.fetch_add(1, Ordering::Relaxed);
+            }),
+        );
+        for _ in 0..7 {
+            tc.add(ctx, ctx.rank(), AFFINITY_HIGH, &Task::new(h, vec![]));
+        }
+        tc.process(ctx);
+        n.load(Ordering::Relaxed)
+    });
+    assert_eq!(out.results, vec![7, 7]);
+}
+
+#[test]
+fn accessors_report_configuration() {
+    Machine::run(MachineConfig::virtual_time(2), |ctx| {
+        let armci = Armci::init(ctx);
+        let tc = TaskCollection::create(ctx, &armci, TcConfig::new(24, 3, 32));
+        assert_eq!(tc.config().chunk, 3);
+        assert_eq!(tc.config().max_tasks, 32);
+        // Header (16) + body (24) rounded to 8.
+        assert_eq!(tc.slot_bytes(), 40);
+        let _ = tc.register(ctx, Arc::new(|_| {}));
+        let _ = tc.register(ctx, Arc::new(|_| {}));
+        assert_eq!(tc.registered_callbacks(ctx.rank()), 2);
+        let (h, s, t) = tc.queue_indices(ctx);
+        assert_eq!((h, s, t), (0, 0, 0));
+    });
+}
+
+#[test]
+fn creator_and_affinity_visible_to_tasks() {
+    let out = Machine::run(MachineConfig::virtual_time(2), |ctx| {
+        let armci = Armci::init(ctx);
+        let tc = TaskCollection::create(ctx, &armci, TcConfig::new(8, 2, 16));
+        let seen = Arc::new(parking_lot::Mutex::new(Vec::<(usize, i32)>::new()));
+        let clo = tc.register_clo(ctx, seen.clone());
+        let h = tc.register(
+            ctx,
+            Arc::new(move |t| {
+                let s: Arc<parking_lot::Mutex<Vec<(usize, i32)>>> = t.tc.clo(t.ctx, clo);
+                s.lock().push((t.creator(), t.affinity()));
+            }),
+        );
+        if ctx.rank() == 1 {
+            tc.add(ctx, 0, 5, &Task::new(h, vec![]));
+        }
+        tc.process(ctx);
+        let v = seen.lock().clone();
+        v
+    });
+    let all: Vec<(usize, i32)> = out.results.into_iter().flatten().collect();
+    assert_eq!(all, vec![(1, 5)]);
+}
+
+#[test]
+fn concurrent_mode_locked_queue_soak() {
+    for _ in 0..2 {
+        let cfg = MachineConfig {
+            mode: ExecMode::Concurrent,
+            ..MachineConfig::virtual_time(4)
+        };
+        let out = Machine::run(cfg, |ctx| {
+            let armci = Armci::init(ctx);
+            let tc = TaskCollection::create(
+                ctx,
+                &armci,
+                TcConfig::new(8, 3, 2048).with_queue(QueueKind::Locked),
+            );
+            let n = Arc::new(AtomicU64::new(0));
+            let clo = tc.register_clo(ctx, n.clone());
+            let h = tc.register(
+                ctx,
+                Arc::new(move |t| {
+                    let c: Arc<AtomicU64> = t.tc.clo(t.ctx, clo);
+                    c.fetch_add(1, Ordering::Relaxed);
+                }),
+            );
+            for _ in 0..100 {
+                tc.add(ctx, ctx.rank(), AFFINITY_HIGH, &Task::new(h, vec![]));
+            }
+            tc.process(ctx);
+            n.load(Ordering::Relaxed)
+        });
+        assert_eq!(out.results.iter().sum::<u64>(), 400);
+    }
+}

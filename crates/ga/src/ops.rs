@@ -1,0 +1,219 @@
+//! Whole-array collective operations (GA_Copy, GA_Scale, GA_Add, GA_Ddot,
+//! GA_Transpose, GA_Symmetrize): each rank transforms its own patch, with
+//! cross-patch data fetched one-sidedly where the shapes demand it.
+
+use scioto_sim::Ctx;
+
+use crate::array::{Ga, GaHandle};
+use crate::dist::Patch;
+
+impl Ga {
+    /// Collective copy `dst ← src` (same dimensions required).
+    pub fn copy(&self, ctx: &Ctx, src: GaHandle, dst: GaHandle) {
+        assert_eq!(self.dims(src), self.dims(dst), "GA copy shape mismatch");
+        let mine = self.distribution(dst, ctx.rank());
+        if !mine.is_empty() {
+            let data = self.get(ctx, src, mine);
+            self.put(ctx, dst, mine, &data);
+        }
+        self.sync(ctx);
+    }
+
+    /// Collective in-place scale `a ← alpha · a`.
+    pub fn scale(&self, ctx: &Ctx, a: GaHandle, alpha: f64) {
+        let mine = self.distribution(a, ctx.rank());
+        if !mine.is_empty() {
+            let mut data = self.get(ctx, a, mine);
+            for v in &mut data {
+                *v *= alpha;
+            }
+            self.put(ctx, a, mine, &data);
+            ctx.compute(mine.size() as u64);
+        }
+        self.sync(ctx);
+    }
+
+    /// Collective element-wise add `c ← alpha·a + beta·b`.
+    pub fn add(
+        &self,
+        ctx: &Ctx,
+        alpha: f64,
+        a: GaHandle,
+        beta: f64,
+        b: GaHandle,
+        c: GaHandle,
+    ) {
+        assert_eq!(self.dims(a), self.dims(c), "GA add shape mismatch");
+        assert_eq!(self.dims(b), self.dims(c), "GA add shape mismatch");
+        let mine = self.distribution(c, ctx.rank());
+        if !mine.is_empty() {
+            let va = self.get(ctx, a, mine);
+            let vb = self.get(ctx, b, mine);
+            let vc: Vec<f64> = va
+                .iter()
+                .zip(vb.iter())
+                .map(|(x, y)| alpha * x + beta * y)
+                .collect();
+            self.put(ctx, c, mine, &vc);
+            ctx.compute(mine.size() as u64 * 2);
+        }
+        self.sync(ctx);
+    }
+
+    /// Collective dot product `Σ_ij A_ij · B_ij`; every rank receives the
+    /// global value.
+    pub fn ddot(&self, ctx: &Ctx, a: GaHandle, b: GaHandle) -> f64 {
+        assert_eq!(self.dims(a), self.dims(b), "GA ddot shape mismatch");
+        let mine = self.distribution(a, ctx.rank());
+        let partial = if mine.is_empty() {
+            0.0
+        } else {
+            let va = self.get(ctx, a, mine);
+            let vb = self.get(ctx, b, mine);
+            ctx.compute(mine.size() as u64 * 2);
+            va.iter().zip(vb.iter()).map(|(x, y)| x * y).sum()
+        };
+        self.gop_sum_f64(ctx, &[partial])[0]
+    }
+
+    /// Collective transpose `dst ← srcᵀ` (`dst` must be `cols × rows`).
+    pub fn transpose_into(&self, ctx: &Ctx, src: GaHandle, dst: GaHandle) {
+        let (r, c) = self.dims(src);
+        assert_eq!(self.dims(dst), (c, r), "GA transpose shape mismatch");
+        let mine = self.distribution(dst, ctx.rank());
+        if !mine.is_empty() {
+            // The needed source patch is the transpose of my patch.
+            let want = Patch::new(mine.clo, mine.chi, mine.rlo, mine.rhi);
+            let s = self.get(ctx, src, want);
+            let (wr, wc) = (want.rows(), want.cols());
+            let mut t = vec![0.0; wr * wc];
+            for i in 0..wr {
+                for j in 0..wc {
+                    t[j * wr + i] = s[i * wc + j];
+                }
+            }
+            self.put(ctx, dst, mine, &t);
+            ctx.compute((wr * wc) as u64);
+        }
+        self.sync(ctx);
+    }
+
+    /// Collective symmetrization `a ← (a + aᵀ)/2` (square arrays).
+    pub fn symmetrize(&self, ctx: &Ctx, a: GaHandle) {
+        let (r, c) = self.dims(a);
+        assert_eq!(r, c, "GA symmetrize needs a square array");
+        let tmp = self.create(ctx, "symmetrize-tmp", r, c);
+        self.transpose_into(ctx, a, tmp);
+        self.add(ctx, 0.5, a, 0.5, tmp, a);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scioto_sim::{Machine, MachineConfig};
+
+    fn fill_index(ctx: &Ctx, ga: &Ga, h: GaHandle, rows: usize, cols: usize) {
+        if ctx.rank() == 0 {
+            let data: Vec<f64> = (0..rows * cols).map(|x| x as f64).collect();
+            ga.put(ctx, h, Patch::new(0, rows, 0, cols), &data);
+        }
+        ga.sync(ctx);
+    }
+
+    #[test]
+    fn copy_and_scale() {
+        let out = Machine::run(MachineConfig::virtual_time(4), |ctx| {
+            let ga = Ga::init(ctx);
+            let a = ga.create(ctx, "a", 6, 5);
+            let b = ga.create(ctx, "b", 6, 5);
+            fill_index(ctx, &ga, a, 6, 5);
+            ga.copy(ctx, a, b);
+            ga.scale(ctx, b, 2.0);
+            ga.get(ctx, b, Patch::new(0, 6, 0, 5))
+        });
+        let expect: Vec<f64> = (0..30).map(|x| 2.0 * x as f64).collect();
+        for r in out.results {
+            assert_eq!(r, expect);
+        }
+    }
+
+    #[test]
+    fn add_linear_combination() {
+        let out = Machine::run(MachineConfig::virtual_time(3), |ctx| {
+            let ga = Ga::init(ctx);
+            let a = ga.create(ctx, "a", 4, 4);
+            let b = ga.create(ctx, "b", 4, 4);
+            let c = ga.create(ctx, "c", 4, 4);
+            ga.fill(ctx, a, 1.0);
+            ga.fill(ctx, b, 10.0);
+            ga.sync(ctx);
+            ga.add(ctx, 2.0, a, 0.5, b, c);
+            ga.get(ctx, c, Patch::new(0, 4, 0, 4))
+        });
+        for r in out.results {
+            assert!(r.iter().all(|&v| v == 7.0));
+        }
+    }
+
+    #[test]
+    fn ddot_matches_dense() {
+        let out = Machine::run(MachineConfig::virtual_time(4), |ctx| {
+            let ga = Ga::init(ctx);
+            let a = ga.create(ctx, "a", 5, 7);
+            fill_index(ctx, &ga, a, 5, 7);
+            ga.ddot(ctx, a, a)
+        });
+        let expect: f64 = (0..35).map(|x| (x * x) as f64).sum();
+        for v in out.results {
+            assert_eq!(v, expect);
+        }
+    }
+
+    #[test]
+    fn transpose_roundtrip() {
+        let out = Machine::run(MachineConfig::virtual_time(4), |ctx| {
+            let ga = Ga::init(ctx);
+            let a = ga.create(ctx, "a", 4, 6);
+            let t = ga.create(ctx, "t", 6, 4);
+            let tt = ga.create(ctx, "tt", 4, 6);
+            fill_index(ctx, &ga, a, 4, 6);
+            ga.transpose_into(ctx, a, t);
+            ga.transpose_into(ctx, t, tt);
+            (
+                ga.get(ctx, a, Patch::new(0, 4, 0, 6)),
+                ga.get(ctx, t, Patch::new(0, 6, 0, 4)),
+                ga.get(ctx, tt, Patch::new(0, 4, 0, 6)),
+            )
+        });
+        for (a, t, tt) in out.results {
+            assert_eq!(a, tt, "double transpose must be identity");
+            for i in 0..4 {
+                for j in 0..6 {
+                    assert_eq!(a[i * 6 + j], t[j * 4 + i]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn symmetrize_produces_symmetric_matrix() {
+        let out = Machine::run(MachineConfig::virtual_time(2), |ctx| {
+            let ga = Ga::init(ctx);
+            let a = ga.create(ctx, "a", 5, 5);
+            fill_index(ctx, &ga, a, 5, 5);
+            ga.symmetrize(ctx, a);
+            ga.get(ctx, a, Patch::new(0, 5, 0, 5))
+        });
+        for m in out.results {
+            for i in 0..5 {
+                for j in 0..5 {
+                    assert_eq!(m[i * 5 + j], m[j * 5 + i]);
+                    // (a_ij + a_ji)/2 of the index fill.
+                    let expect = ((i * 5 + j) + (j * 5 + i)) as f64 / 2.0;
+                    assert_eq!(m[i * 5 + j], expect);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,113 @@
+//! Property tests of Global Arrays against a local mirror model: any
+//! sequence of put/acc operations applied both to the distributed array
+//! and to a plain dense matrix must agree on every subsequent get.
+
+use proptest::prelude::*;
+
+use scioto_ga::{Ga, Patch};
+use scioto_sim::{Machine, MachineConfig};
+
+/// A randomly generated patch inside an `rows × cols` array.
+fn arb_patch(rows: usize, cols: usize) -> impl Strategy<Value = Patch> {
+    (0..rows, 0..cols).prop_flat_map(move |(rlo, clo)| {
+        (Just(rlo), (rlo + 1)..=rows, Just(clo), (clo + 1)..=cols)
+            .prop_map(|(rlo, rhi, clo, chi)| Patch::new(rlo, rhi, clo, chi))
+    })
+}
+
+#[derive(Debug, Clone)]
+enum Op {
+    Put(Patch, f64),
+    Acc(Patch, f64, f64),
+}
+
+fn arb_op(rows: usize, cols: usize) -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (arb_patch(rows, cols), -5.0f64..5.0).prop_map(|(p, v)| Op::Put(p, v)),
+        (arb_patch(rows, cols), -2.0f64..2.0, -3.0f64..3.0)
+            .prop_map(|(p, a, v)| Op::Acc(p, a, v)),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Distributed array contents always match the dense mirror.
+    #[test]
+    fn ga_matches_dense_mirror(
+        ranks in 1usize..6,
+        ops in proptest::collection::vec(arb_op(9, 7), 1..12),
+        check in arb_patch(9, 7),
+    ) {
+        const ROWS: usize = 9;
+        const COLS: usize = 7;
+        let ops2 = ops.clone();
+        let out = Machine::run(MachineConfig::virtual_time(ranks), move |ctx| {
+            let ga = Ga::init(ctx);
+            let a = ga.create(ctx, "mirror-test", ROWS, COLS);
+            let mut mirror = vec![0.0f64; ROWS * COLS];
+            // Rank 0 applies all operations (serial application keeps the
+            // mirror well-defined); everyone then reads.
+            if ctx.rank() == 0 {
+                for op in &ops2 {
+                    match *op {
+                        Op::Put(p, v) => {
+                            let data = vec![v; p.size()];
+                            ga.put(ctx, a, p, &data);
+                            for i in p.rlo..p.rhi {
+                                for j in p.clo..p.chi {
+                                    mirror[i * COLS + j] = v;
+                                }
+                            }
+                        }
+                        Op::Acc(p, alpha, v) => {
+                            let data = vec![v; p.size()];
+                            ga.acc(ctx, a, p, alpha, &data);
+                            for i in p.rlo..p.rhi {
+                                for j in p.clo..p.chi {
+                                    mirror[i * COLS + j] += alpha * v;
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            ga.sync(ctx);
+            let got = ga.get(ctx, a, check);
+            let want: Vec<f64> = (check.rlo..check.rhi)
+                .flat_map(|i| (check.clo..check.chi).map(move |j| (i, j)))
+                .map(|(i, j)| mirror[i * COLS + j])
+                .collect();
+            (got, want, ctx.rank())
+        });
+        // Rank 0 holds the authoritative mirror; other ranks' reads must
+        // match rank 0's read (they all see the same distributed state).
+        let (got0, want0, _) = &out.results[0];
+        for (g, w) in got0.iter().zip(want0) {
+            prop_assert!((g - w).abs() < 1e-9, "{g} vs {w}");
+        }
+        for (got, _, _) in &out.results[1..] {
+            prop_assert_eq!(got, got0);
+        }
+    }
+
+    /// `read_inc` with arbitrary increments is a serial counter: the set
+    /// of observed values is exactly the prefix sums.
+    #[test]
+    fn read_inc_is_a_serial_counter(
+        ranks in 1usize..5,
+        draws in 1usize..12,
+        inc in 1i64..5,
+    ) {
+        let out = Machine::run(MachineConfig::virtual_time(ranks), move |ctx| {
+            let ga = Ga::init(ctx);
+            let c = ga.create_counter(ctx, 0);
+            ga.sync(ctx);
+            (0..draws).map(|_| ga.read_inc(ctx, c, inc)).collect::<Vec<i64>>()
+        });
+        let mut all: Vec<i64> = out.results.into_iter().flatten().collect();
+        all.sort_unstable();
+        let expect: Vec<i64> = (0..(ranks * draws) as i64).map(|k| k * inc).collect();
+        prop_assert_eq!(all, expect);
+    }
+}

@@ -1,0 +1,152 @@
+//! Synthetic molecules and s-type Gaussian basis sets.
+//!
+//! The paper's SCF runs use NWChem-lineage inputs we do not have; this
+//! module builds physically-shaped substitutes: chains/clusters of
+//! hydrogen-like atoms, each carrying a few s-type primitives with spread
+//! exponents. The exponent spread is what makes Schwarz screening
+//! effective and per-block integral cost irregular — the load-imbalance
+//! source the paper's evaluation relies on.
+
+/// One atom: nuclear charge and position (atomic units).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Atom {
+    /// Nuclear charge.
+    pub z: f64,
+    /// Position in bohr.
+    pub pos: [f64; 3],
+}
+
+/// A molecule: a set of atoms.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Molecule {
+    /// The atoms.
+    pub atoms: Vec<Atom>,
+}
+
+impl Molecule {
+    /// A zig-zag hydrogen chain of `n` atoms with 1.4 bohr spacing (the
+    /// classic H-chain test system).
+    pub fn h_chain(n: usize) -> Molecule {
+        let atoms = (0..n)
+            .map(|i| Atom {
+                z: 1.0,
+                pos: [
+                    1.4 * i as f64,
+                    if i % 2 == 0 { 0.0 } else { 0.7 },
+                    0.0,
+                ],
+            })
+            .collect();
+        Molecule { atoms }
+    }
+
+    /// Total number of electrons (must be even for closed-shell SCF).
+    pub fn n_electrons(&self) -> usize {
+        self.atoms.iter().map(|a| a.z as usize).sum()
+    }
+
+    /// Nuclear repulsion energy Σ Z_a Z_b / |R_a - R_b|.
+    pub fn nuclear_repulsion(&self) -> f64 {
+        let mut e = 0.0;
+        for (i, a) in self.atoms.iter().enumerate() {
+            for b in &self.atoms[i + 1..] {
+                e += a.z * b.z / dist(a.pos, b.pos);
+            }
+        }
+        e
+    }
+}
+
+/// Euclidean distance.
+pub fn dist(a: [f64; 3], b: [f64; 3]) -> f64 {
+    dist2(a, b).sqrt()
+}
+
+/// Squared Euclidean distance.
+pub fn dist2(a: [f64; 3], b: [f64; 3]) -> f64 {
+    (a[0] - b[0]).powi(2) + (a[1] - b[1]).powi(2) + (a[2] - b[2]).powi(2)
+}
+
+/// One normalized s-type Gaussian primitive.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SGaussian {
+    /// Exponent α.
+    pub alpha: f64,
+    /// Center in bohr.
+    pub center: [f64; 3],
+}
+
+/// A basis set: a flat list of s-type primitives (uncontracted).
+#[derive(Debug, Clone, PartialEq)]
+pub struct BasisSet {
+    /// The basis functions.
+    pub funcs: Vec<SGaussian>,
+    /// The molecule the basis belongs to.
+    pub molecule: Molecule,
+}
+
+impl BasisSet {
+    /// Build an uncontracted even-tempered basis: `per_atom` s-primitives
+    /// on each atom with exponents `base · ratio^k`.
+    pub fn even_tempered(molecule: Molecule, per_atom: usize, base: f64, ratio: f64) -> BasisSet {
+        let mut funcs = Vec::with_capacity(molecule.atoms.len() * per_atom);
+        for atom in &molecule.atoms {
+            for k in 0..per_atom {
+                funcs.push(SGaussian {
+                    alpha: base * ratio.powi(k as i32),
+                    center: atom.pos,
+                });
+            }
+        }
+        BasisSet { funcs, molecule }
+    }
+
+    /// Number of basis functions.
+    pub fn len(&self) -> usize {
+        self.funcs.len()
+    }
+
+    /// Whether the basis is empty.
+    pub fn is_empty(&self) -> bool {
+        self.funcs.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn h_chain_geometry() {
+        let m = Molecule::h_chain(4);
+        assert_eq!(m.atoms.len(), 4);
+        assert_eq!(m.n_electrons(), 4);
+        assert!((m.atoms[1].pos[0] - 1.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn nuclear_repulsion_of_h2() {
+        let m = Molecule {
+            atoms: vec![
+                Atom {
+                    z: 1.0,
+                    pos: [0.0, 0.0, 0.0],
+                },
+                Atom {
+                    z: 1.0,
+                    pos: [1.4, 0.0, 0.0],
+                },
+            ],
+        };
+        assert!((m.nuclear_repulsion() - 1.0 / 1.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn even_tempered_exponents() {
+        let b = BasisSet::even_tempered(Molecule::h_chain(2), 3, 0.5, 3.0);
+        assert_eq!(b.len(), 6);
+        assert!((b.funcs[0].alpha - 0.5).abs() < 1e-12);
+        assert!((b.funcs[1].alpha - 1.5).abs() < 1e-12);
+        assert!((b.funcs[2].alpha - 4.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,226 @@
+//! Small dense symmetric linear algebra: the cyclic Jacobi eigensolver and
+//! the matrix helpers the Roothaan step needs. Matrices are row-major
+//! `Vec<f64>` of dimension `n × n` (basis sizes here are ≤ a few hundred,
+//! where Jacobi is perfectly adequate and simple to verify).
+
+/// Row-major dense symmetric matrix operations on `&[f64]` of length n².
+pub fn mat_mul(a: &[f64], b: &[f64], n: usize) -> Vec<f64> {
+    let mut c = vec![0.0; n * n];
+    for i in 0..n {
+        for k in 0..n {
+            let aik = a[i * n + k];
+            if aik == 0.0 {
+                continue;
+            }
+            for j in 0..n {
+                c[i * n + j] += aik * b[k * n + j];
+            }
+        }
+    }
+    c
+}
+
+/// Transpose of an `n × n` matrix.
+pub fn transpose(a: &[f64], n: usize) -> Vec<f64> {
+    let mut t = vec![0.0; n * n];
+    for i in 0..n {
+        for j in 0..n {
+            t[j * n + i] = a[i * n + j];
+        }
+    }
+    t
+}
+
+/// Maximum absolute difference between two matrices.
+pub fn max_abs_diff(a: &[f64], b: &[f64]) -> f64 {
+    a.iter()
+        .zip(b.iter())
+        .map(|(x, y)| (x - y).abs())
+        .fold(0.0, f64::max)
+}
+
+/// Eigendecomposition of a symmetric matrix by the cyclic Jacobi method.
+///
+/// Returns `(eigenvalues, eigenvectors)` with eigenvalues ascending and
+/// eigenvector `k` stored in column `k` of the returned matrix
+/// (`vecs[i*n + k]` = component `i` of eigenvector `k`).
+pub fn jacobi_eigen(a: &[f64], n: usize) -> (Vec<f64>, Vec<f64>) {
+    assert_eq!(a.len(), n * n);
+    let mut m = a.to_vec();
+    let mut v = vec![0.0; n * n];
+    for i in 0..n {
+        v[i * n + i] = 1.0;
+    }
+    let max_sweeps = 100;
+    for _sweep in 0..max_sweeps {
+        // Off-diagonal Frobenius norm.
+        let mut off = 0.0;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                off += m[i * n + j] * m[i * n + j];
+            }
+        }
+        if off.sqrt() < 1e-12 {
+            break;
+        }
+        for p in 0..n {
+            for q in (p + 1)..n {
+                let apq = m[p * n + q];
+                if apq.abs() < 1e-14 {
+                    continue;
+                }
+                let app = m[p * n + p];
+                let aqq = m[q * n + q];
+                let theta = (aqq - app) / (2.0 * apq);
+                let t = theta.signum() / (theta.abs() + (theta * theta + 1.0).sqrt());
+                let c = 1.0 / (t * t + 1.0).sqrt();
+                let s = t * c;
+                // Rotate rows/columns p and q of m.
+                for k in 0..n {
+                    let mkp = m[k * n + p];
+                    let mkq = m[k * n + q];
+                    m[k * n + p] = c * mkp - s * mkq;
+                    m[k * n + q] = s * mkp + c * mkq;
+                }
+                for k in 0..n {
+                    let mpk = m[p * n + k];
+                    let mqk = m[q * n + k];
+                    m[p * n + k] = c * mpk - s * mqk;
+                    m[q * n + k] = s * mpk + c * mqk;
+                }
+                // Accumulate the rotation into the eigenvector matrix.
+                for k in 0..n {
+                    let vkp = v[k * n + p];
+                    let vkq = v[k * n + q];
+                    v[k * n + p] = c * vkp - s * vkq;
+                    v[k * n + q] = s * vkp + c * vkq;
+                }
+            }
+        }
+    }
+    // Sort eigenpairs ascending.
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&i, &j| {
+        m[i * n + i]
+            .partial_cmp(&m[j * n + j])
+            .expect("eigenvalues are finite")
+    });
+    let vals: Vec<f64> = order.iter().map(|&k| m[k * n + k]).collect();
+    let mut vecs = vec![0.0; n * n];
+    for (new_k, &old_k) in order.iter().enumerate() {
+        for i in 0..n {
+            vecs[i * n + new_k] = v[i * n + old_k];
+        }
+    }
+    (vals, vecs)
+}
+
+/// Inverse square root of a symmetric positive-definite matrix:
+/// `S^(-1/2) = V diag(1/sqrt(λ)) Vᵀ`.
+pub fn inv_sqrt_spd(s: &[f64], n: usize) -> Vec<f64> {
+    let (vals, vecs) = jacobi_eigen(s, n);
+    assert!(
+        vals.iter().all(|&l| l > 1e-10),
+        "matrix is not positive definite (min eigenvalue {:?})",
+        vals.first()
+    );
+    let mut scaled = vec![0.0; n * n]; // V * diag(1/sqrt(λ))
+    for i in 0..n {
+        for k in 0..n {
+            scaled[i * n + k] = vecs[i * n + k] / vals[k].sqrt();
+        }
+    }
+    mat_mul(&scaled, &transpose(&vecs, n), n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn approx(a: f64, b: f64, tol: f64) -> bool {
+        (a - b).abs() < tol
+    }
+
+    #[test]
+    fn eigen_of_diagonal_matrix() {
+        let a = vec![3.0, 0.0, 0.0, 0.0, 1.0, 0.0, 0.0, 0.0, 2.0];
+        let (vals, _) = jacobi_eigen(&a, 3);
+        assert!(approx(vals[0], 1.0, 1e-12));
+        assert!(approx(vals[1], 2.0, 1e-12));
+        assert!(approx(vals[2], 3.0, 1e-12));
+    }
+
+    #[test]
+    fn eigen_of_2x2_known() {
+        // [[2,1],[1,2]] has eigenvalues 1 and 3.
+        let a = vec![2.0, 1.0, 1.0, 2.0];
+        let (vals, vecs) = jacobi_eigen(&a, 2);
+        assert!(approx(vals[0], 1.0, 1e-12));
+        assert!(approx(vals[1], 3.0, 1e-12));
+        // Check A v = λ v for the second eigenvector.
+        let v = [vecs[1], vecs[2 + 1]];
+        let av = [2.0 * v[0] + v[1], v[0] + 2.0 * v[1]];
+        assert!(approx(av[0], 3.0 * v[0], 1e-10));
+        assert!(approx(av[1], 3.0 * v[1], 1e-10));
+    }
+
+    #[test]
+    fn eigenvectors_reconstruct_matrix() {
+        // Random-ish symmetric matrix: A = V Λ Vᵀ must reproduce A.
+        let n = 6;
+        let mut a = vec![0.0; n * n];
+        for i in 0..n {
+            for j in 0..=i {
+                let v = ((i * 7 + j * 13) % 11) as f64 / 3.0 - 1.0;
+                a[i * n + j] = v;
+                a[j * n + i] = v;
+            }
+        }
+        let (vals, vecs) = jacobi_eigen(&a, n);
+        let mut lam = vec![0.0; n * n];
+        for k in 0..n {
+            lam[k * n + k] = vals[k];
+        }
+        let recon = mat_mul(&mat_mul(&vecs, &lam, n), &transpose(&vecs, n), n);
+        assert!(max_abs_diff(&a, &recon) < 1e-9);
+    }
+
+    #[test]
+    fn inv_sqrt_squares_to_inverse() {
+        let n = 4;
+        // SPD matrix: S = I + 0.3 * ones-ish.
+        let mut s = vec![0.0; n * n];
+        for i in 0..n {
+            for j in 0..n {
+                s[i * n + j] = if i == j { 1.0 } else { 0.3 / (1.0 + (i as f64 - j as f64).abs()) };
+            }
+        }
+        let x = inv_sqrt_spd(&s, n);
+        // X S X should be the identity.
+        let xsx = mat_mul(&mat_mul(&x, &s, n), &x, n);
+        let mut id = vec![0.0; n * n];
+        for i in 0..n {
+            id[i * n + i] = 1.0;
+        }
+        assert!(max_abs_diff(&xsx, &id) < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "not positive definite")]
+    fn inv_sqrt_rejects_indefinite() {
+        let s = vec![1.0, 2.0, 2.0, 1.0]; // eigenvalues -1, 3
+        inv_sqrt_spd(&s, 2);
+    }
+
+    #[test]
+    fn matmul_identity() {
+        let n = 3;
+        let a: Vec<f64> = (0..9).map(|x| x as f64).collect();
+        let mut id = vec![0.0; 9];
+        for i in 0..n {
+            id[i * n + i] = 1.0;
+        }
+        assert_eq!(mat_mul(&a, &id, n), a);
+        assert_eq!(mat_mul(&id, &a, n), a);
+    }
+}

@@ -1,0 +1,114 @@
+//! A virtual-time-aware barrier.
+
+use parking_lot::Mutex;
+
+use crate::kernel::Kernel;
+
+struct BState {
+    generation: u64,
+    arrived: usize,
+    max_arrival: u64,
+    waiters: Vec<usize>,
+}
+
+/// A reusable machine-wide barrier.
+///
+/// In virtual-time mode the collective release time is
+/// `max(arrival clocks) + cost`, so a barrier correctly charges every rank
+/// for waiting on the slowest participant. One instance services all
+/// episodes of a machine; SPMD discipline (every rank calls collectives in
+/// the same order) is the caller's responsibility, as on a real machine.
+pub struct SimBarrier {
+    state: Mutex<BState>,
+}
+
+impl SimBarrier {
+    pub(crate) fn new() -> Self {
+        SimBarrier {
+            state: Mutex::new(BState {
+                generation: 0,
+                arrived: 0,
+                max_arrival: 0,
+                waiters: Vec::new(),
+            }),
+        }
+    }
+
+    pub(crate) fn wait(&self, kernel: &Kernel, rank: usize, cost: u64) {
+        kernel.yield_point(rank);
+        let n = kernel.nranks();
+        let mut st = self.state.lock();
+        let my_generation = st.generation;
+        st.max_arrival = st.max_arrival.max(kernel.now(rank));
+        st.arrived += 1;
+        if st.arrived == n {
+            let release = st.max_arrival + cost;
+            st.generation = st.generation.wrapping_add(1);
+            st.arrived = 0;
+            st.max_arrival = 0;
+            let waiters = std::mem::take(&mut st.waiters);
+            drop(st);
+            for w in waiters {
+                kernel.unblock(w, release);
+            }
+            kernel.advance_to(rank, release);
+            return;
+        }
+        st.waiters.push(rank);
+        loop {
+            drop(st);
+            kernel.block(rank);
+            st = self.state.lock();
+            if st.generation != my_generation {
+                return;
+            }
+            // Spurious wake (a token meant for another primitive): the rank
+            // must remain registered as a waiter for this generation.
+            if !st.waiters.contains(&rank) {
+                st.waiters.push(rank);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{Machine, MachineConfig};
+
+    #[test]
+    fn barrier_release_time_is_max_arrival_plus_cost() {
+        let out = Machine::run(MachineConfig::virtual_time(4), |ctx| {
+            // Rank r computes (r+1) * 100 ns before the barrier.
+            ctx.compute((ctx.rank() as u64 + 1) * 100);
+            ctx.barrier_with_cost(50);
+            ctx.now()
+        });
+        // Slowest arrival is 400 ns; everyone leaves at 450 ns.
+        for t in out.results {
+            assert_eq!(t, 450);
+        }
+    }
+
+    #[test]
+    fn barrier_is_reusable() {
+        let out = Machine::run(MachineConfig::virtual_time(3), |ctx| {
+            for _ in 0..10 {
+                ctx.compute(10);
+                ctx.barrier_with_cost(0);
+            }
+            ctx.now()
+        });
+        for t in out.results {
+            assert_eq!(t, 100);
+        }
+    }
+
+    #[test]
+    fn single_rank_barrier_is_trivial() {
+        let out = Machine::run(MachineConfig::virtual_time(1), |ctx| {
+            ctx.barrier_with_cost(7);
+            ctx.now()
+        });
+        assert_eq!(out.results, vec![7]);
+    }
+}

@@ -1,0 +1,281 @@
+//! Machine configuration: execution mode, latency model, CPU speed model.
+
+/// How the simulated machine executes rank programs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ExecMode {
+    /// Conservative discrete-event execution: exactly one rank runs at a
+    /// time, chosen as the runnable rank with the smallest virtual clock
+    /// (ties broken by rank id). Deterministic; all performance figures are
+    /// produced in this mode.
+    VirtualTime,
+    /// Free-running OS threads with real locks and wall-clock time. Used to
+    /// stress the same runtime code under genuine preemption; timing is not
+    /// modelled and runs are not deterministic.
+    Concurrent,
+}
+
+/// Communication and queue-operation costs, in nanoseconds.
+///
+/// The presets are calibrated so that the Table 1 microbenchmarks of the
+/// paper land in the reported regime (local ops well under 1 µs, remote
+/// insert ~18/27 µs, steal ~29/32 µs on cluster/XT4 respectively, with a
+/// 1 KiB task body and chunk size 10).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LatencyModel {
+    /// Software overhead of a lock-free local queue insert.
+    pub local_insert: u64,
+    /// Software overhead of a lock-free local queue get.
+    pub local_get: u64,
+    /// Base latency of a one-sided remote operation (put/get/acc/rmw).
+    pub remote_op: u64,
+    /// Additional cost per byte transferred by a remote operation.
+    pub per_byte: f64,
+    /// Cost of acquiring *or* releasing a remote lock (one one-sided RMW).
+    pub lock: u64,
+    /// Target-side service time of an atomic read-modify-write: the host
+    /// adapter processes RMWs on one word serially, so a hot location
+    /// (e.g. a shared `read_inc` counter) saturates at `1/rmw_service`
+    /// operations per second — the bottleneck behind the original
+    /// SCF/TCE load balancers in Figures 5 and 6.
+    pub rmw_service: u64,
+    /// Base latency of a two-sided message (send to matching receive).
+    pub msg: u64,
+    /// Per-hop cost of a tree barrier (a barrier costs
+    /// `2 * ceil(log2 n) * barrier_hop`).
+    pub barrier_hop: u64,
+}
+
+impl LatencyModel {
+    /// All costs zero. Useful for unit tests that only check functional
+    /// behaviour.
+    pub fn zero() -> Self {
+        LatencyModel {
+            local_insert: 0,
+            local_get: 0,
+            remote_op: 0,
+            per_byte: 0.0,
+            lock: 0,
+            rmw_service: 0,
+            msg: 0,
+            barrier_hop: 0,
+        }
+    }
+
+    /// The paper's heterogeneous InfiniBand cluster (Mellanox 10 Gb/s NICs).
+    pub fn cluster() -> Self {
+        LatencyModel {
+            local_insert: 495,
+            local_get: 361,
+            remote_op: 3_300,
+            per_byte: 1.05,
+            lock: 3_500,
+            rmw_service: 3_000,
+            msg: 4_000,
+            barrier_hop: 4_500,
+        }
+    }
+
+    /// The paper's Cray XT4 (SeaStar interconnect; slower per-op software
+    /// path, comparable network).
+    pub fn xt4() -> Self {
+        LatencyModel {
+            local_insert: 933,
+            local_get: 691,
+            remote_op: 5_600,
+            per_byte: 0.55,
+            lock: 5_200,
+            rmw_service: 2_000,
+            msg: 5_000,
+            barrier_hop: 5_000,
+        }
+    }
+
+    /// Cost of moving `bytes` with one one-sided operation.
+    pub fn xfer(&self, bytes: usize) -> u64 {
+        self.remote_op + (self.per_byte * bytes as f64) as u64
+    }
+
+    /// Modelled cost of an `n`-rank tree barrier (up-wave plus down-wave).
+    pub fn barrier_cost(&self, n: usize) -> u64 {
+        2 * ceil_log2(n) * self.barrier_hop
+    }
+}
+
+impl Default for LatencyModel {
+    fn default() -> Self {
+        LatencyModel::cluster()
+    }
+}
+
+/// `ceil(log2(n))` for `n >= 1`.
+pub fn ceil_log2(n: usize) -> u64 {
+    debug_assert!(n >= 1);
+    (usize::BITS - n.saturating_sub(1).leading_zeros()) as u64
+}
+
+/// Per-rank CPU cost multipliers applied to [`crate::Ctx::compute`] charges.
+///
+/// A factor of 1.0 is the reference CPU; larger factors are *slower* CPUs.
+/// The paper measures UTS node-processing costs of 0.3158 µs (Opteron),
+/// 0.4753 µs (Xeon) and 0.5681 µs (XT4 Opteron 285); [`SpeedModel::hetero_cluster`]
+/// reproduces the cluster's 50% Opteron/Xeon split.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SpeedModel {
+    factors: Vec<f64>,
+}
+
+impl SpeedModel {
+    /// All ranks run at the reference speed.
+    pub fn uniform(n: usize) -> Self {
+        SpeedModel {
+            factors: vec![1.0; n],
+        }
+    }
+
+    /// Explicit per-rank factors.
+    pub fn from_factors(factors: Vec<f64>) -> Self {
+        assert!(
+            factors.iter().all(|f| *f > 0.0),
+            "speed factors must be positive"
+        );
+        SpeedModel { factors }
+    }
+
+    /// The paper's heterogeneous cluster: even ranks are Opterons (factor
+    /// 1.0), odd ranks are Xeons (factor 0.4753/0.3158 ≈ 1.505 — ~50% slower
+    /// on the UTS SHA-1 kernel). Interleaving even/odd reflects the paper's
+    /// "half Opteron and half Xeon" runs at every machine size.
+    pub fn hetero_cluster(n: usize) -> Self {
+        let xeon = 0.4753 / 0.3158;
+        SpeedModel {
+            factors: (0..n).map(|r| if r % 2 == 0 { 1.0 } else { xeon }).collect(),
+        }
+    }
+
+    /// Cost multiplier for `rank`.
+    pub fn factor(&self, rank: usize) -> f64 {
+        self.factors[rank]
+    }
+
+    /// Number of ranks this model covers.
+    pub fn len(&self) -> usize {
+        self.factors.len()
+    }
+
+    /// True when the model covers zero ranks.
+    pub fn is_empty(&self) -> bool {
+        self.factors.is_empty()
+    }
+}
+
+/// Full configuration for [`crate::Machine::run`].
+#[derive(Clone, Debug)]
+pub struct MachineConfig {
+    /// Number of simulated processes.
+    pub ranks: usize,
+    /// Execution mode (virtual time vs. real threads).
+    pub mode: ExecMode,
+    /// Communication cost model (consulted by the comm layers).
+    pub latency: LatencyModel,
+    /// Per-rank CPU speed factors.
+    pub speed: SpeedModel,
+    /// Seed for the per-rank deterministic RNGs ([`crate::Ctx::rng`]).
+    pub seed: u64,
+    /// Stack size for rank threads. 512-rank simulations need modest stacks.
+    pub stack_size: usize,
+}
+
+impl MachineConfig {
+    /// Deterministic virtual-time machine with `ranks` processes, zero-cost
+    /// latency model and uniform CPUs — the baseline for functional tests.
+    pub fn virtual_time(ranks: usize) -> Self {
+        MachineConfig {
+            ranks,
+            mode: ExecMode::VirtualTime,
+            latency: LatencyModel::zero(),
+            speed: SpeedModel::uniform(ranks),
+            seed: 0x005C_1070,
+            stack_size: 1 << 20,
+        }
+    }
+
+    /// Free-running threaded machine with `ranks` processes.
+    pub fn concurrent(ranks: usize) -> Self {
+        MachineConfig {
+            mode: ExecMode::Concurrent,
+            ..MachineConfig::virtual_time(ranks)
+        }
+    }
+
+    /// Replace the latency model.
+    pub fn with_latency(mut self, latency: LatencyModel) -> Self {
+        self.latency = latency;
+        self
+    }
+
+    /// Replace the speed model (must cover `ranks` ranks).
+    pub fn with_speed(mut self, speed: SpeedModel) -> Self {
+        assert_eq!(speed.len(), self.ranks, "speed model must cover all ranks");
+        self.speed = speed;
+        self
+    }
+
+    /// Replace the RNG seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ceil_log2_values() {
+        assert_eq!(ceil_log2(1), 0);
+        assert_eq!(ceil_log2(2), 1);
+        assert_eq!(ceil_log2(3), 2);
+        assert_eq!(ceil_log2(4), 2);
+        assert_eq!(ceil_log2(5), 3);
+        assert_eq!(ceil_log2(64), 6);
+        assert_eq!(ceil_log2(65), 7);
+        assert_eq!(ceil_log2(512), 9);
+    }
+
+    #[test]
+    fn xfer_includes_per_byte_cost() {
+        let m = LatencyModel {
+            remote_op: 100,
+            per_byte: 2.0,
+            ..LatencyModel::zero()
+        };
+        assert_eq!(m.xfer(0), 100);
+        assert_eq!(m.xfer(10), 120);
+    }
+
+    #[test]
+    fn hetero_cluster_alternates() {
+        let s = SpeedModel::hetero_cluster(4);
+        assert_eq!(s.factor(0), 1.0);
+        assert!(s.factor(1) > 1.4 && s.factor(1) < 1.6);
+        assert_eq!(s.factor(2), 1.0);
+    }
+
+    #[test]
+    fn barrier_cost_scales_logarithmically() {
+        let m = LatencyModel {
+            barrier_hop: 10,
+            ..LatencyModel::zero()
+        };
+        assert_eq!(m.barrier_cost(1), 0);
+        assert_eq!(m.barrier_cost(2), 20);
+        assert_eq!(m.barrier_cost(64), 120);
+    }
+
+    #[test]
+    #[should_panic(expected = "speed factors must be positive")]
+    fn rejects_nonpositive_speed() {
+        SpeedModel::from_factors(vec![1.0, 0.0]);
+    }
+}

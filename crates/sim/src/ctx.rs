@@ -1,0 +1,167 @@
+//! `Ctx` — the per-rank handle passed to every SPMD rank program.
+
+use std::any::Any;
+use std::cell::RefCell;
+use std::sync::Arc;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::config::{ExecMode, LatencyModel};
+use crate::kernel::Kernel;
+use crate::machine::Shared;
+
+/// The per-rank execution context.
+///
+/// A `Ctx` is created by [`crate::Machine::run`] for each simulated process
+/// and passed by reference to the rank program. It provides rank identity,
+/// virtual-time accounting, scheduling points, collectives and a
+/// deterministic per-rank RNG. Communication layers (`scioto-armci`,
+/// `scioto-mpi`, ...) are built on top of these primitives.
+pub struct Ctx {
+    rank: usize,
+    nranks: usize,
+    kernel: Arc<Kernel>,
+    shared: Arc<Shared>,
+    rng: RefCell<StdRng>,
+}
+
+impl Ctx {
+    pub(crate) fn new(rank: usize, kernel: Arc<Kernel>, shared: Arc<Shared>, seed: u64) -> Self {
+        let nranks = kernel.nranks();
+        Ctx {
+            rank,
+            nranks,
+            kernel,
+            shared,
+            rng: RefCell::new(StdRng::seed_from_u64(
+                seed ^ (rank as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+            )),
+        }
+    }
+
+    /// This process's rank, `0 <= rank < nranks`.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Number of processes in the machine.
+    pub fn nranks(&self) -> usize {
+        self.nranks
+    }
+
+    /// Execution mode of the machine.
+    pub fn mode(&self) -> ExecMode {
+        self.kernel.mode()
+    }
+
+    /// Latency model of the machine, consulted by communication layers.
+    pub fn latency(&self) -> &LatencyModel {
+        &self.shared.latency
+    }
+
+    /// Current time in nanoseconds: the rank's virtual clock in
+    /// [`ExecMode::VirtualTime`], wall time since machine start otherwise.
+    pub fn now(&self) -> u64 {
+        self.kernel.now(self.rank)
+    }
+
+    /// Charge `ns` nanoseconds of local CPU work, scaled by this rank's
+    /// speed factor. Rank-private: no scheduling point.
+    pub fn compute(&self, ns: u64) {
+        self.kernel.charge_cpu(self.rank, ns);
+    }
+
+    /// Charge `ns` nanoseconds of CPU work (alias of [`Ctx::compute`]).
+    pub fn charge_cpu(&self, ns: u64) {
+        self.kernel.charge_cpu(self.rank, ns);
+    }
+
+    /// Charge `ns` nanoseconds of network time (not scaled by CPU speed).
+    pub fn charge_net(&self, ns: u64) {
+        self.kernel.charge_net(self.rank, ns);
+    }
+
+    /// Advance this rank's clock to at least `t` nanoseconds.
+    pub fn advance_to(&self, t: u64) {
+        self.kernel.advance_to(self.rank, t);
+    }
+
+    /// A scheduling point: in virtual-time mode, suspends until this rank is
+    /// the minimum-clock runnable rank. Must precede every operation that
+    /// reads or writes state shared with other ranks.
+    pub fn yield_point(&self) {
+        self.kernel.yield_point(self.rank);
+    }
+
+    /// Park until some other rank wakes this one (used by blocking
+    /// primitives in this crate; exposed for building new ones). Always use
+    /// inside a re-check loop: wakeups may be spurious.
+    pub fn block(&self) {
+        self.kernel.block(self.rank);
+    }
+
+    /// Wake `target`, resuming it (in virtual time) no earlier than
+    /// `resume_at`.
+    pub fn unblock(&self, target: usize, resume_at: u64) {
+        self.kernel.unblock(target, resume_at);
+    }
+
+    /// Deterministic per-rank random number generator.
+    pub fn rng(&self) -> std::cell::RefMut<'_, StdRng> {
+        self.rng.borrow_mut()
+    }
+
+    /// Machine-wide barrier with the latency model's default cost
+    /// (`2·log2(n)` tree hops).
+    pub fn barrier(&self) {
+        let cost = self.shared.latency.barrier_cost(self.nranks);
+        self.barrier_with_cost(cost);
+    }
+
+    /// Machine-wide barrier charging `cost` ns between the last arrival and
+    /// the collective release. All ranks of one episode must pass the same
+    /// cost.
+    pub fn barrier_with_cost(&self, cost: u64) {
+        self.shared.barrier.wait(&self.kernel, self.rank, cost);
+    }
+
+    /// Collectively create one shared object: rank 0 runs `make`, every rank
+    /// receives an `Arc` to the same instance. All ranks must call
+    /// `collective` in the same order with the same `T`.
+    pub fn collective<T: Send + Sync + 'static>(&self, make: impl FnOnce() -> T) -> Arc<T> {
+        if self.rank == 0 {
+            let obj: Arc<dyn Any + Send + Sync> = Arc::new(make());
+            *self.shared.slot.lock() = Some(obj);
+        }
+        self.barrier_with_cost(self.shared.latency.barrier_cost(self.nranks));
+        let arc = self
+            .shared
+            .slot
+            .lock()
+            .as_ref()
+            .expect("collective slot empty: collectives called in divergent order")
+            .clone();
+        let typed = arc
+            .downcast::<T>()
+            .expect("collective type mismatch: collectives called in divergent order");
+        // Second barrier: rank 0 must not start the next collective (and
+        // overwrite the slot) before everyone has read this one.
+        self.barrier_with_cost(0);
+        typed
+    }
+
+    pub(crate) fn kernel(&self) -> &Arc<Kernel> {
+        &self.kernel
+    }
+}
+
+impl std::fmt::Debug for Ctx {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Ctx")
+            .field("rank", &self.rank)
+            .field("nranks", &self.nranks)
+            .field("mode", &self.kernel.mode())
+            .finish()
+    }
+}

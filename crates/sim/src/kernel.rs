@@ -1,0 +1,412 @@
+//! The scheduling kernel: conservative min-clock dispatch in virtual-time
+//! mode, token-based blocking in concurrent mode, poison propagation on
+//! rank panics, and deadlock detection.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::Instant;
+
+use parking_lot::{Condvar, Mutex};
+
+use crate::config::{ExecMode, SpeedModel};
+use crate::report::EventCounters;
+
+/// Scheduling state of one rank.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum Status {
+    /// Currently executing (in virtual-time mode at most one rank is
+    /// `Running` at any instant).
+    Running,
+    /// Eligible to be dispatched.
+    Runnable,
+    /// Parked on some shared-state condition; resumed by `unblock`.
+    Blocked,
+    /// Rank program returned (or panicked).
+    Done,
+}
+
+struct Sched {
+    status: Vec<Status>,
+    /// Wake hints: an `unblock` that raced ahead of the corresponding
+    /// `block` (possible in concurrent mode, and when a rank is notified
+    /// while runnable) is stored here and consumed by the next `block`.
+    wake_token: Vec<bool>,
+    /// Earliest virtual time at which a pending wake may resume the rank.
+    pending_resume: Vec<u64>,
+    done: usize,
+}
+
+/// The shared scheduling kernel of one simulated machine.
+pub(crate) struct Kernel {
+    n: usize,
+    mode: ExecMode,
+    sched: Mutex<Sched>,
+    cvs: Vec<Condvar>,
+    clocks: Vec<AtomicU64>,
+    speed: Vec<f64>,
+    start: Instant,
+    poisoned: AtomicBool,
+    pub(crate) events: EventCounters,
+}
+
+impl Kernel {
+    pub(crate) fn new(n: usize, mode: ExecMode, speed: &SpeedModel) -> Self {
+        assert!(n >= 1, "a machine needs at least one rank");
+        assert_eq!(speed.len(), n, "speed model must cover all ranks");
+        let mut status = vec![Status::Runnable; n];
+        if mode == ExecMode::VirtualTime {
+            // Rank 0 holds the baton initially; in concurrent mode every
+            // rank free-runs from the start.
+            status[0] = Status::Running;
+        } else {
+            status.iter_mut().for_each(|s| *s = Status::Running);
+        }
+        Kernel {
+            n,
+            mode,
+            sched: Mutex::new(Sched {
+                status,
+                wake_token: vec![false; n],
+                pending_resume: vec![0; n],
+                done: 0,
+            }),
+            cvs: (0..n).map(|_| Condvar::new()).collect(),
+            clocks: (0..n).map(|_| AtomicU64::new(0)).collect(),
+            speed: (0..n).map(|r| speed.factor(r)).collect(),
+            start: Instant::now(),
+            poisoned: AtomicBool::new(false),
+            events: EventCounters::default(),
+        }
+    }
+
+    pub(crate) fn nranks(&self) -> usize {
+        self.n
+    }
+
+    pub(crate) fn mode(&self) -> ExecMode {
+        self.mode
+    }
+
+    /// Current time of `rank` in nanoseconds: virtual clock in
+    /// `VirtualTime` mode, wall time since machine start otherwise.
+    pub(crate) fn now(&self, rank: usize) -> u64 {
+        match self.mode {
+            ExecMode::VirtualTime => self.clocks[rank].load(Ordering::Relaxed),
+            ExecMode::Concurrent => self.start.elapsed().as_nanos() as u64,
+        }
+    }
+
+    /// Final (or current) virtual clock of `rank`, regardless of mode.
+    pub(crate) fn clock(&self, rank: usize) -> u64 {
+        self.clocks[rank].load(Ordering::Relaxed)
+    }
+
+    /// Advance `rank`'s clock by `ns` of *CPU* time, scaled by its speed
+    /// factor. No scheduling point: CPU work is rank-private.
+    pub(crate) fn charge_cpu(&self, rank: usize, ns: u64) {
+        if self.mode == ExecMode::VirtualTime && ns > 0 {
+            let scaled = (ns as f64 * self.speed[rank]).round() as u64;
+            self.clocks[rank].fetch_add(scaled, Ordering::Relaxed);
+        }
+    }
+
+    /// Advance `rank`'s clock by `ns` of *network* time (unscaled).
+    pub(crate) fn charge_net(&self, rank: usize, ns: u64) {
+        if self.mode == ExecMode::VirtualTime && ns > 0 {
+            self.clocks[rank].fetch_add(ns, Ordering::Relaxed);
+        }
+    }
+
+    /// Wait at thread start until the scheduler hands this rank the baton.
+    pub(crate) fn wait_for_start(&self, rank: usize) {
+        if self.mode == ExecMode::Concurrent {
+            return;
+        }
+        let mut s = self.sched.lock();
+        while s.status[rank] != Status::Running {
+            self.check_poison();
+            self.cvs[rank].wait(&mut s);
+        }
+    }
+
+    /// A scheduling point before a shared-state operation. In virtual-time
+    /// mode the caller is suspended until it is the minimum-clock runnable
+    /// rank; on return it holds the baton and may manipulate shared state.
+    pub(crate) fn yield_point(&self, rank: usize) {
+        if self.mode == ExecMode::Concurrent {
+            // On oversubscribed hosts, give other rank threads a chance to
+            // make progress between shared-state operations.
+            std::thread::yield_now();
+            return;
+        }
+        self.events.yields.fetch_add(1, Ordering::Relaxed);
+        let mut s = self.sched.lock();
+        debug_assert_eq!(s.status[rank], Status::Running);
+        s.status[rank] = Status::Runnable;
+        let next = self.pick_next(&s);
+        match next {
+            Some(next) if next == rank => {
+                s.status[rank] = Status::Running;
+            }
+            Some(next) => {
+                s.status[next] = Status::Running;
+                self.cvs[next].notify_one();
+                self.wait_until_running(rank, &mut s);
+            }
+            None => {
+                // Everybody else is blocked or done; we are the only
+                // runnable rank.
+                s.status[rank] = Status::Running;
+            }
+        }
+    }
+
+    /// Park until another rank calls [`Kernel::unblock`] for us (or a wake
+    /// token is already pending). Callers use this inside a
+    /// check-condition/block loop, so spurious wakeups are harmless.
+    pub(crate) fn block(&self, rank: usize) {
+        self.events.blocks.fetch_add(1, Ordering::Relaxed);
+        let mut s = self.sched.lock();
+        if s.wake_token[rank] {
+            s.wake_token[rank] = false;
+            let resume = std::mem::take(&mut s.pending_resume[rank]);
+            drop(s);
+            self.advance_to(rank, resume);
+            return;
+        }
+        match self.mode {
+            ExecMode::VirtualTime => {
+                debug_assert_eq!(s.status[rank], Status::Running);
+                s.status[rank] = Status::Blocked;
+                self.dispatch_or_deadlock(&mut s, rank);
+                self.wait_until_running(rank, &mut s);
+            }
+            ExecMode::Concurrent => {
+                s.status[rank] = Status::Blocked;
+                while !s.wake_token[rank] {
+                    self.check_poison();
+                    self.cvs[rank].wait(&mut s);
+                }
+                s.wake_token[rank] = false;
+                s.status[rank] = Status::Running;
+            }
+        }
+    }
+
+    /// Make `target` eligible to run again, no earlier (in virtual time)
+    /// than `resume_at`. Safe to call for a rank that is not currently
+    /// blocked: the wake is remembered as a token.
+    pub(crate) fn unblock(&self, target: usize, resume_at: u64) {
+        self.events.unblocks.fetch_add(1, Ordering::Relaxed);
+        let mut s = self.sched.lock();
+        match s.status[target] {
+            Status::Blocked => {
+                if self.mode == ExecMode::VirtualTime {
+                    let c = self.clocks[target].load(Ordering::Relaxed);
+                    if resume_at > c {
+                        self.clocks[target].store(resume_at, Ordering::Relaxed);
+                    }
+                    s.status[target] = Status::Runnable;
+                    // The current runner keeps the baton; the wakee will be
+                    // dispatched at the next scheduling point.
+                } else {
+                    s.wake_token[target] = true;
+                    self.cvs[target].notify_one();
+                }
+            }
+            Status::Done => {}
+            _ => {
+                s.wake_token[target] = true;
+                s.pending_resume[target] = s.pending_resume[target].max(resume_at);
+                if self.mode == ExecMode::Concurrent {
+                    self.cvs[target].notify_one();
+                }
+            }
+        }
+    }
+
+    /// Called when a rank's program returns. Hands the baton onward.
+    pub(crate) fn finish(&self, rank: usize) {
+        let mut s = self.sched.lock();
+        s.status[rank] = Status::Done;
+        s.done += 1;
+        if self.is_poisoned() {
+            // Unwinding ranks must not trip the deadlock detector.
+            for cv in &self.cvs {
+                cv.notify_all();
+            }
+            return;
+        }
+        if self.mode == ExecMode::VirtualTime && s.done < self.n {
+            self.dispatch_or_deadlock(&mut s, rank);
+        }
+    }
+
+    /// Wall-clock nanoseconds since the machine was constructed.
+    pub(crate) fn wall_ns(&self) -> u64 {
+        self.start.elapsed().as_nanos() as u64
+    }
+
+    /// Mark the machine poisoned (a rank panicked) and wake everyone so
+    /// they can observe the poison and unwind.
+    pub(crate) fn poison(&self) {
+        self.poisoned.store(true, Ordering::SeqCst);
+        let _s = self.sched.lock();
+        for cv in &self.cvs {
+            cv.notify_all();
+        }
+    }
+
+    pub(crate) fn is_poisoned(&self) -> bool {
+        self.poisoned.load(Ordering::SeqCst)
+    }
+
+    fn check_poison(&self) {
+        if self.is_poisoned() {
+            panic!("sim machine poisoned: another rank panicked or deadlocked");
+        }
+    }
+
+    /// Move `rank`'s clock forward to at least `t`.
+    pub(crate) fn advance_to(&self, rank: usize, t: u64) {
+        if self.mode == ExecMode::VirtualTime {
+            let c = self.clocks[rank].load(Ordering::Relaxed);
+            if t > c {
+                self.clocks[rank].store(t, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Minimum-clock runnable rank, ties broken by rank id.
+    fn pick_next(&self, s: &Sched) -> Option<usize> {
+        let mut best: Option<(u64, usize)> = None;
+        for (r, st) in s.status.iter().enumerate() {
+            if *st == Status::Runnable {
+                let c = self.clocks[r].load(Ordering::Relaxed);
+                if best.is_none_or(|(bc, _)| c < bc) {
+                    best = Some((c, r));
+                }
+            }
+        }
+        best.map(|(_, r)| r)
+    }
+
+    fn dispatch_or_deadlock(&self, s: &mut Sched, from: usize) {
+        if let Some(next) = self.pick_next(s) {
+            s.status[next] = Status::Running;
+            self.cvs[next].notify_one();
+        } else if s.done < self.n {
+            let diag = self.deadlock_diagnostics(s);
+            self.poisoned.store(true, Ordering::SeqCst);
+            for cv in &self.cvs {
+                cv.notify_all();
+            }
+            panic!(
+                "sim deadlock: no runnable rank (detected by rank {from}); \
+                 per-rank state:\n{diag}"
+            );
+        }
+    }
+
+    fn deadlock_diagnostics(&self, s: &Sched) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for r in 0..self.n {
+            let _ = writeln!(
+                out,
+                "  rank {:4}: {:?} @ {} ns",
+                r,
+                s.status[r],
+                self.clocks[r].load(Ordering::Relaxed)
+            );
+        }
+        out
+    }
+
+    fn wait_until_running(&self, rank: usize, s: &mut parking_lot::MutexGuard<'_, Sched>) {
+        while s.status[rank] != Status::Running {
+            self.check_poison();
+            self.cvs[rank].wait(s);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    fn vt_kernel(n: usize) -> Arc<Kernel> {
+        Arc::new(Kernel::new(n, ExecMode::VirtualTime, &SpeedModel::uniform(n)))
+    }
+
+    #[test]
+    fn cpu_charge_is_scaled_by_speed_factor() {
+        let k = Kernel::new(
+            2,
+            ExecMode::VirtualTime,
+            &SpeedModel::from_factors(vec![1.0, 2.0]),
+        );
+        k.charge_cpu(0, 100);
+        k.charge_cpu(1, 100);
+        assert_eq!(k.clock(0), 100);
+        assert_eq!(k.clock(1), 200);
+    }
+
+    #[test]
+    fn net_charge_is_unscaled() {
+        let k = Kernel::new(
+            1,
+            ExecMode::VirtualTime,
+            &SpeedModel::from_factors(vec![3.0]),
+        );
+        k.charge_net(0, 100);
+        assert_eq!(k.clock(0), 100);
+    }
+
+    #[test]
+    fn wake_token_survives_early_unblock() {
+        // A single-rank machine: unblock before block must not deadlock.
+        let k = vt_kernel(1);
+        k.unblock(0, 42);
+        k.block(0); // consumes the token instead of parking
+        assert_eq!(k.clock(0), 42);
+    }
+
+    #[test]
+    fn advance_to_is_monotonic() {
+        let k = vt_kernel(1);
+        k.advance_to(0, 100);
+        k.advance_to(0, 50);
+        assert_eq!(k.clock(0), 100);
+    }
+
+    #[test]
+    fn two_ranks_alternate_by_clock() {
+        // Exercise baton passing: rank 0 runs work in slices, yielding each
+        // time; rank 1 does the same with bigger slices. After both finish,
+        // both clocks hold their total work.
+        let k = vt_kernel(2);
+        let k0 = k.clone();
+        let k1 = k.clone();
+        let t1 = std::thread::spawn(move || {
+            k0.wait_for_start(0);
+            for _ in 0..10 {
+                k0.charge_cpu(0, 10);
+                k0.yield_point(0);
+            }
+            k0.finish(0);
+        });
+        let t2 = std::thread::spawn(move || {
+            k1.wait_for_start(1);
+            for _ in 0..5 {
+                k1.charge_cpu(1, 30);
+                k1.yield_point(1);
+            }
+            k1.finish(1);
+        });
+        t1.join().unwrap();
+        t2.join().unwrap();
+        assert_eq!(k.clock(0), 100);
+        assert_eq!(k.clock(1), 150);
+    }
+}

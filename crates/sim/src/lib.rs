@@ -1,0 +1,52 @@
+//! # scioto-sim — a deterministic virtual-time distributed-machine simulator
+//!
+//! The Scioto paper (Dinan et al., ICPP 2008) evaluates its runtime on a
+//! 64-node heterogeneous InfiniBand cluster and a Cray XT4. This crate is the
+//! substitute substrate: it executes SPMD rank programs (one OS thread per
+//! simulated process) under a **conservative discrete-event scheduler** that
+//! always resumes the runnable rank with the smallest virtual clock.
+//!
+//! Rules of the model:
+//!
+//! * Purely **rank-private** work advances the local virtual clock via
+//!   [`Ctx::compute`] / [`Ctx::charge_cpu`] without a scheduling point.
+//! * Any operation that touches **shared state** (locks, mailboxes,
+//!   barriers, remotely accessible memory) passes through a *yield point*
+//!   ([`Ctx::yield_point`]), so shared operations execute in global
+//!   virtual-time order and runs are bit-for-bit deterministic.
+//! * Communication costs come from a [`LatencyModel`]; per-rank CPU speed
+//!   differences (the paper's Opteron/Xeon mix) come from a [`SpeedModel`].
+//!
+//! The same API also runs in [`ExecMode::Concurrent`] — free-running threads,
+//! real locks, wall-clock time — which the test suites use to stress the
+//! identical runtime code under genuine preemption.
+//!
+//! ```
+//! use scioto_sim::{Machine, MachineConfig};
+//!
+//! let cfg = MachineConfig::virtual_time(4);
+//! let out = Machine::run(cfg, |ctx| {
+//!     ctx.compute(1_000); // 1 µs of local work
+//!     ctx.barrier();
+//!     ctx.rank()
+//! });
+//! assert_eq!(out.results, vec![0, 1, 2, 3]);
+//! assert!(out.report.makespan_ns >= 1_000);
+//! ```
+
+mod barrier;
+mod config;
+mod ctx;
+mod kernel;
+mod machine;
+mod mailbox;
+mod report;
+mod vlock;
+
+pub use barrier::SimBarrier;
+pub use config::{ExecMode, LatencyModel, MachineConfig, SpeedModel};
+pub use ctx::Ctx;
+pub use machine::{Machine, RunOutput};
+pub use mailbox::{MailboxRouter, Msg, MsgFilter};
+pub use report::{EventCounters, Report};
+pub use vlock::VLock;

@@ -1,0 +1,262 @@
+//! Machine construction and the SPMD run loop.
+
+use std::any::Any;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::barrier::SimBarrier;
+use crate::config::{ExecMode, LatencyModel, MachineConfig};
+use crate::ctx::Ctx;
+use crate::kernel::Kernel;
+use crate::report::Report;
+
+/// State shared by all ranks of one machine (beyond the kernel).
+pub(crate) struct Shared {
+    pub(crate) latency: LatencyModel,
+    pub(crate) slot: Mutex<Option<Arc<dyn Any + Send + Sync>>>,
+    pub(crate) barrier: SimBarrier,
+}
+
+/// Result of a completed SPMD run.
+#[derive(Debug)]
+pub struct RunOutput<R> {
+    /// Per-rank return values, indexed by rank.
+    pub results: Vec<R>,
+    /// Timing and event summary.
+    pub report: Report,
+}
+
+/// The simulated machine. Stateless: [`Machine::run`] builds everything,
+/// executes the rank program on every rank, and tears it down.
+pub struct Machine;
+
+impl Machine {
+    /// Run `f` as an SPMD program on `cfg.ranks` simulated processes and
+    /// collect each rank's return value.
+    ///
+    /// If any rank panics, the machine is poisoned (all other ranks unwind)
+    /// and the first panic is propagated to the caller.
+    pub fn run<R, F>(cfg: MachineConfig, f: F) -> RunOutput<R>
+    where
+        R: Send,
+        F: Fn(&Ctx) -> R + Send + Sync,
+    {
+        let n = cfg.ranks;
+        assert!(n >= 1, "a machine needs at least one rank");
+        let kernel = Arc::new(Kernel::new(n, cfg.mode, &cfg.speed));
+        let shared = Arc::new(Shared {
+            latency: cfg.latency,
+            slot: Mutex::new(None),
+            barrier: SimBarrier::new(),
+        });
+        let results: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+        let panic_payload: Mutex<Option<Box<dyn Any + Send>>> = Mutex::new(None);
+
+        std::thread::scope(|scope| {
+            for rank in 0..n {
+                let kernel = Arc::clone(&kernel);
+                let shared = Arc::clone(&shared);
+                let f = &f;
+                let results = &results;
+                let panic_payload = &panic_payload;
+                let seed = cfg.seed;
+                std::thread::Builder::new()
+                    .name(format!("rank{rank}"))
+                    .stack_size(cfg.stack_size)
+                    .spawn_scoped(scope, move || {
+                        let ctx = Ctx::new(rank, Arc::clone(&kernel), shared, seed);
+                        match catch_unwind(AssertUnwindSafe(|| {
+                            kernel.wait_for_start(rank);
+                            f(&ctx)
+                        })) {
+                            Ok(v) => {
+                                *results[rank].lock() = Some(v);
+                                kernel.finish(rank);
+                            }
+                            Err(payload) => {
+                                store_payload(panic_payload, payload);
+                                kernel.poison();
+                                kernel.finish(rank);
+                            }
+                        }
+                    })
+                    .expect("failed to spawn rank thread");
+            }
+        });
+
+        if let Some(p) = panic_payload.lock().take() {
+            resume_unwind(p);
+        }
+
+        let rank_clock_ns: Vec<u64> = (0..n).map(|r| kernel.clock(r)).collect();
+        let makespan_ns = match cfg.mode {
+            ExecMode::VirtualTime => rank_clock_ns.iter().copied().max().unwrap_or(0),
+            ExecMode::Concurrent => kernel.wall_ns(),
+        };
+        let report = Report {
+            mode: cfg.mode,
+            makespan_ns,
+            rank_clock_ns,
+            events: kernel.events.snapshot(),
+        };
+        let results = results
+            .into_iter()
+            .map(|m| m.into_inner().expect("rank produced no result"))
+            .collect();
+        RunOutput { results, report }
+    }
+}
+
+/// Keep the most informative panic: a first "real" panic wins over the
+/// poison-propagation panics it triggers in other ranks.
+fn store_payload(slot: &Mutex<Option<Box<dyn Any + Send>>>, payload: Box<dyn Any + Send>) {
+    let mut guard = slot.lock();
+    let is_propagation = payload_text(&payload)
+        .map(|t| t.contains("sim machine poisoned"))
+        .unwrap_or(false);
+    match &*guard {
+        None => *guard = Some(payload),
+        Some(existing) => {
+            let existing_propagation = payload_text(existing)
+                .map(|t| t.contains("sim machine poisoned"))
+                .unwrap_or(false);
+            if existing_propagation && !is_propagation {
+                *guard = Some(payload);
+            }
+        }
+    }
+}
+
+fn payload_text(payload: &Box<dyn Any + Send>) -> Option<&str> {
+    payload
+        .downcast_ref::<&'static str>()
+        .copied()
+        .or_else(|| payload.downcast_ref::<String>().map(String::as_str))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SpeedModel;
+
+    #[test]
+    fn ranks_see_their_identity() {
+        let out = Machine::run(MachineConfig::virtual_time(8), |ctx| {
+            (ctx.rank(), ctx.nranks())
+        });
+        for (r, (rank, n)) in out.results.iter().enumerate() {
+            assert_eq!(*rank, r);
+            assert_eq!(*n, 8);
+        }
+    }
+
+    #[test]
+    fn virtual_makespan_is_max_rank_clock() {
+        let out = Machine::run(MachineConfig::virtual_time(4), |ctx| {
+            ctx.compute(100 * (ctx.rank() as u64 + 1));
+        });
+        assert_eq!(out.report.makespan_ns, 400);
+        assert_eq!(out.report.rank_clock_ns, vec![100, 200, 300, 400]);
+    }
+
+    #[test]
+    fn speed_factors_slow_down_compute() {
+        let cfg = MachineConfig::virtual_time(2)
+            .with_speed(SpeedModel::from_factors(vec![1.0, 2.0]));
+        let out = Machine::run(cfg, |ctx| {
+            ctx.compute(1_000);
+            ctx.now()
+        });
+        assert_eq!(out.results, vec![1_000, 2_000]);
+    }
+
+    #[test]
+    fn collective_shares_one_instance() {
+        let out = Machine::run(MachineConfig::virtual_time(4), |ctx| {
+            let v = ctx.collective(|| vec![1, 2, 3]);
+            Arc::as_ptr(&v) as usize
+        });
+        assert!(out.results.windows(2).all(|w| w[0] == w[1]));
+    }
+
+    #[test]
+    fn sequential_collectives_do_not_collide() {
+        let out = Machine::run(MachineConfig::virtual_time(3), |ctx| {
+            let a = ctx.collective(|| 1u32);
+            let b = ctx.collective(|| 2u64);
+            (*a, *b)
+        });
+        assert!(out.results.iter().all(|&(a, b)| a == 1 && b == 2));
+    }
+
+    #[test]
+    fn rank_panic_propagates() {
+        let r = std::panic::catch_unwind(|| {
+            Machine::run(MachineConfig::virtual_time(3), |ctx| {
+                if ctx.rank() == 1 {
+                    panic!("boom from rank 1");
+                }
+                // Other ranks wait at a barrier the panicking rank never
+                // reaches; poison must wake them.
+                ctx.barrier_with_cost(0);
+            });
+        });
+        let err = r.expect_err("machine must propagate the panic");
+        let text = err
+            .downcast_ref::<&str>()
+            .copied()
+            .map(String::from)
+            .or_else(|| err.downcast_ref::<String>().cloned())
+            .unwrap_or_default();
+        assert!(text.contains("boom from rank 1"), "got: {text}");
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let run = || {
+            Machine::run(MachineConfig::virtual_time(6), |ctx| {
+                use rand::Rng;
+                let mut acc = 0u64;
+                for _ in 0..100 {
+                    let x: u64 = ctx.rng().gen_range(0..1_000);
+                    ctx.compute(x);
+                    ctx.yield_point();
+                    acc = acc.wrapping_mul(31).wrapping_add(ctx.now());
+                }
+                acc
+            })
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.results, b.results);
+        assert_eq!(a.report.makespan_ns, b.report.makespan_ns);
+    }
+
+    #[test]
+    fn concurrent_mode_runs_all_ranks() {
+        let out = Machine::run(MachineConfig::concurrent(8), |ctx| {
+            ctx.barrier_with_cost(0);
+            ctx.rank()
+        });
+        assert_eq!(out.results, (0..8).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn rng_differs_across_ranks_but_is_seed_stable() {
+        use rand::Rng;
+        let draw = |seed| {
+            Machine::run(MachineConfig::virtual_time(4).with_seed(seed), |ctx| {
+                ctx.rng().gen::<u64>()
+            })
+            .results
+        };
+        let a = draw(1);
+        let b = draw(1);
+        let c = draw(2);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert!(a.windows(2).all(|w| w[0] != w[1]));
+    }
+}

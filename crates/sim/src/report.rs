@@ -1,0 +1,101 @@
+//! Run reports: virtual makespan, per-rank clocks, kernel event counters.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::config::ExecMode;
+
+/// Counters of kernel-level events, useful for sanity-checking how much
+/// scheduling a run performed.
+#[derive(Debug, Default)]
+pub struct EventCounters {
+    /// Scheduling points taken before shared-state operations.
+    pub yields: AtomicU64,
+    /// Times a rank parked waiting on a condition.
+    pub blocks: AtomicU64,
+    /// Wake notifications issued.
+    pub unblocks: AtomicU64,
+    /// Messages pushed through mailboxes.
+    pub messages: AtomicU64,
+}
+
+impl EventCounters {
+    /// Immutable snapshot of the counters.
+    pub fn snapshot(&self) -> EventSnapshot {
+        EventSnapshot {
+            yields: self.yields.load(Ordering::Relaxed),
+            blocks: self.blocks.load(Ordering::Relaxed),
+            unblocks: self.unblocks.load(Ordering::Relaxed),
+            messages: self.messages.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Plain-data snapshot of [`EventCounters`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EventSnapshot {
+    /// Scheduling points taken before shared-state operations.
+    pub yields: u64,
+    /// Times a rank parked waiting on a condition.
+    pub blocks: u64,
+    /// Wake notifications issued.
+    pub unblocks: u64,
+    /// Messages pushed through mailboxes.
+    pub messages: u64,
+}
+
+/// Summary of a completed [`crate::Machine::run`].
+#[derive(Debug, Clone)]
+pub struct Report {
+    /// Execution mode the machine ran in.
+    pub mode: ExecMode,
+    /// Completion time of the run: the maximum final rank clock in
+    /// virtual-time mode, wall time in concurrent mode (nanoseconds).
+    pub makespan_ns: u64,
+    /// Final per-rank clocks (virtual nanoseconds; zero in concurrent mode).
+    pub rank_clock_ns: Vec<u64>,
+    /// Kernel event counts for the whole run.
+    pub events: EventSnapshot,
+}
+
+impl Report {
+    /// Makespan in seconds.
+    pub fn makespan_secs(&self) -> f64 {
+        self.makespan_ns as f64 / 1e9
+    }
+
+    /// Average final rank clock in nanoseconds (virtual-time mode).
+    pub fn mean_rank_clock_ns(&self) -> f64 {
+        if self.rank_clock_ns.is_empty() {
+            return 0.0;
+        }
+        self.rank_clock_ns.iter().sum::<u64>() as f64 / self.rank_clock_ns.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_reflects_counters() {
+        let c = EventCounters::default();
+        c.yields.fetch_add(3, Ordering::Relaxed);
+        c.messages.fetch_add(1, Ordering::Relaxed);
+        let s = c.snapshot();
+        assert_eq!(s.yields, 3);
+        assert_eq!(s.messages, 1);
+        assert_eq!(s.blocks, 0);
+    }
+
+    #[test]
+    fn report_helpers() {
+        let r = Report {
+            mode: ExecMode::VirtualTime,
+            makespan_ns: 2_000_000_000,
+            rank_clock_ns: vec![1_000, 3_000],
+            events: EventCounters::default().snapshot(),
+        };
+        assert!((r.makespan_secs() - 2.0).abs() < 1e-12);
+        assert!((r.mean_rank_clock_ns() - 2_000.0).abs() < 1e-12);
+    }
+}

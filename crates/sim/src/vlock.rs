@@ -1,0 +1,231 @@
+//! `VLock` — a mutex whose hold time spans *virtual* time.
+//!
+//! This is the primitive that makes lock contention visible in the model:
+//! when a thief holds a victim's queue lock for the duration of a steal
+//! (tens of microseconds of virtual time), the victim's own accesses to the
+//! shared queue portion are delayed by exactly that interval — the effect
+//! the Scioto paper's split queues exist to avoid (§5, Figure 7).
+
+use std::collections::VecDeque;
+
+use parking_lot::Mutex;
+
+use crate::ctx::Ctx;
+
+struct LState {
+    holder: Option<usize>,
+    waiters: VecDeque<usize>,
+    /// Virtual time of the last release (lower bound for the next acquire).
+    free_at: u64,
+}
+
+/// A virtual-time-aware FIFO mutex identified by the creating collective;
+/// all ranks may acquire/release it through their own [`Ctx`].
+pub struct VLock {
+    state: Mutex<LState>,
+}
+
+impl Default for VLock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl VLock {
+    /// Create an unlocked lock.
+    pub fn new() -> Self {
+        VLock {
+            state: Mutex::new(LState {
+                holder: None,
+                waiters: VecDeque::new(),
+                free_at: 0,
+            }),
+        }
+    }
+
+    /// Acquire the lock, charging `cost` ns (one remote RMW) on success.
+    /// Blocks (in virtual time) while another rank holds the lock.
+    pub fn acquire(&self, ctx: &Ctx, cost: u64) {
+        ctx.yield_point();
+        let rank = ctx.rank();
+        let mut enqueued = false;
+        loop {
+            let mut st = self.state.lock();
+            match st.holder {
+                // Hand-off from a releaser already made us the holder.
+                Some(h) if h == rank => {
+                    drop(st);
+                    break;
+                }
+                None => {
+                    st.holder = Some(rank);
+                    let free_at = st.free_at;
+                    drop(st);
+                    ctx.advance_to(free_at);
+                    break;
+                }
+                Some(_) => {
+                    if !enqueued {
+                        st.waiters.push_back(rank);
+                        enqueued = true;
+                    }
+                    drop(st);
+                    ctx.block();
+                }
+            }
+        }
+        ctx.charge_net(cost);
+    }
+
+    /// Try to acquire without blocking. Charges `cost` ns whether or not
+    /// the attempt succeeds (the RMW round-trip happens either way).
+    pub fn try_acquire(&self, ctx: &Ctx, cost: u64) -> bool {
+        ctx.yield_point();
+        let rank = ctx.rank();
+        let mut st = self.state.lock();
+        let ok = match st.holder {
+            None => {
+                st.holder = Some(rank);
+                true
+            }
+            Some(h) => h == rank,
+        };
+        drop(st);
+        ctx.charge_net(cost);
+        ok
+    }
+
+    /// Release the lock, charging `cost` ns, and hand it to the first
+    /// waiter (FIFO) if any.
+    ///
+    /// # Panics
+    /// Panics if the calling rank does not hold the lock.
+    pub fn release(&self, ctx: &Ctx, cost: u64) {
+        ctx.charge_net(cost);
+        let rank = ctx.rank();
+        let now = ctx.now();
+        let mut st = self.state.lock();
+        assert_eq!(
+            st.holder,
+            Some(rank),
+            "VLock released by rank {} which does not hold it",
+            rank
+        );
+        st.free_at = now;
+        if let Some(next) = st.waiters.pop_front() {
+            st.holder = Some(next);
+            drop(st);
+            ctx.unblock(next, now);
+        } else {
+            st.holder = None;
+        }
+    }
+
+    /// Whether some rank currently holds the lock (racy in concurrent mode;
+    /// intended for assertions and tests).
+    pub fn is_held(&self) -> bool {
+        self.state.lock().holder.is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ExecMode, Machine, MachineConfig};
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc;
+
+    #[test]
+    fn lock_serializes_critical_sections_in_virtual_time() {
+        let out = Machine::run(MachineConfig::virtual_time(4), |ctx| {
+            let lock = ctx.collective(VLock::new);
+            ctx.barrier_with_cost(0);
+            lock.acquire(ctx, 10);
+            let entry = ctx.now();
+            ctx.compute(100); // critical section of 100 ns
+            lock.release(ctx, 10);
+            entry
+        });
+        let mut entries = out.results.clone();
+        entries.sort_unstable();
+        // Each successive entry is at least one critical section later.
+        for w in entries.windows(2) {
+            assert!(
+                w[1] >= w[0] + 100,
+                "critical sections overlapped: {entries:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn lock_mutual_exclusion_under_concurrency() {
+        // Concurrent mode with a shared non-atomic counter protected by the
+        // lock; mutual exclusion must make the total exact.
+        let counter = Arc::new(AtomicU64::new(0));
+        let c2 = counter.clone();
+        let out = Machine::run(MachineConfig::concurrent(8), move |ctx| {
+            let lock = ctx.collective(VLock::new);
+            for _ in 0..100 {
+                lock.acquire(ctx, 0);
+                // Non-atomic read-modify-write would race without the lock.
+                let v = c2.load(Ordering::Relaxed);
+                std::hint::black_box(v);
+                c2.store(v + 1, Ordering::Relaxed);
+                lock.release(ctx, 0);
+            }
+        });
+        drop(out);
+        assert_eq!(counter.load(Ordering::Relaxed), 800);
+    }
+
+    #[test]
+    fn try_acquire_fails_when_held() {
+        let out = Machine::run(MachineConfig::virtual_time(2), |ctx| {
+            let lock = ctx.collective(VLock::new);
+            if ctx.rank() == 0 {
+                lock.acquire(ctx, 0);
+                ctx.barrier_with_cost(0); // rank 1 probes while we hold it
+                ctx.barrier_with_cost(0);
+                lock.release(ctx, 0);
+                true
+            } else {
+                ctx.barrier_with_cost(0);
+                let got = lock.try_acquire(ctx, 0);
+                ctx.barrier_with_cost(0);
+                got
+            }
+        });
+        assert_eq!(out.results, vec![true, false]);
+    }
+
+    #[test]
+    fn release_hands_off_fifo() {
+        let out = Machine::run(MachineConfig::virtual_time(3), |ctx| {
+            let lock = ctx.collective(VLock::new);
+            // Stagger arrival: rank r arrives at r*10 ns.
+            ctx.compute(ctx.rank() as u64 * 10);
+            lock.acquire(ctx, 0);
+            let t = ctx.now();
+            ctx.compute(100);
+            lock.release(ctx, 0);
+            t
+        });
+        // Rank 0 enters at 0, rank 1 at 100, rank 2 at 200 (FIFO by arrival).
+        assert_eq!(out.results, vec![0, 100, 200]);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not hold it")]
+    fn release_without_hold_panics() {
+        Machine::run(
+            MachineConfig {
+                mode: ExecMode::VirtualTime,
+                ..MachineConfig::virtual_time(1)
+            },
+            |ctx| {
+                let lock = ctx.collective(VLock::new);
+                lock.release(ctx, 0);
+            },
+        );
+    }
+}

@@ -1,0 +1,96 @@
+//! Property tests of the virtual-time machine's synchronization
+//! primitives: barrier timing, lock exclusion, mailbox ordering.
+
+use proptest::prelude::*;
+
+use scioto_sim::{Machine, MachineConfig, MailboxRouter, MsgFilter, VLock};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// A barrier releases every rank at exactly max(arrival) + cost.
+    #[test]
+    fn barrier_release_is_max_arrival_plus_cost(
+        work in proptest::collection::vec(0u64..50_000, 1..6),
+        cost in 0u64..10_000,
+    ) {
+        let n = work.len();
+        let work2 = work.clone();
+        let out = Machine::run(MachineConfig::virtual_time(n), move |ctx| {
+            ctx.compute(work2[ctx.rank()]);
+            ctx.barrier_with_cost(cost);
+            ctx.now()
+        });
+        let expect = work.iter().max().unwrap() + cost;
+        for t in out.results {
+            prop_assert_eq!(t, expect);
+        }
+    }
+
+    /// Critical sections guarded by a VLock never overlap in virtual time,
+    /// whatever the arrival pattern.
+    #[test]
+    fn vlock_sections_never_overlap(
+        offsets in proptest::collection::vec(0u64..5_000, 2..6),
+        section in 1u64..20_000,
+    ) {
+        let n = offsets.len();
+        let offs = offsets.clone();
+        let out = Machine::run(MachineConfig::virtual_time(n), move |ctx| {
+            let lock = ctx.collective(VLock::new);
+            ctx.compute(offs[ctx.rank()]);
+            lock.acquire(ctx, 0);
+            let start = ctx.now();
+            ctx.compute(section);
+            let end = ctx.now();
+            lock.release(ctx, 0);
+            (start, end)
+        });
+        let mut intervals = out.results;
+        intervals.sort_unstable();
+        for w in intervals.windows(2) {
+            prop_assert!(
+                w[1].0 >= w[0].1,
+                "overlapping critical sections: {:?}",
+                w
+            );
+        }
+    }
+
+    /// Messages from one sender to one receiver arrive in send order.
+    #[test]
+    fn mailbox_fifo_per_sender(count in 1usize..40, gap in 0u64..2_000) {
+        let out = Machine::run(MachineConfig::virtual_time(2), move |ctx| {
+            let router = ctx.collective(|| MailboxRouter::new(2));
+            if ctx.rank() == 0 {
+                for i in 0..count as u64 {
+                    router.send(ctx, 1, 0, i.to_le_bytes().to_vec(), 100, 1_000);
+                    ctx.compute(gap);
+                }
+                Vec::new()
+            } else {
+                (0..count)
+                    .map(|_| {
+                        let m = router.recv(ctx, MsgFilter::any());
+                        u64::from_le_bytes(m.data.try_into().expect("8 bytes"))
+                    })
+                    .collect()
+            }
+        });
+        let expect: Vec<u64> = (0..count as u64).collect();
+        prop_assert_eq!(&out.results[1], &expect);
+    }
+
+    /// Per-rank virtual clocks never exceed the reported makespan, and the
+    /// makespan equals the maximum final clock.
+    #[test]
+    fn makespan_is_max_clock(work in proptest::collection::vec(0u64..100_000, 1..8)) {
+        let w = work.clone();
+        let out = Machine::run(MachineConfig::virtual_time(work.len()), move |ctx| {
+            ctx.compute(w[ctx.rank()]);
+        });
+        let max = *out.report.rank_clock_ns.iter().max().unwrap();
+        prop_assert_eq!(out.report.makespan_ns, max);
+        prop_assert_eq!(&out.report.rank_clock_ns, &work);
+    }
+}

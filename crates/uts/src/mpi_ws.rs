@@ -1,0 +1,328 @@
+//! The paper's baseline: UTS with custom work stealing over two-sided MPI
+//! messages (Dinan et al., IPDPS 2007).
+//!
+//! The defining property of this design — and the overhead Scioto's
+//! one-sided queues eliminate — is that a victim must **explicitly poll**
+//! for steal requests between units of tree traversal; a thief's request
+//! sits unanswered until the victim reaches its next polling point.
+//!
+//! Termination uses Mattern's four-counter ring algorithm (a
+//! strengthening of the Dijkstra token ring that stays correct with
+//! buffered asynchronous channels): a token circulates accumulating the
+//! global counts of work messages sent and received; rank 0 announces
+//! termination after two consecutive rounds with equal, stable counts.
+
+use scioto_mpi::Comm;
+use scioto_sim::Ctx;
+
+use crate::node::{Node, TreeParams, TreeStats, NODE_BYTES};
+use crate::NODE_COST_NS;
+
+const TAG_REQ: u64 = 1;
+const TAG_WORK: u64 = 2;
+const TAG_NOWORK: u64 = 3;
+const TAG_TOKEN: u64 = 4;
+const TAG_DONE: u64 = 5;
+
+/// Configuration of an MPI work-stealing UTS run.
+#[derive(Debug, Clone, Copy)]
+pub struct MpiUtsConfig {
+    /// Tree to traverse.
+    pub params: TreeParams,
+    /// Virtual CPU cost per node on the reference CPU.
+    pub node_cost_ns: u64,
+    /// Nodes transferred per successful steal.
+    pub chunk: usize,
+    /// Nodes processed between polls for steal requests.
+    pub poll_interval: u32,
+}
+
+impl MpiUtsConfig {
+    /// Paper-flavoured defaults: chunk 10, poll every 16 nodes.
+    pub fn new(params: TreeParams) -> Self {
+        MpiUtsConfig {
+            params,
+            node_cost_ns: NODE_COST_NS,
+            chunk: 10,
+            poll_interval: 16,
+        }
+    }
+}
+
+/// Statistics of one rank's participation in an MPI-WS run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MpiWsStats {
+    /// Steal requests sent.
+    pub steal_requests: u64,
+    /// Successful steals (WORK received).
+    pub steals_received: u64,
+    /// WORK messages served to thieves.
+    pub works_served: u64,
+    /// Token forwards.
+    pub token_passes: u64,
+}
+
+struct RingState {
+    have_token: bool,
+    /// Rank 0 holds the token initially, before any round has completed.
+    initial: bool,
+    /// `(sent, received)` totals accumulated by the token so far this round.
+    token_counts: (u64, u64),
+    /// Previous completed round's totals at rank 0.
+    prev_counts: Option<(u64, u64)>,
+    my_sent: u64,
+    my_recv: u64,
+}
+
+/// Run UTS under MPI-style work stealing. Collective. Returns this rank's
+/// partial tree statistics and its messaging statistics.
+pub fn run_mpi_uts(ctx: &Ctx, cfg: &MpiUtsConfig) -> (TreeStats, MpiWsStats) {
+    let comm = Comm::world(ctx);
+    let n = comm.nranks();
+    let me = ctx.rank();
+    let mut stats = TreeStats::default();
+    let mut ws = MpiWsStats::default();
+    let mut stack: Vec<Node> = Vec::new();
+    if me == 0 {
+        stack.push(cfg.params.root());
+    }
+    if n == 1 {
+        while let Some(node) = stack.pop() {
+            let kids = cfg.params.num_children(&node);
+            stats.visit(node.depth, kids);
+            ctx.compute(cfg.node_cost_ns + ctx.latency().local_get);
+            for i in 0..kids {
+                stack.push(node.child(i));
+                ctx.compute(ctx.latency().local_insert);
+            }
+        }
+        return (stats, ws);
+    }
+
+    let mut ring = RingState {
+        have_token: me == 0,
+        initial: true,
+        token_counts: (0, 0),
+        prev_counts: None,
+        my_sent: 0,
+        my_recv: 0,
+    };
+    let mut since_poll = 0u32;
+    let mut done = false;
+
+    while !done {
+        // Busy phase: traverse, polling for steal requests periodically.
+        while let Some(node) = stack.pop() {
+            let kids = cfg.params.num_children(&node);
+            stats.visit(node.depth, kids);
+            // The UTS-MPI StealStack's local push/pop bookkeeping costs
+            // about as much as Scioto's lock-free local queue operations.
+            ctx.compute(cfg.node_cost_ns + ctx.latency().local_get);
+            for i in 0..kids {
+                stack.push(node.child(i));
+                ctx.compute(ctx.latency().local_insert);
+            }
+            since_poll += 1;
+            if since_poll >= cfg.poll_interval {
+                since_poll = 0;
+                service_requests(ctx, &comm, cfg, &mut stack, &mut ring, &mut ws);
+            }
+        }
+
+        // Idle phase: answer requests, move the token, steal.
+        loop {
+            ctx.compute(100);
+            service_requests(ctx, &comm, cfg, &mut stack, &mut ring, &mut ws);
+            if !stack.is_empty() {
+                break; // got work handed to us? (not in this protocol, but cheap)
+            }
+            if comm.try_recv(ctx, None, Some(TAG_DONE)).is_some() {
+                done = true;
+                break;
+            }
+            if handle_token(ctx, &comm, &mut ring, &mut ws, me, n) {
+                // Rank 0 decided: announce termination.
+                for r in 1..n {
+                    comm.send(ctx, r, TAG_DONE, &[]);
+                }
+                done = true;
+                break;
+            }
+            // Attempt a steal from a random victim.
+            let victim = {
+                let mut rng = ctx.rng();
+                use rand::Rng;
+                let mut v = rng.gen_range(0..n - 1);
+                if v >= me {
+                    v += 1;
+                }
+                v
+            };
+            ws.steal_requests += 1;
+            comm.send(ctx, victim, TAG_REQ, &[]);
+            // Await the response, staying responsive to requests, the
+            // token, and DONE.
+            'await_resp: loop {
+                ctx.compute(100);
+                service_requests(ctx, &comm, cfg, &mut stack, &mut ring, &mut ws);
+                if let Some(m) = comm.try_recv(ctx, Some(victim), Some(TAG_WORK)) {
+                    ring.my_recv += 1;
+                    ws.steals_received += 1;
+                    for chunk in m.data.chunks_exact(NODE_BYTES) {
+                        stack.push(Node::decode(chunk));
+                    }
+                    break 'await_resp;
+                }
+                if comm.try_recv(ctx, Some(victim), Some(TAG_NOWORK)).is_some() {
+                    break 'await_resp;
+                }
+                if comm.iprobe(ctx, None, Some(TAG_DONE)) {
+                    // Leave the DONE in the mailbox; the outer loop
+                    // consumes it.
+                    break 'await_resp;
+                }
+            }
+            if !stack.is_empty() {
+                break;
+            }
+        }
+    }
+    (stats, ws)
+}
+
+/// Answer pending steal requests: ship up to `chunk` nodes from the bottom
+/// of the stack (the shallowest nodes, most likely to root large
+/// subtrees), or decline.
+fn service_requests(
+    ctx: &Ctx,
+    comm: &Comm,
+    cfg: &MpiUtsConfig,
+    stack: &mut Vec<Node>,
+    ring: &mut RingState,
+    ws: &mut MpiWsStats,
+) {
+    while let Some(req) = comm.try_recv(ctx, None, Some(TAG_REQ)) {
+        // Keep at least one node for ourselves.
+        let surplus = stack.len().saturating_sub(1);
+        let give = surplus.min(cfg.chunk);
+        if give == 0 {
+            comm.send(ctx, req.src, TAG_NOWORK, &[]);
+            continue;
+        }
+        let mut payload = Vec::with_capacity(give * NODE_BYTES);
+        for node in stack.drain(..give) {
+            payload.extend_from_slice(&node.encode());
+        }
+        ring.my_sent += 1;
+        ws.works_served += 1;
+        comm.send(ctx, req.src, TAG_WORK, &payload);
+    }
+}
+
+/// Move the termination token if we hold it (or it has arrived). Returns
+/// true when rank 0 concludes global termination.
+fn handle_token(
+    ctx: &Ctx,
+    comm: &Comm,
+    ring: &mut RingState,
+    ws: &mut MpiWsStats,
+    me: usize,
+    n: usize,
+) -> bool {
+    if !ring.have_token {
+        if let Some(tok) = comm.try_recv(ctx, None, Some(TAG_TOKEN)) {
+            ring.have_token = true;
+            ring.token_counts = (
+                u64::from_le_bytes(tok.data[0..8].try_into().expect("8 bytes")),
+                u64::from_le_bytes(tok.data[8..16].try_into().expect("8 bytes")),
+            );
+        }
+    }
+    if !ring.have_token {
+        return false;
+    }
+    if me == 0 {
+        if !ring.initial {
+            // A round just completed; `token_counts` covers every rank
+            // (rank 0's counters were folded in at round start).
+            let cur = ring.token_counts;
+            // Mattern's four-counter criterion: two consecutive rounds
+            // with identical, balanced counts.
+            if cur.0 == cur.1 && ring.prev_counts == Some(cur) {
+                return true;
+            }
+            ring.prev_counts = Some(cur);
+        }
+        ring.initial = false;
+        // Start a new round: fold in our counters and pass on.
+        send_token(ctx, comm, 1 % n, ring.my_sent, ring.my_recv);
+        ring.have_token = false;
+        ws.token_passes += 1;
+    } else {
+        let (s, r) = ring.token_counts;
+        send_token(ctx, comm, (me + 1) % n, s + ring.my_sent, r + ring.my_recv);
+        ring.have_token = false;
+        ws.token_passes += 1;
+    }
+    false
+}
+
+fn send_token(ctx: &Ctx, comm: &Comm, to: usize, s: u64, r: u64) {
+    let mut payload = Vec::with_capacity(16);
+    payload.extend_from_slice(&s.to_le_bytes());
+    payload.extend_from_slice(&r.to_le_bytes());
+    comm.send(ctx, to, TAG_TOKEN, &payload);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::presets;
+    use crate::sequential::count_tree;
+    use scioto_sim::{LatencyModel, Machine, MachineConfig};
+
+    #[test]
+    fn mpi_ws_count_matches_sequential() {
+        let expect = count_tree(&presets::tiny());
+        for ranks in [1, 2, 4, 5] {
+            let out = Machine::run(
+                MachineConfig::virtual_time(ranks).with_latency(LatencyModel::cluster()),
+                |ctx| run_mpi_uts(ctx, &MpiUtsConfig::new(presets::tiny())).0,
+            );
+            let mut total = TreeStats::default();
+            for s in &out.results {
+                total.merge(s);
+            }
+            assert_eq!(total.nodes, expect.nodes, "ranks={ranks}");
+            assert_eq!(total.leaves, expect.leaves, "ranks={ranks}");
+        }
+    }
+
+    #[test]
+    fn steals_happen_and_are_accounted() {
+        let out = Machine::run(
+            MachineConfig::virtual_time(4).with_latency(LatencyModel::cluster()),
+            |ctx| run_mpi_uts(ctx, &MpiUtsConfig::new(presets::small())),
+        );
+        let served: u64 = out.results.iter().map(|(_, w)| w.works_served).sum();
+        let received: u64 = out.results.iter().map(|(_, w)| w.steals_received).sum();
+        assert_eq!(served, received, "every WORK message is consumed");
+        assert!(served > 0, "no steals in a 4-rank run of a 50k tree");
+    }
+
+    #[test]
+    fn deterministic_in_virtual_time() {
+        let run = || {
+            Machine::run(
+                MachineConfig::virtual_time(3).with_latency(LatencyModel::cluster()),
+                |ctx| run_mpi_uts(ctx, &MpiUtsConfig::new(presets::tiny())).0,
+            )
+        };
+        let a = run();
+        let b = run();
+        let na: Vec<u64> = a.results.iter().map(|s| s.nodes).collect();
+        let nb: Vec<u64> = b.results.iter().map(|s| s.nodes).collect();
+        assert_eq!(na, nb);
+        assert_eq!(a.report.makespan_ns, b.report.makespan_ns);
+    }
+}

@@ -1,0 +1,96 @@
+//! Named tree presets, scaled-down analogues of the UTS workloads the
+//! paper runs (its cluster runs traverse millions of nodes; the virtual-
+//! time reproduction uses 10⁴–10⁶ nodes so a full figure sweep finishes in
+//! minutes — rates and scaling shapes are insensitive to tree size once
+//! the tree dwarfs `P × chunk`).
+
+use crate::node::{TreeKind, TreeParams};
+
+/// ~4k-node geometric tree: unit-test scale.
+pub fn tiny() -> TreeParams {
+    TreeParams {
+        kind: TreeKind::Geometric { b0: 2.0, gen_mx: 8 },
+        seed: 7,
+    }
+}
+
+/// ~50k-node geometric tree: integration-test scale.
+pub fn small() -> TreeParams {
+    TreeParams {
+        kind: TreeKind::Geometric {
+            b0: 3.0,
+            gen_mx: 10,
+        },
+        seed: 1,
+    }
+}
+
+/// ~0.5M-node geometric tree: figure-regeneration scale (the cluster runs
+/// of Figure 7).
+pub fn medium() -> TreeParams {
+    TreeParams {
+        kind: TreeKind::Geometric {
+            b0: 4.0,
+            gen_mx: 11,
+        },
+        seed: 9,
+    }
+}
+
+/// ~1.5M-node geometric tree: the 512-rank XT4 sweeps of Figure 8 (still
+/// smaller than the paper's 4.1M-node runs; rates are tree-size-stable
+/// once nodes ≫ P·chunk).
+pub fn large() -> TreeParams {
+    TreeParams {
+        kind: TreeKind::Geometric {
+            b0: 4.0,
+            gen_mx: 12,
+        },
+        seed: 9,
+    }
+}
+
+/// Binomial tree with heavy imbalance (UTS's hardest family): expected
+/// ~40k nodes but with high variance along branches.
+pub fn binomial_small() -> TreeParams {
+    TreeParams {
+        kind: TreeKind::Binomial {
+            b0: 500,
+            m: 8,
+            q: 0.1243,
+        },
+        seed: 1,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sequential::count_tree_bounded;
+
+    #[test]
+    fn preset_sizes_are_in_expected_ranges() {
+        let (t, done) = count_tree_bounded(&tiny(), 100_000);
+        assert!(done);
+        assert!(
+            t.nodes > 300 && t.nodes < 100_000,
+            "tiny = {} nodes",
+            t.nodes
+        );
+
+        let (s, done) = count_tree_bounded(&small(), 2_000_000);
+        assert!(done);
+        assert!(
+            s.nodes > 5_000 && s.nodes < 2_000_000,
+            "small = {} nodes",
+            s.nodes
+        );
+    }
+
+    #[test]
+    fn binomial_preset_is_finite() {
+        let (b, done) = count_tree_bounded(&binomial_small(), 5_000_000);
+        assert!(done, "binomial preset exceeded 5M nodes");
+        assert!(b.nodes > 500, "binomial = {} nodes", b.nodes);
+    }
+}

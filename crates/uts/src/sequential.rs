@@ -1,0 +1,97 @@
+//! Sequential depth-first traversal — the ground truth for the parallel
+//! drivers, and the single-processor baseline of the performance plots.
+
+use crate::node::{Node, TreeParams, TreeStats};
+
+/// Exhaustively traverse the tree and return its statistics.
+pub fn count_tree(params: &TreeParams) -> TreeStats {
+    let mut stats = TreeStats::default();
+    let mut stack: Vec<Node> = vec![params.root()];
+    while let Some(n) = stack.pop() {
+        let kids = params.num_children(&n);
+        stats.visit(n.depth, kids);
+        for i in 0..kids {
+            stack.push(n.child(i));
+        }
+    }
+    stats
+}
+
+/// Traverse at most `limit` nodes (guard for property tests on unbounded
+/// parameter spaces). Returns the partial stats and whether the traversal
+/// completed.
+pub fn count_tree_bounded(params: &TreeParams, limit: u64) -> (TreeStats, bool) {
+    let mut stats = TreeStats::default();
+    let mut stack: Vec<Node> = vec![params.root()];
+    while let Some(n) = stack.pop() {
+        if stats.nodes >= limit {
+            return (stats, false);
+        }
+        let kids = params.num_children(&n);
+        stats.visit(n.depth, kids);
+        for i in 0..kids {
+            stack.push(n.child(i));
+        }
+    }
+    (stats, true)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::TreeKind;
+
+    #[test]
+    fn single_node_tree() {
+        let p = TreeParams {
+            kind: TreeKind::Geometric { b0: 3.0, gen_mx: 0 },
+            seed: 1,
+        };
+        let s = count_tree(&p);
+        assert_eq!(s.nodes, 1);
+        assert_eq!(s.leaves, 1);
+        assert_eq!(s.max_depth, 0);
+    }
+
+    #[test]
+    fn counts_are_reproducible() {
+        let p = TreeParams {
+            kind: TreeKind::Geometric { b0: 3.0, gen_mx: 6 },
+            seed: 42,
+        };
+        let a = count_tree(&p);
+        let b = count_tree(&p);
+        assert_eq!(a, b);
+        assert!(a.nodes > 100, "tree unexpectedly small: {a:?}");
+        assert!(a.max_depth <= 6);
+    }
+
+    #[test]
+    fn leaves_less_than_nodes_and_consistent() {
+        let p = TreeParams {
+            kind: TreeKind::Binomial {
+                b0: 50,
+                m: 4,
+                q: 0.2,
+            },
+            seed: 9,
+        };
+        let s = count_tree(&p);
+        assert!(s.leaves < s.nodes);
+        assert!(s.nodes >= 51); // root + b0 children at least
+    }
+
+    #[test]
+    fn bounded_traversal_stops() {
+        let p = TreeParams {
+            kind: TreeKind::Geometric {
+                b0: 4.0,
+                gen_mx: 30,
+            },
+            seed: 3,
+        };
+        let (s, complete) = count_tree_bounded(&p, 1_000);
+        assert!(!complete);
+        assert_eq!(s.nodes, 1_000);
+    }
+}

@@ -1,0 +1,78 @@
+//! Property tests: the three UTS drivers agree on every (bounded) random
+//! tree, and node serialization is lossless.
+
+use proptest::prelude::*;
+
+use scioto_sim::{LatencyModel, Machine, MachineConfig};
+use scioto_uts::mpi_ws::{run_mpi_uts, MpiUtsConfig};
+use scioto_uts::scioto_driver::{run_scioto_uts, SciotoUtsConfig};
+use scioto_uts::sequential::count_tree_bounded;
+use scioto_uts::{Node, TreeKind, TreeParams, TreeStats};
+
+fn arb_params() -> impl Strategy<Value = TreeParams> {
+    prop_oneof![
+        // Geometric with small branching/depth to keep trees bounded.
+        (1.2f64..3.0, 3u32..7, 0u32..500).prop_map(|(b0, gen_mx, seed)| TreeParams {
+            kind: TreeKind::Geometric { b0, gen_mx },
+            seed,
+        }),
+        // Binomial subcritical.
+        (2u32..40, 2u32..5, 0.05f64..0.2, 0u32..500).prop_map(|(b0, m, q, seed)| TreeParams {
+            kind: TreeKind::Binomial { b0, m, q },
+            seed,
+        }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Scioto and MPI-WS traversals both match the sequential count.
+    #[test]
+    fn drivers_agree_on_random_trees(params in arb_params(), ranks in 2usize..5) {
+        let (seq, complete) = count_tree_bounded(&params, 200_000);
+        prop_assume!(complete);
+        prop_assume!(seq.nodes < 60_000);
+
+        let out = Machine::run(
+            MachineConfig::virtual_time(ranks).with_latency(LatencyModel::cluster()),
+            move |ctx| run_scioto_uts(ctx, &SciotoUtsConfig::new(params)).0,
+        );
+        let mut scioto_total = TreeStats::default();
+        for s in &out.results {
+            scioto_total.merge(s);
+        }
+        prop_assert_eq!(scioto_total.nodes, seq.nodes);
+        prop_assert_eq!(scioto_total.leaves, seq.leaves);
+        prop_assert_eq!(scioto_total.max_depth, seq.max_depth);
+
+        let out = Machine::run(
+            MachineConfig::virtual_time(ranks).with_latency(LatencyModel::cluster()),
+            move |ctx| run_mpi_uts(ctx, &MpiUtsConfig::new(params)).0,
+        );
+        let mut mpi_total = TreeStats::default();
+        for s in &out.results {
+            mpi_total.merge(s);
+        }
+        prop_assert_eq!(mpi_total.nodes, seq.nodes);
+        prop_assert_eq!(mpi_total.leaves, seq.leaves);
+    }
+
+    /// Node encode/decode is the identity for arbitrary states.
+    #[test]
+    fn node_codec_roundtrip(state in proptest::array::uniform20(0u8..), depth in 0u32..1_000_000) {
+        let n = Node { state, depth };
+        prop_assert_eq!(Node::decode(&n.encode()), n);
+    }
+
+    /// Child derivation is a pure function and children are pairwise
+    /// distinct for distinct indices (SHA-1 collision-freeness in practice).
+    #[test]
+    fn children_distinct(state in proptest::array::uniform20(0u8..), i in 0u32..50, j in 0u32..50) {
+        let n = Node { state, depth: 0 };
+        prop_assert_eq!(n.child(i), n.child(i));
+        if i != j {
+            prop_assert_ne!(n.child(i), n.child(j));
+        }
+    }
+}

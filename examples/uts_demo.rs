@@ -1,0 +1,65 @@
+//! UTS three ways: sequential ground truth, Scioto work stealing, and the
+//! MPI work-stealing baseline — all three must count the same tree.
+//!
+//! ```text
+//! cargo run --release --example uts_demo
+//! ```
+
+use scioto_sim::{LatencyModel, Machine, MachineConfig, SpeedModel};
+use scioto_uts::mpi_ws::{run_mpi_uts, MpiUtsConfig};
+use scioto_uts::scioto_driver::{run_scioto_uts, SciotoUtsConfig};
+use scioto_uts::{presets, sequential, TreeStats};
+
+fn main() {
+    let params = presets::small();
+    let seq = sequential::count_tree(&params);
+    println!(
+        "sequential: {} nodes, {} leaves, depth {}",
+        seq.nodes, seq.leaves, seq.max_depth
+    );
+
+    let p = 8;
+    let machine = || {
+        MachineConfig::virtual_time(p)
+            .with_latency(LatencyModel::cluster())
+            .with_speed(SpeedModel::hetero_cluster(p))
+    };
+
+    let scioto_out = Machine::run(machine(), move |ctx| {
+        run_scioto_uts(ctx, &SciotoUtsConfig::new(params))
+    });
+    let mut scioto_total = TreeStats::default();
+    let mut steals = 0;
+    for (tree, stats) in &scioto_out.results {
+        scioto_total.merge(tree);
+        steals += stats.steals_succeeded;
+    }
+    println!(
+        "scioto ({p} ranks): {} nodes in {:.2} ms virtual, {} successful steals",
+        scioto_total.nodes,
+        scioto_out.report.makespan_ns as f64 / 1e6,
+        steals
+    );
+
+    let mpi_out = Machine::run(machine(), move |ctx| {
+        run_mpi_uts(ctx, &MpiUtsConfig::new(params))
+    });
+    let mut mpi_total = TreeStats::default();
+    let mut served = 0;
+    for (tree, ws) in &mpi_out.results {
+        mpi_total.merge(tree);
+        served += ws.works_served;
+    }
+    println!(
+        "mpi-ws ({p} ranks): {} nodes in {:.2} ms virtual, {} WORK messages",
+        mpi_total.nodes,
+        mpi_out.report.makespan_ns as f64 / 1e6,
+        served
+    );
+
+    assert_eq!(scioto_total.nodes, seq.nodes);
+    assert_eq!(mpi_total.nodes, seq.nodes);
+    assert_eq!(scioto_total.leaves, seq.leaves);
+    assert_eq!(mpi_total.max_depth, seq.max_depth);
+    println!("all three traversals agree.");
+}

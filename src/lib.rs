@@ -1,0 +1,24 @@
+//! # scioto-repro — umbrella crate for the Scioto (ICPP 2008) reproduction
+//!
+//! Re-exports every workspace crate under one roof so the examples and
+//! workspace-level integration tests can use short paths, and so a
+//! downstream user can depend on a single crate:
+//!
+//! * [`sim`] — the deterministic virtual-time distributed machine;
+//! * [`armci`] — one-sided communication (put/get/acc/RMW/locks);
+//! * [`mpi`] — two-sided messaging and collectives;
+//! * [`ga`] — Global Arrays;
+//! * [`scioto`] — the task-parallel framework itself;
+//! * [`uts`], [`scf`], [`tce`] — the paper's three applications.
+//!
+//! See the repository `README.md` for a tour and `DESIGN.md` /
+//! `EXPERIMENTS.md` for the reproduction methodology and results.
+
+pub use scioto;
+pub use scioto_armci as armci;
+pub use scioto_ga as ga;
+pub use scioto_mpi as mpi;
+pub use scioto_scf as scf;
+pub use scioto_sim as sim;
+pub use scioto_tce as tce;
+pub use scioto_uts as uts;

@@ -1,0 +1,228 @@
+//! Workspace-level integration tests: exercises spanning the whole stack,
+//! from the virtual-time machine through ARMCI/GA/Scioto up to the
+//! applications — plus a real-thread (Concurrent mode) soak of the same
+//! code paths.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use scioto::{Task, TaskCollection, TcConfig, AFFINITY_HIGH};
+use scioto_armci::Armci;
+use scioto_ga::{Ga, Patch};
+use scioto_mpi::{Comm, ReduceOp};
+use scioto_scf::{
+    run_scf_parallel, scf_sequential, BasisSet, LoadBalance, Molecule, ParallelScfConfig,
+    ScfConfig,
+};
+use scioto_sim::{ExecMode, LatencyModel, Machine, MachineConfig, SpeedModel};
+use scioto_tce::contract::reference_checksum;
+use scioto_tce::{run_contraction, ContractionConfig, TceLoadBalance};
+use scioto_uts::mpi_ws::{run_mpi_uts, MpiUtsConfig};
+use scioto_uts::scioto_driver::{run_scioto_uts, SciotoUtsConfig};
+use scioto_uts::{presets, sequential, TreeStats};
+
+#[test]
+fn uts_three_drivers_agree_end_to_end() {
+    let params = presets::tiny();
+    let seq = sequential::count_tree(&params);
+    for ranks in [2, 5] {
+        let scioto_out = Machine::run(
+            MachineConfig::virtual_time(ranks).with_latency(LatencyModel::cluster()),
+            move |ctx| run_scioto_uts(ctx, &SciotoUtsConfig::new(params)).0,
+        );
+        let mpi_out = Machine::run(
+            MachineConfig::virtual_time(ranks).with_latency(LatencyModel::cluster()),
+            move |ctx| run_mpi_uts(ctx, &MpiUtsConfig::new(params)).0,
+        );
+        let mut a = TreeStats::default();
+        let mut b = TreeStats::default();
+        scioto_out.results.iter().for_each(|s| a.merge(s));
+        mpi_out.results.iter().for_each(|s| b.merge(s));
+        assert_eq!(a, b, "driver mismatch at ranks={ranks}");
+        assert_eq!(a.nodes, seq.nodes);
+    }
+}
+
+#[test]
+fn scf_energy_is_scheme_and_scale_invariant() {
+    let basis = BasisSet::even_tempered(Molecule::h_chain(4), 2, 0.4, 3.5);
+    let seq = scf_sequential(&basis, &ScfConfig::default());
+    let mut energies = vec![seq.energy];
+    for ranks in [1, 3] {
+        for lb in [LoadBalance::Scioto, LoadBalance::GlobalCounter] {
+            let b = basis.clone();
+            let out = Machine::run(
+                MachineConfig::virtual_time(ranks).with_latency(LatencyModel::cluster()),
+                move |ctx| {
+                    run_scf_parallel(
+                        ctx,
+                        &b,
+                        &ParallelScfConfig {
+                            lb,
+                            ..Default::default()
+                        },
+                    )
+                    .energy
+                },
+            );
+            energies.push(out.results[0]);
+        }
+    }
+    for e in &energies[1..] {
+        assert!(
+            (e - energies[0]).abs() < 1e-8,
+            "energy drift: {energies:?}"
+        );
+    }
+}
+
+#[test]
+fn tce_checksum_is_scheme_and_scale_invariant() {
+    let mut sums = Vec::new();
+    for ranks in [1, 4] {
+        for lb in [TceLoadBalance::Scioto, TceLoadBalance::GlobalCounter] {
+            let out = Machine::run(
+                MachineConfig::virtual_time(ranks).with_latency(LatencyModel::cluster()),
+                move |ctx| {
+                    let cfg = ContractionConfig::new(lb);
+                    let reference = reference_checksum(ctx, &cfg);
+                    let (_, checksum) = run_contraction(ctx, &cfg);
+                    (reference, checksum)
+                },
+            );
+            sums.push(out.results[0]);
+        }
+    }
+    let (r0, _) = sums[0];
+    for (r, c) in &sums {
+        assert!((r - r0).abs() < 1e-12);
+        assert!((c - r).abs() < 1e-9 * r.max(1.0), "{c} vs reference {r}");
+    }
+}
+
+#[test]
+fn mixed_model_program_mpi_ga_scioto_together() {
+    // The interoperability claim of the paper: one program using MPI
+    // collectives, GA arrays, and a Scioto task collection side by side.
+    let out = Machine::run(
+        MachineConfig::virtual_time(4).with_latency(LatencyModel::cluster()),
+        |ctx| {
+            let comm = Comm::world(ctx);
+            let ga = Ga::init(ctx);
+            let a = ga.create(ctx, "grid", 16, 16);
+            ga.zero(ctx, a);
+            ga.sync(ctx);
+
+            let tc = TaskCollection::create(ctx, ga.armci(), TcConfig::new(16, 2, 256));
+            let ga_cb = ga.clone();
+            let h = tc.register(
+                ctx,
+                Arc::new(move |t| {
+                    let i = scioto::wire::get_u64(t.body(), 0) as usize;
+                    ga_cb.acc(
+                        t.ctx,
+                        scioto_ga::GaHandle(0),
+                        Patch::new(i, i + 1, 0, 16),
+                        1.0,
+                        &[1.0; 16],
+                    );
+                }),
+            );
+            if ctx.rank() == 0 {
+                let mut task = Task::with_body_size(h, 8);
+                for i in 0..16u64 {
+                    scioto::wire::set_u64(task.body_mut(), 0, i);
+                    tc.add(ctx, (i % 4) as usize, AFFINITY_HIGH, &task);
+                }
+            }
+            tc.process(ctx);
+            ga.sync(ctx);
+            // MPI allreduce over a GA-read partial sum.
+            let mine = ga.get(ctx, a, ga.distribution(a, ctx.rank()));
+            let partial: f64 = mine.iter().sum();
+            let total = comm.allreduce_f64(ctx, &[partial], ReduceOp::Sum);
+            total[0]
+        },
+    );
+    for v in out.results {
+        assert_eq!(v, 256.0);
+    }
+}
+
+#[test]
+fn concurrent_mode_soak_full_stack() {
+    // Real threads + real locks through the whole stack.
+    for trial in 0..3 {
+        let params = presets::tiny();
+        let seq = sequential::count_tree(&params);
+        let cfg = MachineConfig {
+            mode: ExecMode::Concurrent,
+            ..MachineConfig::virtual_time(4)
+        };
+        let out = Machine::run(cfg, move |ctx| {
+            run_scioto_uts(ctx, &SciotoUtsConfig::new(params)).0
+        });
+        let mut total = TreeStats::default();
+        out.results.iter().for_each(|s| total.merge(s));
+        assert_eq!(total.nodes, seq.nodes, "trial {trial}");
+    }
+}
+
+#[test]
+fn heterogeneous_machine_shifts_load_to_fast_ranks() {
+    let params = presets::small();
+    let out = Machine::run(
+        MachineConfig::virtual_time(8)
+            .with_latency(LatencyModel::cluster())
+            .with_speed(SpeedModel::hetero_cluster(8)),
+        move |ctx| run_scioto_uts(ctx, &SciotoUtsConfig::new(params)).0,
+    );
+    let fast: u64 = out.results.iter().step_by(2).map(|s| s.nodes).sum();
+    let slow: u64 = out.results.iter().skip(1).step_by(2).map(|s| s.nodes).sum();
+    assert!(
+        fast > slow,
+        "fast ranks should process more nodes: fast={fast} slow={slow}"
+    );
+}
+
+#[test]
+fn multiple_collections_in_one_program() {
+    // §3.1: multiple collections may exist; one is processed while others
+    // are being seeded (phase-based parallelism).
+    let out = Machine::run(MachineConfig::virtual_time(3), |ctx| {
+        let armci = Armci::init(ctx);
+        let tc1 = TaskCollection::create(ctx, &armci, TcConfig::new(8, 2, 128));
+        let tc2 = TaskCollection::create(ctx, &armci, TcConfig::new(8, 2, 128));
+        let count = Arc::new(AtomicU64::new(0));
+        let clo1 = tc1.register_clo(ctx, count.clone());
+        let tc2_ref = tc2.clone();
+        let h2 = tc2.register(
+            ctx,
+            Arc::new(move |t| {
+                let c: Arc<AtomicU64> = t.tc.clo(t.ctx, scioto::CloHandle(0));
+                c.fetch_add(100, Ordering::Relaxed);
+            }),
+        );
+        let clo2 = tc2.register_clo(ctx, count.clone());
+        let _ = (clo1, clo2);
+        let h1 = tc1.register(
+            ctx,
+            Arc::new(move |t| {
+                let c: Arc<AtomicU64> = t.tc.clo(t.ctx, scioto::CloHandle(0));
+                c.fetch_add(1, Ordering::Relaxed);
+                // While tc1 is processing, tasks may be added to tc2.
+                tc2_ref.add(t.ctx, t.ctx.rank(), AFFINITY_HIGH, &Task::new(h2, vec![]));
+            }),
+        );
+        if ctx.rank() == 0 {
+            for _ in 0..9 {
+                tc1.add(ctx, 0, AFFINITY_HIGH, &Task::new(h1, vec![]));
+            }
+        }
+        tc1.process(ctx);
+        tc2.process(ctx);
+        count.load(Ordering::Relaxed)
+    });
+    // 9 tasks in tc1 (+1 each) spawn 9 tasks in tc2 (+100 each).
+    assert_eq!(out.results.iter().sum::<u64>(), 9 + 900);
+}
