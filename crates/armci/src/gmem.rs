@@ -3,7 +3,7 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use parking_lot::Mutex;
+use scioto_det::sync::Mutex;
 
 use scioto_sim::{Ctx, VLock};
 

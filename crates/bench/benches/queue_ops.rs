@@ -3,7 +3,7 @@
 //! nanoseconds of actual CPU the split-queue code paths cost in this
 //! implementation, measured on a 2-rank zero-latency machine.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use scioto_bench::tinybench::bench_custom;
 
 use scioto::{Task, TaskCollection, TcConfig};
 use scioto_armci::Armci;
@@ -31,7 +31,7 @@ fn steal_run(iters: u64) -> std::time::Duration {
     let start = std::time::Instant::now();
     Machine::run(MachineConfig::virtual_time(2), move |ctx| {
         let armci = Armci::init(ctx);
-        // Criterion scales `iters`; the queue must hold all seeded tasks.
+        // The harness scales `iters`; the queue must hold all seeded tasks.
         let capacity = (iters as usize * 10 + 64).next_power_of_two();
         let cfg = TcConfig {
             release_threshold: 1 << 20,
@@ -56,17 +56,8 @@ fn steal_run(iters: u64) -> std::time::Duration {
     start.elapsed()
 }
 
-fn bench(c: &mut Criterion) {
-    let mut g = c.benchmark_group("queue_software_overhead");
-    g.sample_size(10);
-    g.bench_function("local_push_pop_pair", |b| {
-        b.iter_custom(|iters| push_pop_run(iters.max(1)))
-    });
-    g.bench_function("steal_chunk10", |b| {
-        b.iter_custom(|iters| steal_run(iters.max(1)))
-    });
-    g.finish();
+fn main() {
+    println!("== queue_software_overhead ==");
+    bench_custom("local_push_pop_pair", |iters| push_pop_run(iters.max(1)));
+    bench_custom("steal_chunk10", |iters| steal_run(iters.max(1)));
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

@@ -3,37 +3,32 @@
 //! per tree node — dominated by the SHA-1 evaluations that generate
 //! children. This bench measures the same quantity on the host CPU.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use scioto_bench::tinybench::bench;
 
 use scioto_uts::node::{TreeKind, TreeParams};
 use scioto_uts::sha1::sha1;
 
-fn bench(c: &mut Criterion) {
-    let mut g = c.benchmark_group("uts_node_processing");
-    g.bench_function("sha1_24byte_message", |b| {
-        let msg = [0xA5u8; 24];
-        b.iter(|| std::hint::black_box(sha1(std::hint::black_box(&msg))))
+fn main() {
+    println!("== uts_node_processing ==");
+    let msg = [0xA5u8; 24];
+    bench("sha1_24byte_message", || {
+        std::hint::black_box(sha1(std::hint::black_box(&msg)));
     });
-    g.bench_function("uts_node_visit_and_spawn", |b| {
-        let p = TreeParams {
-            kind: TreeKind::Geometric {
-                b0: 4.0,
-                gen_mx: 1_000,
-            },
-            seed: 3,
-        };
-        let root = p.root();
-        b.iter(|| {
-            let kids = p.num_children(std::hint::black_box(&root));
-            let mut acc = 0u8;
-            for i in 0..kids {
-                acc ^= root.child(i).state[0];
-            }
-            std::hint::black_box(acc)
-        })
-    });
-    g.finish();
-}
 
-criterion_group!(benches, bench);
-criterion_main!(benches);
+    let p = TreeParams {
+        kind: TreeKind::Geometric {
+            b0: 4.0,
+            gen_mx: 1_000,
+        },
+        seed: 3,
+    };
+    let root = p.root();
+    bench("uts_node_visit_and_spawn", || {
+        let kids = p.num_children(std::hint::black_box(&root));
+        let mut acc = 0u8;
+        for i in 0..kids {
+            acc ^= root.child(i).state[0];
+        }
+        std::hint::black_box(acc);
+    });
+}

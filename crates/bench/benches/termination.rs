@@ -3,7 +3,7 @@
 //! sizes — the wall-clock complement of Figure 4's virtual-time numbers,
 //! and an ablation of the §5.3 votes-before optimization's bookkeeping.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use scioto_bench::tinybench::bench;
 
 use scioto::{Task, TaskCollection, TcConfig, AFFINITY_HIGH};
 use scioto_armci::Armci;
@@ -25,19 +25,10 @@ fn run_once(p: usize, votes_before: bool) {
     );
 }
 
-fn bench(c: &mut Criterion) {
-    let mut g = c.benchmark_group("termination_detection");
-    g.sample_size(10);
+fn main() {
+    println!("== termination_detection ==");
     for p in [2usize, 8, 32] {
-        g.bench_with_input(BenchmarkId::new("noop_phase", p), &p, |b, &p| {
-            b.iter(|| run_once(p, true))
-        });
+        bench(&format!("noop_phase/{p}"), || run_once(p, true));
     }
-    g.bench_function("noop_phase_no_votes_before_opt_p8", |b| {
-        b.iter(|| run_once(8, false))
-    });
-    g.finish();
+    bench("noop_phase_no_votes_before_opt_p8", || run_once(8, false));
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

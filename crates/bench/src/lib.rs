@@ -1,7 +1,10 @@
 //! Shared plumbing for the table/figure regeneration binaries: argument
-//! parsing, aligned table printing, and common sweep helpers.
+//! parsing, aligned table printing, common sweep helpers, and the
+//! dependency-free [`tinybench`] harness backing the `benches/` targets.
 
 use std::fmt::Write as _;
+
+pub mod tinybench;
 
 /// Minimal flag parser: `--key value` pairs and bare flags.
 pub struct Args {

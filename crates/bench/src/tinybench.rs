@@ -1,0 +1,80 @@
+//! A minimal wall-clock benchmark harness (the `criterion` replacement
+//! for the hermetic, zero-dependency build).
+//!
+//! Auto-calibrates the iteration count until one sample runs long enough
+//! to be meaningful, takes several samples, and reports the median
+//! ns/iteration. Not a statistics engine — the numbers feed EXPERIMENTS.md
+//! as order-of-magnitude software-overhead checks, where the medians are
+//! stable to a few percent.
+
+use std::time::{Duration, Instant};
+
+/// Minimum wall time one calibrated sample should take.
+const TARGET_SAMPLE: Duration = Duration::from_millis(20);
+/// Samples taken at the calibrated iteration count.
+const SAMPLES: usize = 5;
+
+/// Benchmark a closure, timing `iters` consecutive invocations per
+/// sample.
+pub fn bench(name: &str, mut f: impl FnMut()) {
+    bench_custom(name, |iters| {
+        let start = Instant::now();
+        for _ in 0..iters {
+            f();
+        }
+        start.elapsed()
+    });
+}
+
+/// Benchmark with caller-controlled timing: `run(iters)` must execute the
+/// workload `iters` times and return the total elapsed wall time (the
+/// `iter_custom` pattern — lets setup cost stay outside the measurement).
+pub fn bench_custom(name: &str, mut run: impl FnMut(u64) -> Duration) {
+    // Calibrate: double the iteration count until one sample is long
+    // enough that per-sample overhead (thread spawns, clock reads) is
+    // amortized.
+    let mut iters = 1u64;
+    loop {
+        let d = run(iters);
+        if d >= TARGET_SAMPLE || iters >= 1 << 24 {
+            break;
+        }
+        // Jump close to the target in one step when the measurement is
+        // informative, otherwise double.
+        let factor = if d > Duration::from_micros(100) {
+            (TARGET_SAMPLE.as_nanos() / d.as_nanos().max(1)).clamp(2, 1024) as u64
+        } else {
+            2
+        };
+        iters = iters.saturating_mul(factor).min(1 << 24);
+    }
+    let mut per_iter: Vec<f64> = (0..SAMPLES)
+        .map(|_| run(iters).as_nanos() as f64 / iters as f64)
+        .collect();
+    per_iter.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    let median = per_iter[per_iter.len() / 2];
+    let min = per_iter[0];
+    let max = per_iter[per_iter.len() - 1];
+    println!(
+        "{name:<40} {median:>12.1} ns/iter  (min {min:.1}, max {max:.1}, \
+         {iters} iters x {SAMPLES} samples)"
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn calibration_terminates_on_slow_workloads() {
+        // A deliberately slow single iteration must not loop forever.
+        bench_custom("slow", |iters| Duration::from_millis(25 * iters.max(1)));
+    }
+
+    #[test]
+    fn bench_runs_the_closure() {
+        let mut count = 0u64;
+        bench("counter", || count += 1);
+        assert!(count > 0);
+    }
+}

@@ -11,7 +11,7 @@
 use std::any::Any;
 use std::sync::Arc;
 
-use parking_lot::RwLock;
+use scioto_det::sync::RwLock;
 
 /// Portable handle to a collectively registered common local object.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]

@@ -4,8 +4,6 @@ use std::any::Any;
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
 
-use rand::Rng;
-
 use scioto_armci::Armci;
 use scioto_sim::Ctx;
 
@@ -66,7 +64,16 @@ impl<'a> TaskCtx<'a> {
 
 impl TaskCollection {
     /// Collectively create a task collection (`tc_create`).
+    ///
+    /// # Panics
+    /// Panics with a descriptive message if `cfg` violates its invariants
+    /// (`max_tasks < 2`, `chunk == 0`, bad `release_fraction`) — checked
+    /// here so misconfiguration fails at construction, not deep inside
+    /// slot encoding on the first add.
     pub fn create(ctx: &Ctx, armci: &Arc<Armci>, cfg: TcConfig) -> Arc<TaskCollection> {
+        if let Err(e) = cfg.validate() {
+            panic!("invalid TcConfig: {e}");
+        }
         let n = ctx.nranks();
         let queue = PatchQueue::new(ctx, armci, &cfg);
         let detector = WaveDetector::new(ctx, armci, cfg.td_votes_before_opt);
@@ -127,23 +134,9 @@ impl TaskCollection {
     /// High-affinity local adds are lock-free; low-affinity and remote
     /// adds insert at the stealable tail of the target queue.
     pub fn add(&self, ctx: &Ctx, proc: usize, affinity: i32, task: &Task) {
-        assert!(
-            task.body().len() <= self.cfg.max_body,
-            "task body of {} bytes exceeds max_body = {}",
-            task.body().len(),
-            self.cfg.max_body
-        );
         let me = ctx.rank();
         self.counters[me].tasks_spawned.fetch_add(1, Ordering::Relaxed);
-        let rec = TaskRecord {
-            header: TaskHeader {
-                callback: task.handle().0,
-                affinity,
-                creator: me as u32,
-                body_len: task.body().len() as u32,
-            },
-            body: task.body().to_vec(),
-        };
+        let rec = self.record_for(ctx, affinity, task);
         if proc == me {
             self.queue
                 .push_local(ctx, &self.armci, &rec, &self.counters[me]);
@@ -365,6 +358,15 @@ impl TaskCollection {
     }
 
     fn record_for(&self, ctx: &Ctx, affinity: i32, task: &Task) -> TaskRecord {
+        // Reject oversized bodies here — the one place every add path
+        // (including the bench entry points) builds its record — so the
+        // failure is a clear message, not a slice panic in slot encoding.
+        assert!(
+            task.body().len() <= self.cfg.max_body,
+            "task body of {} bytes exceeds max_body = {}",
+            task.body().len(),
+            self.cfg.max_body
+        );
         TaskRecord {
             header: TaskHeader {
                 callback: task.handle().0,

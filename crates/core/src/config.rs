@@ -62,9 +62,7 @@ pub struct TcConfig {
 impl TcConfig {
     /// A split-queue, work-stealing collection — the paper's default.
     pub fn new(max_body: usize, chunk: usize, max_tasks: usize) -> Self {
-        assert!(chunk >= 1, "chunk size must be at least 1");
-        assert!(max_tasks >= 2, "collection must hold at least 2 tasks");
-        TcConfig {
+        let cfg = TcConfig {
             max_body,
             chunk,
             max_tasks,
@@ -78,7 +76,45 @@ impl TcConfig {
             release_threshold: 1,
             release_fraction: 0.5,
             td_votes_before_opt: true,
+        };
+        if let Err(e) = cfg.validate() {
+            panic!("invalid TcConfig: {e}");
         }
+        cfg
+    }
+
+    /// Check the configuration's invariants, returning a description of
+    /// the first violation.
+    ///
+    /// [`crate::TaskCollection::create`] calls this, so a bad
+    /// configuration (including one assembled with struct-literal syntax,
+    /// which bypasses [`TcConfig::new`]) is rejected with a clear message
+    /// at construction instead of panicking later inside slot encoding or
+    /// hanging the steal loop.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.max_tasks < 2 {
+            return Err(format!(
+                "max_tasks = {}: collection must hold at least 2 tasks per patch",
+                self.max_tasks
+            ));
+        }
+        if self.chunk == 0 {
+            return Err(
+                "chunk size must be at least 1: a steal that moves zero tasks \
+                 can never make progress"
+                    .to_string(),
+            );
+        }
+        if !self.release_fraction.is_finite()
+            || self.release_fraction <= 0.0
+            || self.release_fraction > 1.0
+        {
+            return Err(format!(
+                "release_fraction = {}: must be in (0, 1]",
+                self.release_fraction
+            ));
+        }
+        Ok(())
     }
 
     /// Toggle the §5.3 dirty-mark elision optimization.
@@ -120,5 +156,39 @@ mod tests {
     #[should_panic(expected = "chunk size")]
     fn zero_chunk_rejected() {
         TcConfig::new(8, 0, 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2 tasks")]
+    fn zero_max_tasks_rejected() {
+        TcConfig::new(8, 1, 0);
+    }
+
+    #[test]
+    fn validate_catches_struct_literal_violations() {
+        // Struct-update syntax bypasses `new`'s checks; `validate` (run by
+        // `TaskCollection::create`) must still reject the result.
+        let bad_tasks = TcConfig {
+            max_tasks: 0,
+            ..TcConfig::new(8, 1, 16)
+        };
+        assert!(bad_tasks.validate().unwrap_err().contains("max_tasks = 0"));
+
+        let bad_chunk = TcConfig {
+            chunk: 0,
+            ..TcConfig::new(8, 1, 16)
+        };
+        assert!(bad_chunk.validate().unwrap_err().contains("chunk size"));
+
+        let bad_fraction = TcConfig {
+            release_fraction: f64::NAN,
+            ..TcConfig::new(8, 1, 16)
+        };
+        assert!(bad_fraction
+            .validate()
+            .unwrap_err()
+            .contains("release_fraction"));
+
+        assert!(TcConfig::new(8, 1, 16).validate().is_ok());
     }
 }

@@ -192,12 +192,12 @@ fn creator_and_affinity_visible_to_tasks() {
     let out = Machine::run(MachineConfig::virtual_time(2), |ctx| {
         let armci = Armci::init(ctx);
         let tc = TaskCollection::create(ctx, &armci, TcConfig::new(8, 2, 16));
-        let seen = Arc::new(parking_lot::Mutex::new(Vec::<(usize, i32)>::new()));
+        let seen = Arc::new(scioto_det::sync::Mutex::new(Vec::<(usize, i32)>::new()));
         let clo = tc.register_clo(ctx, seen.clone());
         let h = tc.register(
             ctx,
             Arc::new(move |t| {
-                let s: Arc<parking_lot::Mutex<Vec<(usize, i32)>>> = t.tc.clo(t.ctx, clo);
+                let s: Arc<scioto_det::sync::Mutex<Vec<(usize, i32)>>> = t.tc.clo(t.ctx, clo);
                 s.lock().push((t.creator(), t.affinity()));
             }),
         );
@@ -243,4 +243,45 @@ fn concurrent_mode_locked_queue_soak() {
         });
         assert_eq!(out.results.iter().sum::<u64>(), 400);
     }
+}
+
+#[test]
+#[should_panic(expected = "invalid TcConfig: max_tasks = 0")]
+fn create_rejects_zero_capacity_config() {
+    // Struct-literal configs bypass `TcConfig::new`'s checks; `create`
+    // must reject them before any slot arithmetic runs.
+    Machine::run(MachineConfig::virtual_time(1), |ctx| {
+        let armci = Armci::init(ctx);
+        let cfg = TcConfig {
+            max_tasks: 0,
+            ..TcConfig::new(8, 2, 16)
+        };
+        TaskCollection::create(ctx, &armci, cfg);
+    });
+}
+
+#[test]
+#[should_panic(expected = "invalid TcConfig: chunk size")]
+fn create_rejects_zero_chunk_config() {
+    Machine::run(MachineConfig::virtual_time(1), |ctx| {
+        let armci = Armci::init(ctx);
+        let cfg = TcConfig {
+            chunk: 0,
+            ..TcConfig::new(8, 2, 16)
+        };
+        TaskCollection::create(ctx, &armci, cfg);
+    });
+}
+
+#[test]
+#[should_panic(expected = "exceeds max_body")]
+fn bench_push_rejects_oversized_body() {
+    // The bench entry points share the descriptive body-size check with
+    // `add` — an oversized body must not reach slot encoding.
+    Machine::run(MachineConfig::virtual_time(1), |ctx| {
+        let armci = Armci::init(ctx);
+        let tc = TaskCollection::create(ctx, &armci, TcConfig::new(8, 2, 16));
+        let h = tc.register(ctx, Arc::new(|_| {}));
+        tc.bench_push_local(ctx, &Task::new(h, vec![0u8; 9]));
+    });
 }

@@ -1,30 +1,36 @@
-//! Property tests of the task-collection invariants: conservation (no
+//! Randomized tests of the task-collection invariants: conservation (no
 //! task lost or duplicated) and termination safety under randomized
 //! workloads, queue kinds, chunk sizes, and spawn topologies.
+//!
+//! Ported from `proptest` to seeded loops over the in-tree deterministic
+//! RNG so the default workspace carries zero external dependencies; every
+//! case is reproducible from the printed case seed.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use parking_lot::Mutex;
-use proptest::prelude::*;
+use scioto_det::sync::Mutex;
+use scioto_det::Rng;
 
 use scioto::{QueueKind, Task, TaskCollection, TcConfig, AFFINITY_HIGH, AFFINITY_LOW};
 use scioto_armci::Armci;
 use scioto_sim::{LatencyModel, Machine, MachineConfig};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(16))]
+/// Every seeded task executes exactly once, for any rank count, chunk,
+/// queue kind, affinity mix, and seeding pattern.
+#[test]
+fn tasks_execute_exactly_once() {
+    for case in 0..16u64 {
+        let mut rng = Rng::stream(0x7A5C_0001, case);
+        let ranks = rng.gen_range(1..6usize);
+        let chunk = rng.gen_range(1..8usize);
+        let locked = rng.gen_bool(0.5);
+        let nseeds = rng.gen_range(1..80usize);
+        let seeds: Vec<(usize, bool)> = (0..nseeds)
+            .map(|_| (rng.gen_range(0..6usize), rng.gen_bool(0.5)))
+            .collect();
+        let machine_seed = rng.gen_range(0..1_000u64);
 
-    /// Every seeded task executes exactly once, for any rank count, chunk,
-    /// queue kind, affinity mix, and seeding pattern.
-    #[test]
-    fn tasks_execute_exactly_once(
-        ranks in 1usize..6,
-        chunk in 1usize..8,
-        locked in proptest::bool::ANY,
-        seeds in proptest::collection::vec((0usize..6, proptest::bool::ANY), 1..80),
-        machine_seed in 0u64..1_000,
-    ) {
         let seeds2 = seeds.clone();
         let cfg = MachineConfig::virtual_time(ranks)
             .with_latency(LatencyModel::cluster())
@@ -61,18 +67,21 @@ proptest! {
         let mut all: Vec<u64> = out.results.into_iter().flatten().collect();
         all.sort_unstable();
         let expect: Vec<u64> = (0..seeds.len() as u64).collect();
-        prop_assert_eq!(all, expect);
+        assert_eq!(all, expect, "case {case}: lost or duplicated tasks");
     }
+}
 
-    /// Random recursive spawn trees: the number of executed tasks matches
-    /// the algebraic tree size, wherever tasks migrate.
-    #[test]
-    fn recursive_spawns_all_execute(
-        ranks in 2usize..5,
-        fanout in 1u64..4,
-        depth in 1u64..5,
-        machine_seed in 0u64..1_000,
-    ) {
+/// Random recursive spawn trees: the number of executed tasks matches
+/// the algebraic tree size, wherever tasks migrate.
+#[test]
+fn recursive_spawns_all_execute() {
+    for case in 0..16u64 {
+        let mut rng = Rng::stream(0x7A5C_0002, case);
+        let ranks = rng.gen_range(2..5usize);
+        let fanout = rng.gen_range(1..4u64);
+        let depth = rng.gen_range(1..5u64);
+        let machine_seed = rng.gen_range(0..1_000u64);
+
         let cfg = MachineConfig::virtual_time(ranks)
             .with_latency(LatencyModel::cluster())
             .with_seed(machine_seed);
@@ -113,16 +122,24 @@ proptest! {
             expect += level;
             level *= fanout;
         }
-        prop_assert_eq!(out.results.iter().sum::<u64>(), expect);
+        assert_eq!(
+            out.results.iter().sum::<u64>(),
+            expect,
+            "case {case}: fanout={fanout} depth={depth}"
+        );
     }
+}
 
-    /// Phase reuse: random per-phase seed counts all process correctly
-    /// through reset cycles.
-    #[test]
-    fn reset_cycles_preserve_counts(
-        phases in proptest::collection::vec(0u64..30, 1..4),
-        ranks in 1usize..4,
-    ) {
+/// Phase reuse: random per-phase seed counts all process correctly
+/// through reset cycles.
+#[test]
+fn reset_cycles_preserve_counts() {
+    for case in 0..16u64 {
+        let mut rng = Rng::stream(0x7A5C_0003, case);
+        let nphases = rng.gen_range(1..4usize);
+        let phases: Vec<u64> = (0..nphases).map(|_| rng.gen_range(0..30u64)).collect();
+        let ranks = rng.gen_range(1..4usize);
+
         let phases2 = phases.clone();
         let out = Machine::run(MachineConfig::virtual_time(ranks), move |ctx| {
             let armci = Armci::init(ctx);
@@ -148,7 +165,7 @@ proptest! {
         });
         for (i, &count) in phases.iter().enumerate() {
             let total: u64 = out.results.iter().map(|v| v[i]).sum();
-            prop_assert_eq!(total, count);
+            assert_eq!(total, count, "case {case}: phase {i}");
         }
     }
 }

@@ -2,7 +2,7 @@
 
 use std::sync::Arc;
 
-use parking_lot::RwLock;
+use scioto_det::sync::RwLock;
 
 use scioto_armci::{Armci, Gmem, Strided};
 use scioto_sim::Ctx;

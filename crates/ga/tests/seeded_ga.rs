@@ -1,18 +1,21 @@
-//! Property tests of Global Arrays against a local mirror model: any
+//! Randomized tests of Global Arrays against a local mirror model: any
 //! sequence of put/acc operations applied both to the distributed array
 //! and to a plain dense matrix must agree on every subsequent get.
+//!
+//! Ported from `proptest` to seeded loops over the in-tree deterministic
+//! RNG; every case is reproducible from the printed case number.
 
-use proptest::prelude::*;
-
+use scioto_det::Rng;
 use scioto_ga::{Ga, Patch};
 use scioto_sim::{Machine, MachineConfig};
 
-/// A randomly generated patch inside an `rows × cols` array.
-fn arb_patch(rows: usize, cols: usize) -> impl Strategy<Value = Patch> {
-    (0..rows, 0..cols).prop_flat_map(move |(rlo, clo)| {
-        (Just(rlo), (rlo + 1)..=rows, Just(clo), (clo + 1)..=cols)
-            .prop_map(|(rlo, rhi, clo, chi)| Patch::new(rlo, rhi, clo, chi))
-    })
+/// A random patch inside an `rows × cols` array.
+fn random_patch(rng: &mut Rng, rows: usize, cols: usize) -> Patch {
+    let rlo = rng.gen_range(0..rows);
+    let rhi = rng.gen_range(rlo + 1..=rows);
+    let clo = rng.gen_range(0..cols);
+    let chi = rng.gen_range(clo + 1..=cols);
+    Patch::new(rlo, rhi, clo, chi)
 }
 
 #[derive(Debug, Clone)]
@@ -21,26 +24,27 @@ enum Op {
     Acc(Patch, f64, f64),
 }
 
-fn arb_op(rows: usize, cols: usize) -> impl Strategy<Value = Op> {
-    prop_oneof![
-        (arb_patch(rows, cols), -5.0f64..5.0).prop_map(|(p, v)| Op::Put(p, v)),
-        (arb_patch(rows, cols), -2.0f64..2.0, -3.0f64..3.0)
-            .prop_map(|(p, a, v)| Op::Acc(p, a, v)),
-    ]
+fn random_op(rng: &mut Rng, rows: usize, cols: usize) -> Op {
+    let p = random_patch(rng, rows, cols);
+    if rng.gen_bool(0.5) {
+        Op::Put(p, rng.gen_range(-5.0..5.0))
+    } else {
+        Op::Acc(p, rng.gen_range(-2.0..2.0), rng.gen_range(-3.0..3.0))
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(16))]
+/// Distributed array contents always match the dense mirror.
+#[test]
+fn ga_matches_dense_mirror() {
+    const ROWS: usize = 9;
+    const COLS: usize = 7;
+    for case in 0..16u64 {
+        let mut rng = Rng::stream(0x6A11_0001, case);
+        let ranks = rng.gen_range(1..6usize);
+        let nops = rng.gen_range(1..12usize);
+        let ops: Vec<Op> = (0..nops).map(|_| random_op(&mut rng, ROWS, COLS)).collect();
+        let check = random_patch(&mut rng, ROWS, COLS);
 
-    /// Distributed array contents always match the dense mirror.
-    #[test]
-    fn ga_matches_dense_mirror(
-        ranks in 1usize..6,
-        ops in proptest::collection::vec(arb_op(9, 7), 1..12),
-        check in arb_patch(9, 7),
-    ) {
-        const ROWS: usize = 9;
-        const COLS: usize = 7;
         let ops2 = ops.clone();
         let out = Machine::run(MachineConfig::virtual_time(ranks), move |ctx| {
             let ga = Ga::init(ctx);
@@ -84,21 +88,24 @@ proptest! {
         // match rank 0's read (they all see the same distributed state).
         let (got0, want0, _) = &out.results[0];
         for (g, w) in got0.iter().zip(want0) {
-            prop_assert!((g - w).abs() < 1e-9, "{g} vs {w}");
+            assert!((g - w).abs() < 1e-9, "case {case}: {g} vs {w}");
         }
         for (got, _, _) in &out.results[1..] {
-            prop_assert_eq!(got, got0);
+            assert_eq!(got, got0, "case {case}: rank read diverges from rank 0");
         }
     }
+}
 
-    /// `read_inc` with arbitrary increments is a serial counter: the set
-    /// of observed values is exactly the prefix sums.
-    #[test]
-    fn read_inc_is_a_serial_counter(
-        ranks in 1usize..5,
-        draws in 1usize..12,
-        inc in 1i64..5,
-    ) {
+/// `read_inc` with arbitrary increments is a serial counter: the set
+/// of observed values is exactly the prefix sums.
+#[test]
+fn read_inc_is_a_serial_counter() {
+    for case in 0..16u64 {
+        let mut rng = Rng::stream(0x6A11_0002, case);
+        let ranks = rng.gen_range(1..5usize);
+        let draws = rng.gen_range(1..12usize);
+        let inc = rng.gen_range(1..5i64);
+
         let out = Machine::run(MachineConfig::virtual_time(ranks), move |ctx| {
             let ga = Ga::init(ctx);
             let c = ga.create_counter(ctx, 0);
@@ -108,6 +115,6 @@ proptest! {
         let mut all: Vec<i64> = out.results.into_iter().flatten().collect();
         all.sort_unstable();
         let expect: Vec<i64> = (0..(ranks * draws) as i64).map(|k| k * inc).collect();
-        prop_assert_eq!(all, expect);
+        assert_eq!(all, expect, "case {case}");
     }
 }

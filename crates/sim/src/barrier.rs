@@ -1,6 +1,6 @@
 //! A virtual-time-aware barrier.
 
-use parking_lot::Mutex;
+use scioto_det::sync::Mutex;
 
 use crate::kernel::Kernel;
 

@@ -4,8 +4,7 @@ use std::any::Any;
 use std::cell::RefCell;
 use std::sync::Arc;
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use scioto_det::Rng;
 
 use crate::config::{ExecMode, LatencyModel};
 use crate::kernel::Kernel;
@@ -23,7 +22,7 @@ pub struct Ctx {
     nranks: usize,
     kernel: Arc<Kernel>,
     shared: Arc<Shared>,
-    rng: RefCell<StdRng>,
+    rng: RefCell<Rng>,
 }
 
 impl Ctx {
@@ -34,9 +33,11 @@ impl Ctx {
             nranks,
             kernel,
             shared,
-            rng: RefCell::new(StdRng::seed_from_u64(
-                seed ^ (rank as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
-            )),
+            // Per-rank stream derived by hashing (seed, rank) through
+            // SplitMix64. The earlier `seed ^ rank * CONST` XOR-mix was
+            // linear: e.g. (seed = CONST, rank = 0) and (seed = 0,
+            // rank = 1) produced identical streams.
+            rng: RefCell::new(Rng::stream(seed, rank as u64)),
         }
     }
 
@@ -108,7 +109,7 @@ impl Ctx {
     }
 
     /// Deterministic per-rank random number generator.
-    pub fn rng(&self) -> std::cell::RefMut<'_, StdRng> {
+    pub fn rng(&self) -> std::cell::RefMut<'_, Rng> {
         self.rng.borrow_mut()
     }
 

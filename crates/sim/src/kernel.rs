@@ -5,7 +5,7 @@
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::time::Instant;
 
-use parking_lot::{Condvar, Mutex};
+use scioto_det::sync::{Condvar, Mutex};
 
 use crate::config::{ExecMode, SpeedModel};
 use crate::report::EventCounters;
@@ -322,7 +322,7 @@ impl Kernel {
         out
     }
 
-    fn wait_until_running(&self, rank: usize, s: &mut parking_lot::MutexGuard<'_, Sched>) {
+    fn wait_until_running(&self, rank: usize, s: &mut scioto_det::sync::MutexGuard<'_, Sched>) {
         while s.status[rank] != Status::Running {
             self.check_poison();
             self.cvs[rank].wait(s);

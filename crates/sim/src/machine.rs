@@ -4,7 +4,7 @@ use std::any::Any;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::Arc;
 
-use parking_lot::Mutex;
+use scioto_det::sync::Mutex;
 
 use crate::barrier::SimBarrier;
 use crate::config::{ExecMode, LatencyModel, MachineConfig};
@@ -217,10 +217,9 @@ mod tests {
     fn deterministic_across_runs() {
         let run = || {
             Machine::run(MachineConfig::virtual_time(6), |ctx| {
-                use rand::Rng;
                 let mut acc = 0u64;
                 for _ in 0..100 {
-                    let x: u64 = ctx.rng().gen_range(0..1_000);
+                    let x: u64 = ctx.rng().gen_range(0..1_000u64);
                     ctx.compute(x);
                     ctx.yield_point();
                     acc = acc.wrapping_mul(31).wrapping_add(ctx.now());
@@ -245,10 +244,9 @@ mod tests {
 
     #[test]
     fn rng_differs_across_ranks_but_is_seed_stable() {
-        use rand::Rng;
         let draw = |seed| {
             Machine::run(MachineConfig::virtual_time(4).with_seed(seed), |ctx| {
-                ctx.rng().gen::<u64>()
+                ctx.rng().next_u64()
             })
             .results
         };

@@ -9,7 +9,7 @@
 use std::collections::VecDeque;
 use std::sync::atomic::Ordering;
 
-use parking_lot::Mutex;
+use scioto_det::sync::Mutex;
 
 use crate::ctx::Ctx;
 

@@ -8,7 +8,7 @@
 
 use std::collections::VecDeque;
 
-use parking_lot::Mutex;
+use scioto_det::sync::Mutex;
 
 use crate::ctx::Ctx;
 

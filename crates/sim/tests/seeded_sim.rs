@@ -1,0 +1,111 @@
+//! Randomized tests of the virtual-time machine's synchronization
+//! primitives: barrier timing, lock exclusion, mailbox ordering.
+//!
+//! Ported from `proptest` to seeded loops over the in-tree deterministic
+//! RNG; every case is reproducible from the printed case number.
+
+use scioto_det::Rng;
+use scioto_sim::{Machine, MachineConfig, MailboxRouter, MsgFilter, VLock};
+
+/// A barrier releases every rank at exactly max(arrival) + cost.
+#[test]
+fn barrier_release_is_max_arrival_plus_cost() {
+    for case in 0..24u64 {
+        let mut rng = Rng::stream(0x51B1_0001, case);
+        let n = rng.gen_range(1..6usize);
+        let work: Vec<u64> = (0..n).map(|_| rng.gen_range(0..50_000u64)).collect();
+        let cost = rng.gen_range(0..10_000u64);
+
+        let work2 = work.clone();
+        let out = Machine::run(MachineConfig::virtual_time(n), move |ctx| {
+            ctx.compute(work2[ctx.rank()]);
+            ctx.barrier_with_cost(cost);
+            ctx.now()
+        });
+        let expect = work.iter().max().unwrap() + cost;
+        for t in out.results {
+            assert_eq!(t, expect, "case {case}: work={work:?} cost={cost}");
+        }
+    }
+}
+
+/// Critical sections guarded by a VLock never overlap in virtual time,
+/// whatever the arrival pattern.
+#[test]
+fn vlock_sections_never_overlap() {
+    for case in 0..24u64 {
+        let mut rng = Rng::stream(0x51B1_0002, case);
+        let n = rng.gen_range(2..6usize);
+        let offsets: Vec<u64> = (0..n).map(|_| rng.gen_range(0..5_000u64)).collect();
+        let section = rng.gen_range(1..20_000u64);
+
+        let offs = offsets.clone();
+        let out = Machine::run(MachineConfig::virtual_time(n), move |ctx| {
+            let lock = ctx.collective(VLock::new);
+            ctx.compute(offs[ctx.rank()]);
+            lock.acquire(ctx, 0);
+            let start = ctx.now();
+            ctx.compute(section);
+            let end = ctx.now();
+            lock.release(ctx, 0);
+            (start, end)
+        });
+        let mut intervals = out.results;
+        intervals.sort_unstable();
+        for w in intervals.windows(2) {
+            assert!(
+                w[1].0 >= w[0].1,
+                "case {case}: overlapping critical sections: {w:?}"
+            );
+        }
+    }
+}
+
+/// Messages from one sender to one receiver arrive in send order.
+#[test]
+fn mailbox_fifo_per_sender() {
+    for case in 0..24u64 {
+        let mut rng = Rng::stream(0x51B1_0003, case);
+        let count = rng.gen_range(1..40usize);
+        let gap = rng.gen_range(0..2_000u64);
+
+        let out = Machine::run(MachineConfig::virtual_time(2), move |ctx| {
+            let router = ctx.collective(|| MailboxRouter::new(2));
+            if ctx.rank() == 0 {
+                for i in 0..count as u64 {
+                    router.send(ctx, 1, 0, i.to_le_bytes().to_vec(), 100, 1_000);
+                    ctx.compute(gap);
+                }
+                Vec::new()
+            } else {
+                (0..count)
+                    .map(|_| {
+                        let m = router.recv(ctx, MsgFilter::any());
+                        u64::from_le_bytes(m.data.try_into().expect("8 bytes"))
+                    })
+                    .collect()
+            }
+        });
+        let expect: Vec<u64> = (0..count as u64).collect();
+        assert_eq!(&out.results[1], &expect, "case {case}: count={count} gap={gap}");
+    }
+}
+
+/// Per-rank virtual clocks never exceed the reported makespan, and the
+/// makespan equals the maximum final clock.
+#[test]
+fn makespan_is_max_clock() {
+    for case in 0..24u64 {
+        let mut rng = Rng::stream(0x51B1_0004, case);
+        let n = rng.gen_range(1..8usize);
+        let work: Vec<u64> = (0..n).map(|_| rng.gen_range(0..100_000u64)).collect();
+
+        let w = work.clone();
+        let out = Machine::run(MachineConfig::virtual_time(n), move |ctx| {
+            ctx.compute(w[ctx.rank()]);
+        });
+        let max = *out.report.rank_clock_ns.iter().max().unwrap();
+        assert_eq!(out.report.makespan_ns, max, "case {case}");
+        assert_eq!(&out.report.rank_clock_ns, &work, "case {case}");
+    }
+}

@@ -1,7 +1,6 @@
 //! Block-sparse tiled matrices over Global Arrays.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use scioto_det::Rng;
 
 use scioto_ga::{Ga, GaHandle, Patch};
 use scioto_sim::Ctx;
@@ -48,14 +47,14 @@ pub struct BlockSparse {
 impl BlockSparse {
     /// Deterministic mask for the given shape and pattern.
     pub fn make_mask(nbr: usize, nbc: usize, p: &SparsityPattern) -> Vec<bool> {
-        let mut rng = StdRng::seed_from_u64(p.seed);
+        let mut rng = Rng::seed_from_u64(p.seed);
         (0..nbr * nbc)
             .map(|idx| {
                 let (r, c) = (idx / nbc, idx % nbc);
                 let sym_ok = p.symmetry == 0 || !((r + c) as u64).is_multiple_of(p.symmetry);
                 // Draw for every tile so the mask does not depend on
                 // iteration order shortcuts.
-                let keep = rng.gen::<f64>() < p.density;
+                let keep = rng.gen_f64() < p.density;
                 sym_ok && keep
             })
             .collect()
@@ -84,7 +83,7 @@ impl BlockSparse {
         // Rank 0 fills the data (bulk initialization; the interesting
         // communication is in the contraction, not the fill).
         if ctx.rank() == 0 {
-            let mut rng = StdRng::seed_from_u64(pattern.seed ^ 0xDA7A);
+            let mut rng = Rng::seed_from_u64(pattern.seed ^ 0xDA7A);
             for r in 0..nbr {
                 for c in 0..nbc {
                     if !t.present(r, c) {

@@ -151,7 +151,6 @@ pub fn run_mpi_uts(ctx: &Ctx, cfg: &MpiUtsConfig) -> (TreeStats, MpiWsStats) {
             // Attempt a steal from a random victim.
             let victim = {
                 let mut rng = ctx.rng();
-                use rand::Rng;
                 let mut v = rng.gen_range(0..n - 1);
                 if v >= me {
                     v += 1;

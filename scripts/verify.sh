@@ -1,0 +1,30 @@
+#!/usr/bin/env sh
+# Tier-1 verification, fully offline — proves the hermetic-build claim:
+# a clean checkout builds and tests with no registry access, and the
+# dependency graph contains nothing but workspace crates.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== cargo tree: auditing for external dependencies =="
+# Every node in the default-feature dependency graph must be a local
+# workspace crate. `cargo tree` prints local path deps with a trailing
+# "(/abs/path)"; anything without one came from a registry.
+tree_out=$(cargo tree --workspace --edges normal,build,dev --offline)
+external=$(printf '%s\n' "$tree_out" \
+    | grep -Eo '[a-zA-Z0-9_-]+ v[0-9][^ ]*( \(.*\))?$' \
+    | grep -v '(/' || true)
+if [ -n "$external" ]; then
+    echo "FAIL: non-workspace dependencies found:" >&2
+    printf '%s\n' "$external" | sort -u >&2
+    exit 1
+fi
+echo "ok: dependency graph is workspace-only"
+
+echo "== cargo build --release --offline =="
+cargo build --release --offline
+
+echo "== cargo test -q --offline (tier-1) =="
+cargo test -q --offline
+
+echo "verify.sh: all checks passed"
