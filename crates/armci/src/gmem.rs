@@ -5,7 +5,7 @@ use std::sync::Arc;
 
 use scioto_det::sync::Mutex;
 
-use scioto_sim::{Ctx, VLock};
+use scioto_sim::{Ctx, RemoteOpKind, TraceEvent, VLock};
 
 use crate::world::Armci;
 
@@ -108,6 +108,11 @@ impl Armci {
     pub fn put(&self, ctx: &Ctx, g: Gmem, rank: usize, offset: usize, src: &[u8]) {
         self.check_bounds(g, rank, offset, src.len());
         ctx.yield_point();
+        ctx.trace(|| TraceEvent::RemoteOp {
+            kind: RemoteOpKind::Put,
+            target: rank as u32,
+            bytes: src.len() as u32,
+        });
         let seg = self.segment(g);
         seg.data[rank].lock()[offset..offset + src.len()].copy_from_slice(src);
         ctx.charge_net(self.xfer_cost(ctx, rank, src.len()));
@@ -117,6 +122,11 @@ impl Armci {
     pub fn get(&self, ctx: &Ctx, g: Gmem, rank: usize, offset: usize, dst: &mut [u8]) {
         self.check_bounds(g, rank, offset, dst.len());
         ctx.yield_point();
+        ctx.trace(|| TraceEvent::RemoteOp {
+            kind: RemoteOpKind::Get,
+            target: rank as u32,
+            bytes: dst.len() as u32,
+        });
         let seg = self.segment(g);
         dst.copy_from_slice(&seg.data[rank].lock()[offset..offset + dst.len()]);
         ctx.charge_net(self.xfer_cost(ctx, rank, dst.len()));
@@ -137,6 +147,11 @@ impl Armci {
         self.check_bounds(g, rank, offset, len);
         assert_eq!(offset % 8, 0, "acc_f64 offset must be 8-byte aligned");
         ctx.yield_point();
+        ctx.trace(|| TraceEvent::RemoteOp {
+            kind: RemoteOpKind::Acc,
+            target: rank as u32,
+            bytes: len as u32,
+        });
         let seg = self.segment(g);
         let mut data = seg.data[rank].lock();
         for (i, v) in src.iter().enumerate() {
@@ -162,6 +177,11 @@ impl Armci {
         self.check_bounds(g, rank, offset, len);
         assert_eq!(offset % 8, 0, "acc_i64 offset must be 8-byte aligned");
         ctx.yield_point();
+        ctx.trace(|| TraceEvent::RemoteOp {
+            kind: RemoteOpKind::Acc,
+            target: rank as u32,
+            bytes: len as u32,
+        });
         let seg = self.segment(g);
         let mut data = seg.data[rank].lock();
         for (i, v) in src.iter().enumerate() {

@@ -7,7 +7,7 @@
 
 use std::sync::Arc;
 
-use scioto_sim::{Ctx, VLock};
+use scioto_sim::{Ctx, RemoteOpKind, TraceEvent, VLock};
 
 use crate::world::Armci;
 
@@ -67,6 +67,11 @@ impl Armci {
     /// Acquire mutex `idx` on `rank`, blocking in virtual time while held.
     pub fn lock(&self, ctx: &Ctx, set: MutexSet, idx: usize, rank: usize) {
         let storage = self.mutex(set, idx, rank);
+        ctx.trace(|| TraceEvent::RemoteOp {
+            kind: RemoteOpKind::Lock,
+            target: rank as u32,
+            bytes: 0,
+        });
         storage.locks[rank][idx].acquire(ctx, self.lock_cost(ctx, rank));
     }
 
@@ -79,6 +84,11 @@ impl Armci {
     /// Release mutex `idx` on `rank`.
     pub fn unlock(&self, ctx: &Ctx, set: MutexSet, idx: usize, rank: usize) {
         let storage = self.mutex(set, idx, rank);
+        ctx.trace(|| TraceEvent::RemoteOp {
+            kind: RemoteOpKind::Unlock,
+            target: rank as u32,
+            bytes: 0,
+        });
         storage.locks[rank][idx].release(ctx, self.lock_cost(ctx, rank));
     }
 }

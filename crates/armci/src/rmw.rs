@@ -1,7 +1,7 @@
 //! Remote read-modify-write operations (ARMCI_Rmw): fetch-and-add, swap,
 //! compare-and-swap on 8-byte little-endian integers in global memory.
 
-use scioto_sim::Ctx;
+use scioto_sim::{Ctx, RemoteOpKind, TraceEvent};
 
 use crate::gmem::Gmem;
 use crate::world::Armci;
@@ -33,6 +33,11 @@ impl Armci {
         // one at a time. Waiting in the service queue spans virtual time,
         // which is what bounds a hot counter's throughput.
         let service = ctx.latency().rmw_service;
+        ctx.trace(|| TraceEvent::RemoteOp {
+            kind: RemoteOpKind::Rmw,
+            target: rank as u32,
+            bytes: 8,
+        });
         let word = seg.hot_word(rank, offset);
         word.acquire(ctx, 0);
         ctx.charge_net(service);

@@ -7,13 +7,15 @@ use scioto_bench::tinybench::bench_custom;
 
 use scioto::{Task, TaskCollection, TcConfig};
 use scioto_armci::Armci;
-use scioto_sim::{Machine, MachineConfig};
+use scioto_sim::{Machine, MachineConfig, TraceConfig};
 
 /// Run `iters` local push+pop pairs inside one machine and return the
-/// wall time of the whole run.
-fn push_pop_run(iters: u64) -> std::time::Duration {
+/// wall time of the whole run. `trace` toggles the tracing layer so the
+/// disabled-sink overhead (`TraceSink::Disabled`, one branch per site)
+/// can be compared against the plain baseline — the PR's budget is <3%.
+fn push_pop_run(iters: u64, trace: TraceConfig) -> std::time::Duration {
     let start = std::time::Instant::now();
-    Machine::run(MachineConfig::virtual_time(1), |ctx| {
+    Machine::run(MachineConfig::virtual_time(1).with_trace(trace), |ctx| {
         let armci = Armci::init(ctx);
         let tc = TaskCollection::create(ctx, &armci, TcConfig::new(64, 10, 1 << 14));
         let h = tc.register(ctx, std::sync::Arc::new(|_| {}));
@@ -58,6 +60,13 @@ fn steal_run(iters: u64) -> std::time::Duration {
 
 fn main() {
     println!("== queue_software_overhead ==");
-    bench_custom("local_push_pop_pair", |iters| push_pop_run(iters.max(1)));
+    bench_custom("local_push_pop_pair", |iters| {
+        push_pop_run(iters.max(1), TraceConfig::disabled())
+    });
+    // Same workload with the tracing ring enabled, to bound the cost of
+    // instrumentation when a trace is actually collected.
+    bench_custom("local_push_pop_pair_traced", |iters| {
+        push_pop_run(iters.max(1), TraceConfig::enabled())
+    });
     bench_custom("steal_chunk10", |iters| steal_run(iters.max(1)));
 }

@@ -13,8 +13,8 @@ use std::sync::Arc;
 
 use scioto::{StatsSummary, Task, TaskCollection, TcConfig, AFFINITY_HIGH};
 use scioto_armci::Armci;
-use scioto_bench::{render_table, us, Args};
-use scioto_sim::{LatencyModel, Machine, MachineConfig, SpeedModel};
+use scioto_bench::{dump_trace, render_table, trace_requested, us, Args};
+use scioto_sim::{LatencyModel, Machine, MachineConfig, SpeedModel, TraceConfig};
 use scioto_uts::scioto_driver::{run_scioto_uts, SciotoUtsConfig};
 use scioto_uts::{presets, TreeStats};
 
@@ -143,7 +143,29 @@ fn votes_before() {
 }
 
 fn main() {
-    let _ = Args::parse();
+    let args = Args::parse();
+    if trace_requested(&args) {
+        // Dedicated traced votes-before run at 8 ranks; the ablation
+        // tables below stay untraced.
+        let out = Machine::run(
+            MachineConfig::virtual_time(8)
+                .with_latency(LatencyModel::cluster())
+                .with_trace(TraceConfig::enabled()),
+            |ctx| {
+                let armci = Armci::init(ctx);
+                let cfg = TcConfig::new(8, 2, 4096).with_votes_before_opt(true);
+                let tc = TaskCollection::create(ctx, &armci, cfg);
+                let h = tc.register(ctx, Arc::new(|t| t.ctx.compute(5_000)));
+                if ctx.rank() == 0 {
+                    for _ in 0..100 {
+                        tc.add(ctx, 0, AFFINITY_HIGH, &Task::new(h, vec![]));
+                    }
+                }
+                tc.process(ctx);
+            },
+        );
+        dump_trace(&args, &out.report);
+    }
     chunk_sweep();
     release_sweep();
     votes_before();

@@ -11,18 +11,20 @@ use std::sync::Arc;
 
 use scioto::{Task, TaskCollection, TcConfig, AFFINITY_HIGH};
 use scioto_armci::Armci;
-use scioto_bench::{render_table, us, Args};
+use scioto_bench::{dump_trace, render_table, trace_requested, us, Args};
 use scioto_mpi::Comm;
-use scioto_sim::{LatencyModel, Machine, MachineConfig};
+use scioto_sim::{LatencyModel, Machine, MachineConfig, Report, TraceConfig};
 
 /// Max over ranks of a per-rank duration measurement.
 fn max_ns(results: Vec<u64>) -> u64 {
     results.into_iter().max().unwrap_or(0)
 }
 
-fn termination_time(p: usize) -> u64 {
+fn termination_time(p: usize, trace: TraceConfig) -> (u64, Report) {
     let out = Machine::run(
-        MachineConfig::virtual_time(p).with_latency(LatencyModel::cluster()),
+        MachineConfig::virtual_time(p)
+            .with_latency(LatencyModel::cluster())
+            .with_trace(trace),
         |ctx| {
             let armci = Armci::init(ctx);
             let tc = TaskCollection::create(ctx, &armci, TcConfig::new(8, 10, 64));
@@ -36,7 +38,7 @@ fn termination_time(p: usize) -> u64 {
             ctx.now() - t0
         },
     );
-    max_ns(out.results)
+    (max_ns(out.results), out.report)
 }
 
 fn armci_barrier_time(p: usize) -> u64 {
@@ -76,10 +78,16 @@ fn mpi_barrier_time(p: usize) -> u64 {
 fn main() {
     let args = Args::parse();
     let max_p: usize = args.get("max-ranks", 64);
+    if trace_requested(&args) {
+        // Dedicated traced detection run at p = 8; the sweep stays untraced
+        // so the published table is unaffected.
+        let (_, report) = termination_time(8, TraceConfig::enabled());
+        dump_trace(&args, &report);
+    }
     let mut rows = Vec::new();
     let mut p = 1;
     while p <= max_p {
-        let td = termination_time(p);
+        let (td, _) = termination_time(p, TraceConfig::disabled());
         let ab = armci_barrier_time(p);
         let mb = mpi_barrier_time(p);
         let ratio = td as f64 / ab.max(1) as f64;

@@ -11,9 +11,9 @@
 //! Options: `--max-ranks N` (default 64), `--atoms N` (default 10),
 //! `--tiles N` (default 12).
 
-use scioto_bench::{cluster_rank_sweep, render_table, secs, Args};
+use scioto_bench::{cluster_rank_sweep, dump_trace, render_table, secs, trace_requested, Args};
 use scioto_scf::{run_scf_parallel, BasisSet, LoadBalance, Molecule, ParallelScfConfig};
-use scioto_sim::{LatencyModel, Machine, MachineConfig, SpeedModel};
+use scioto_sim::{LatencyModel, Machine, MachineConfig, SpeedModel, TraceConfig};
 use scioto_tce::{run_contraction, ContractionConfig, SparsityPattern, TceLoadBalance};
 
 fn machine(p: usize) -> MachineConfig {
@@ -65,6 +65,24 @@ fn main() {
     let max_p: usize = args.get("max-ranks", 64);
     let atoms: usize = args.get("atoms", 16);
     let tiles: usize = args.get("tiles", 48);
+
+    if trace_requested(&args) {
+        // Dedicated traced 4-rank SCF run (2 Roothaan iterations, small
+        // basis); the figure sweep below stays untraced.
+        let basis = BasisSet::even_tempered(Molecule::h_chain(6), 2, 0.4, 3.5);
+        let out = Machine::run(machine(4).with_trace(TraceConfig::enabled()), move |ctx| {
+            let mut cfg = ParallelScfConfig {
+                lb: LoadBalance::Scioto,
+                block: 4,
+                chunk: 4,
+                ..Default::default()
+            };
+            cfg.scf.max_iters = 2;
+            cfg.scf.tol = 0.0;
+            run_scf_parallel(ctx, &basis, &cfg).energy
+        });
+        dump_trace(&args, &out.report);
+    }
 
     let mut ps = vec![1usize];
     ps.extend(cluster_rank_sweep(max_p));

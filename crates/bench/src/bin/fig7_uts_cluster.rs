@@ -11,8 +11,8 @@
 //! Run: `cargo run --release -p scioto-bench --bin fig7_uts_cluster`
 //! Options: `--max-ranks N` (default 64), `--tree small|medium|large`.
 
-use scioto_bench::{cluster_rank_sweep, render_table, Args};
-use scioto_sim::{LatencyModel, Machine, MachineConfig, SpeedModel};
+use scioto_bench::{cluster_rank_sweep, dump_trace, render_table, trace_requested, Args};
+use scioto_sim::{LatencyModel, Machine, MachineConfig, SpeedModel, TraceConfig};
 use scioto_uts::mpi_ws::{run_mpi_uts, MpiUtsConfig};
 use scioto_uts::scioto_driver::{run_scioto_uts, SciotoUtsConfig};
 use scioto_uts::{presets, TreeParams, TreeStats};
@@ -64,6 +64,14 @@ fn main() {
         "large" => presets::large(),
         other => panic!("unknown tree preset {other}"),
     };
+    if trace_requested(&args) {
+        // Dedicated traced 8-rank UTS run on a tiny tree; the throughput
+        // sweep below stays untraced.
+        let out = Machine::run(machine(8).with_trace(TraceConfig::enabled()), move |ctx| {
+            run_scioto_uts(ctx, &SciotoUtsConfig::new(presets::tiny())).0
+        });
+        dump_trace(&args, &out.report);
+    }
     let mut rows = Vec::new();
     for p in cluster_rank_sweep(max_p) {
         eprintln!("running P = {p} ...");

@@ -10,8 +10,8 @@
 //! Run: `cargo run --release -p scioto-bench --bin fig8_uts_xt4`
 //! Options: `--max-ranks N` (default 512), `--tree small|medium|large`.
 
-use scioto_bench::{render_table, Args};
-use scioto_sim::{LatencyModel, Machine, MachineConfig, SpeedModel};
+use scioto_bench::{dump_trace, render_table, trace_requested, Args};
+use scioto_sim::{LatencyModel, Machine, MachineConfig, SpeedModel, TraceConfig};
 use scioto_uts::mpi_ws::{run_mpi_uts, MpiUtsConfig};
 use scioto_uts::scioto_driver::{run_scioto_uts, SciotoUtsConfig};
 use scioto_uts::{presets, TreeParams, TreeStats};
@@ -61,6 +61,14 @@ fn main() {
         "large" => presets::large(),
         other => panic!("unknown tree preset {other}"),
     };
+    if trace_requested(&args) {
+        // Dedicated traced 8-rank XT4 UTS run on a tiny tree; the sweep
+        // below stays untraced.
+        let out = Machine::run(machine(8).with_trace(TraceConfig::enabled()), move |ctx| {
+            run_scioto_uts(ctx, &SciotoUtsConfig::new(presets::tiny())).0
+        });
+        dump_trace(&args, &out.report);
+    }
     let mut rows = Vec::new();
     for p in [8usize, 16, 32, 64, 128, 256, 512] {
         if p > max_p {

@@ -9,8 +9,8 @@
 
 use scioto::{Task, TaskCollection, TcConfig};
 use scioto_armci::Armci;
-use scioto_bench::{render_table, us};
-use scioto_sim::{LatencyModel, Machine, MachineConfig};
+use scioto_bench::{dump_trace, render_table, trace_requested, us, Args};
+use scioto_sim::{LatencyModel, Machine, MachineConfig, Report, TraceConfig};
 
 const BODY: usize = 1024;
 const CHUNK: usize = 10;
@@ -23,9 +23,11 @@ struct OpTimes {
     remote_steal: u64,
 }
 
-fn measure(latency: LatencyModel) -> OpTimes {
+fn measure(latency: LatencyModel, trace: TraceConfig) -> (OpTimes, Report) {
     let out = Machine::run(
-        MachineConfig::virtual_time(2).with_latency(latency),
+        MachineConfig::virtual_time(2)
+            .with_latency(latency)
+            .with_trace(trace),
         |ctx| {
             let armci = Armci::init(ctx);
             // Local-op collection with default split policy.
@@ -83,17 +85,26 @@ fn measure(latency: LatencyModel) -> OpTimes {
             times
         },
     );
-    OpTimes {
+    let times = OpTimes {
         local_insert: out.results[0][0],
         local_get: out.results[0][1],
         remote_insert: out.results[1][2],
         remote_steal: out.results[1][3],
-    }
+    };
+    (times, out.report)
 }
 
 fn main() {
-    let cluster = measure(LatencyModel::cluster());
-    let xt4 = measure(LatencyModel::xt4());
+    let args = Args::parse();
+    // The cluster measurement doubles as the traced run when asked for.
+    let trace = if trace_requested(&args) {
+        TraceConfig::enabled()
+    } else {
+        TraceConfig::disabled()
+    };
+    let (cluster, cluster_report) = measure(LatencyModel::cluster(), trace);
+    let (xt4, _) = measure(LatencyModel::xt4(), TraceConfig::disabled());
+    dump_trace(&args, &cluster_report);
     let rows = vec![
         vec![
             "Local Insert".into(),

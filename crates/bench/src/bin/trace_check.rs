@@ -1,0 +1,56 @@
+//! Smoke-check a Chrome `trace_event` dump produced by `--trace-out`:
+//! the file must parse as JSON and carry at least one event (beyond the
+//! `thread_name` metadata record) on every rank's track.
+//!
+//! Run: `cargo run -p scioto-bench --bin trace_check -- \
+//!           --file /tmp/trace.json --ranks 8`
+//!
+//! Exits 0 on success, 1 with a diagnostic on stderr otherwise. Used by
+//! `scripts/verify.sh` to smoke-test the tracing pipeline end to end.
+
+use scioto_bench::Args;
+use scioto_sim::validate_json;
+
+fn main() {
+    let args = Args::parse();
+    let Some(path) = args.get_opt("file") else {
+        eprintln!("usage: trace_check --file <trace.json> --ranks <n>");
+        std::process::exit(1);
+    };
+    let ranks: usize = args.get("ranks", 0);
+    if ranks == 0 {
+        eprintln!("trace_check: --ranks must be >= 1");
+        std::process::exit(1);
+    }
+    let body = match std::fs::read_to_string(&path) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("trace_check: cannot read {path}: {e}");
+            std::process::exit(1);
+        }
+    };
+    if let Err(e) = validate_json(&body) {
+        eprintln!("trace_check: {path} is not valid JSON: {e}");
+        std::process::exit(1);
+    }
+    // Every rank's track holds its thread_name metadata record plus its
+    // events, each carrying a `"tid":R` member — require metadata plus at
+    // least one real event per rank. Rank 0's track also carries the
+    // process_name metadata record.
+    for r in 0..ranks {
+        // `tid` is followed by `,` when args trail it, `}` otherwise; both
+        // terminators keep rank 1 from matching rank 12.
+        let hits = body.matches(&format!("\"tid\":{r},")).count()
+            + body.matches(&format!("\"tid\":{r}}}")).count();
+        let meta = if r == 0 { 2 } else { 1 };
+        if hits < meta + 1 {
+            eprintln!(
+                "trace_check: rank {r} has {} event(s) in {path}; expected \
+                 at least one trace event besides track metadata",
+                hits.saturating_sub(meta)
+            );
+            std::process::exit(1);
+        }
+    }
+    println!("trace_check: {path} OK ({ranks} rank tracks, JSON parses)");
+}

@@ -30,10 +30,26 @@ impl Args {
             .unwrap_or(default)
     }
 
+    /// Value of `--key <v>` as a string, or `None` when the flag is
+    /// absent or has no value.
+    pub fn get_opt(&self, key: &str) -> Option<String> {
+        let flag = format!("--{key}");
+        self.raw
+            .iter()
+            .position(|a| a == &flag)
+            .and_then(|i| self.raw.get(i + 1))
+            .cloned()
+    }
+
     /// Whether the bare flag `--key` is present.
     pub fn has(&self, key: &str) -> bool {
         let flag = format!("--{key}");
         self.raw.iter().any(|a| a == &flag)
+    }
+
+    /// Build an `Args` from explicit values (tests).
+    pub fn from_vec(raw: Vec<String>) -> Args {
+        Args { raw }
     }
 }
 
@@ -85,6 +101,47 @@ pub fn cluster_rank_sweep(max: usize) -> Vec<usize> {
         .into_iter()
         .filter(|&p| p <= max)
         .collect()
+}
+
+/// Did the user ask for a trace dump (`--trace-out <path>`)?
+pub fn trace_requested(args: &Args) -> bool {
+    args.get_opt("trace-out").is_some()
+}
+
+/// Write `report`'s trace to the `--trace-out` path: Chrome `trace_event`
+/// JSON by default, flat JSONL when the path ends in `.jsonl`. With
+/// `--trace-summary <path>` the human-readable digest is appended there
+/// too. Panics if the report carries no trace (the caller must have run
+/// the traced machine with `TraceConfig::enabled()`).
+pub fn dump_trace(args: &Args, report: &scioto_sim::Report) {
+    let Some(path) = args.get_opt("trace-out") else {
+        return;
+    };
+    let trace = report
+        .trace
+        .as_ref()
+        .expect("dump_trace needs a report from a tracing-enabled run");
+    let body = if path.ends_with(".jsonl") {
+        trace.to_jsonl()
+    } else {
+        trace.to_chrome_json()
+    };
+    std::fs::write(&path, body).unwrap_or_else(|e| panic!("writing trace to {path}: {e}"));
+    eprintln!(
+        "trace: {} events ({} ranks) written to {path}",
+        trace.total_events(),
+        trace.nranks()
+    );
+    if let Some(spath) = args.get_opt("trace-summary") {
+        use std::io::Write as _;
+        let mut f = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&spath)
+            .unwrap_or_else(|e| panic!("opening {spath}: {e}"));
+        write!(f, "{}", trace.summary()).unwrap_or_else(|e| panic!("writing {spath}: {e}"));
+        eprintln!("trace summary appended to {spath}");
+    }
 }
 
 #[cfg(test)]

@@ -48,6 +48,10 @@ pub fn bench_custom(name: &str, mut run: impl FnMut(u64) -> Duration) {
         };
         iters = iters.saturating_mul(factor).min(1 << 24);
     }
+    // Saturating guard: the multiplications above keep `iters >= 1`, but
+    // the per-iteration division below must never see zero even if the
+    // calibration policy changes.
+    let iters = iters.max(1);
     let mut per_iter: Vec<f64> = (0..SAMPLES)
         .map(|_| run(iters).as_nanos() as f64 / iters as f64)
         .collect();
@@ -76,5 +80,19 @@ mod tests {
         let mut count = 0u64;
         bench("counter", || count += 1);
         assert!(count > 0);
+    }
+
+    #[test]
+    fn harness_never_requests_zero_iters() {
+        // The ns/iter report divides by the requested iteration count; a
+        // zero request would make every sample 0/0. Record the smallest
+        // count the harness ever asks for.
+        let mut min_iters = u64::MAX;
+        bench_custom("min-iters probe", |iters| {
+            min_iters = min_iters.min(iters);
+            // Instantly "slow" workload: calibration accepts iters == 1.
+            Duration::from_millis(25)
+        });
+        assert!(min_iters >= 1, "harness requested {min_iters} iterations");
     }
 }

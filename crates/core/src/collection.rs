@@ -5,7 +5,7 @@ use std::sync::atomic::Ordering;
 use std::sync::Arc;
 
 use scioto_armci::Armci;
-use scioto_sim::Ctx;
+use scioto_sim::{Ctx, TraceEvent};
 
 use crate::clo::{CloHandle, CloRegistry};
 use crate::config::{LbKind, TcConfig};
@@ -188,6 +188,7 @@ impl TaskCollection {
                     since_td = 0;
                     // Keep waves and TERM announcements flowing while busy.
                     self.detector.progress(ctx, &self.armci, false);
+                    self.trace_queue_depth(ctx);
                 }
             }
             // Private portion empty: reclaim shared work if any.
@@ -222,7 +223,19 @@ impl TaskCollection {
                 self.counters[me]
                     .steals_attempted
                     .fetch_add(1, Ordering::Relaxed);
+                let traced = ctx.trace_enabled();
+                let steal_start = if traced { ctx.now() } else { 0 };
                 let stolen = self.queue.steal(ctx, &self.armci, victim);
+                if traced {
+                    ctx.trace(|| TraceEvent::StealAttempt {
+                        victim: victim as u32,
+                        got: stolen.len() as u32,
+                    });
+                    ctx.trace_hist(
+                        crate::trace::HIST_STEAL_RTT,
+                        ctx.now().saturating_sub(steal_start),
+                    );
+                }
                 if !stolen.is_empty() {
                     self.counters[me]
                         .steals_succeeded
@@ -275,10 +288,42 @@ impl TaskCollection {
             header: rec.header,
             body: &rec.body,
         };
+        let traced = ctx.trace_enabled();
+        let start = if traced { ctx.now() } else { 0 };
+        ctx.trace(|| TraceEvent::TaskExecBegin {
+            callback: rec.header.callback,
+        });
         f(&tctx);
+        ctx.trace(|| TraceEvent::TaskExecEnd {
+            callback: rec.header.callback,
+        });
+        if traced {
+            ctx.trace_hist(
+                crate::trace::HIST_TASK_EXEC,
+                ctx.now().saturating_sub(start),
+            );
+        }
         self.counters[me]
             .tasks_executed
             .fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Sample queue occupancy into the trace (event + gauges). Reads only
+    /// owner-local metadata, so it has no scheduling point and does not
+    /// perturb virtual time.
+    fn trace_queue_depth(&self, ctx: &Ctx) {
+        if !ctx.trace_enabled() {
+            return;
+        }
+        let (head, split, tail) = self.queue.indices_local(ctx, &self.armci);
+        let local = (head - split).max(0) as u64;
+        let shared = (split - tail).max(0) as u64;
+        ctx.trace(|| TraceEvent::QueueDepth {
+            local: local as u32,
+            shared: shared as u32,
+        });
+        ctx.trace_gauge(crate::trace::GAUGE_QUEUE_LOCAL, local);
+        ctx.trace_gauge(crate::trace::GAUGE_QUEUE_SHARED, shared);
     }
 
     /// Collectively reset the collection for reuse (`tc_reset`): empties

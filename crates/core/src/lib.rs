@@ -66,6 +66,7 @@ mod registry;
 mod stats;
 mod task;
 pub mod termination;
+pub mod trace;
 pub mod wire;
 
 pub use clo::CloHandle;

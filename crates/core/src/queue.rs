@@ -27,7 +27,7 @@
 //! last for local execution — the priority order of §5.1.
 
 use scioto_armci::{Armci, Gmem, MutexSet};
-use scioto_sim::Ctx;
+use scioto_sim::{Ctx, TraceEvent};
 
 use crate::config::{QueueKind, TcConfig};
 use crate::stats::RankCounters;
@@ -232,6 +232,9 @@ impl PatchQueue {
         counters
             .splits_reclaimed
             .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        ctx.trace(|| TraceEvent::SplitReclaim {
+            moved: take as u32,
+        });
         true
     }
 
@@ -253,6 +256,9 @@ impl PatchQueue {
             counters
                 .splits_released
                 .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            ctx.trace(|| TraceEvent::SplitRelease {
+                moved: give as u32,
+            });
         }
         ctx.charge_cpu(ctx.latency().local_get);
         armci.unlock(ctx, self.locks, 0, ctx.rank());

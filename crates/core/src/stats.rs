@@ -61,7 +61,9 @@ pub struct ProcessStats {
     pub steals_succeeded: u64,
     /// Tasks acquired by stealing.
     pub tasks_stolen: u64,
-    /// Termination-detection waves this rank participated in.
+    /// Termination-detection waves this rank participated in. Merging
+    /// sums this like every other field; use [`StatsSummary::td_waves_max`]
+    /// for the per-rank maximum (the number of waves the phase ran).
     pub td_waves: u64,
     /// Dirty-mark messages sent to steal victims.
     pub dirty_marks_sent: u64,
@@ -74,26 +76,41 @@ pub struct ProcessStats {
 }
 
 impl ProcessStats {
-    /// Accumulate `other` into `self` (for cross-rank aggregation).
+    /// Accumulate `other` into `self` (for cross-rank aggregation). Every
+    /// field is summed — including `td_waves`, so merged totals really are
+    /// totals. Phase-level wave counts live in
+    /// [`StatsSummary::td_waves_max`].
     pub fn merge(&mut self, other: &ProcessStats) {
         self.tasks_executed += other.tasks_executed;
         self.tasks_spawned += other.tasks_spawned;
         self.steals_attempted += other.steals_attempted;
         self.steals_succeeded += other.steals_succeeded;
         self.tasks_stolen += other.tasks_stolen;
-        self.td_waves = self.td_waves.max(other.td_waves);
+        self.td_waves += other.td_waves;
         self.dirty_marks_sent += other.dirty_marks_sent;
         self.dirty_marks_elided += other.dirty_marks_elided;
         self.splits_released += other.splits_released;
         self.splits_reclaimed += other.splits_reclaimed;
+    }
+
+    /// Fraction of steal attempts that returned at least one task.
+    /// Returns 1.0 when no steal was ever attempted (nothing was wasted).
+    pub fn steal_efficiency(&self) -> f64 {
+        if self.steals_attempted == 0 {
+            return 1.0;
+        }
+        self.steals_succeeded as f64 / self.steals_attempted as f64
     }
 }
 
 /// Aggregated statistics across all ranks of a processing phase.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct StatsSummary {
-    /// Sum/max-merged totals.
+    /// Field-wise sums over all ranks.
     pub totals: ProcessStats,
+    /// Largest per-rank `td_waves` — the number of waves the phase ran
+    /// (the root participates in every wave).
+    pub td_waves_max: u64,
     /// Number of ranks merged.
     pub ranks: usize,
 }
@@ -102,11 +119,14 @@ impl StatsSummary {
     /// Merge per-rank stats into a summary.
     pub fn from_ranks(stats: &[ProcessStats]) -> Self {
         let mut totals = ProcessStats::default();
+        let mut td_waves_max = 0;
         for s in stats {
             totals.merge(s);
+            td_waves_max = td_waves_max.max(s.td_waves);
         }
         StatsSummary {
             totals,
+            td_waves_max,
             ranks: stats.len(),
         }
     }
@@ -129,20 +149,39 @@ mod tests {
     }
 
     #[test]
-    fn merge_sums_counts_and_maxes_waves() {
+    fn merge_is_fieldwise_sum() {
+        // Regression: `merge` used to max-merge td_waves while summing
+        // every other field, contradicting the "totals" documentation.
+        // Pin the semantics: merge sums everything; the summary carries
+        // the wave maximum separately.
         let a = ProcessStats {
             tasks_executed: 5,
+            steals_attempted: 3,
             td_waves: 2,
             ..Default::default()
         };
         let b = ProcessStats {
             tasks_executed: 7,
+            steals_attempted: 1,
             td_waves: 9,
             ..Default::default()
         };
         let sum = StatsSummary::from_ranks(&[a, b]);
         assert_eq!(sum.totals.tasks_executed, 12);
-        assert_eq!(sum.totals.td_waves, 9);
+        assert_eq!(sum.totals.steals_attempted, 4);
+        assert_eq!(sum.totals.td_waves, 11, "td_waves is summed like the rest");
+        assert_eq!(sum.td_waves_max, 9, "phase wave count is the max");
         assert_eq!(sum.ranks, 2);
+    }
+
+    #[test]
+    fn steal_efficiency_ratio_and_degenerate_case() {
+        let s = ProcessStats {
+            steals_attempted: 8,
+            steals_succeeded: 6,
+            ..Default::default()
+        };
+        assert!((s.steal_efficiency() - 0.75).abs() < 1e-12);
+        assert_eq!(ProcessStats::default().steal_efficiency(), 1.0);
     }
 }

@@ -31,7 +31,7 @@
 use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
 
 use scioto_armci::{Armci, Gmem};
-use scioto_sim::Ctx;
+use scioto_sim::{Ctx, TraceEvent, WaveDir};
 
 /// Byte offsets of the per-rank detector slots in ARMCI space.
 const DOWN: usize = 0; // wave id pushed by the parent (root: self-managed)
@@ -82,6 +82,9 @@ pub(crate) struct TdLocal {
     pub term_propagated: AtomicBool,
     /// Down-waves this rank participated in (statistics).
     pub waves: AtomicU64,
+    /// Virtual time this rank last saw a down-wave (tracing: wave-gap
+    /// histogram).
+    pub last_wave_ns: AtomicU64,
 }
 
 impl TdLocal {
@@ -91,6 +94,7 @@ impl TdLocal {
         self.transferred.store(false, Ordering::Relaxed);
         self.term_propagated.store(false, Ordering::Relaxed);
         self.waves.store(0, Ordering::Relaxed);
+        self.last_wave_ns.store(0, Ordering::Relaxed);
     }
 }
 
@@ -171,6 +175,11 @@ impl WaveDetector {
         // Termination announcement.
         if self.read_slot(ctx, armci, TERM) == 1 {
             if !st.term_propagated.swap(true, Ordering::Relaxed) {
+                ctx.trace(|| TraceEvent::TdWave {
+                    wave: st.last_down.load(Ordering::Relaxed) as u32,
+                    dir: WaveDir::Term,
+                    black: false,
+                });
                 for c in children(me, n) {
                     self.put_slot(ctx, armci, c, TERM, 1);
                 }
@@ -187,6 +196,7 @@ impl WaveDetector {
                 let w = st.last_down.load(Ordering::Relaxed) + 1;
                 st.last_down.store(w, Ordering::Relaxed);
                 st.waves.fetch_add(1, Ordering::Relaxed);
+                self.trace_down_wave(ctx, st, w);
                 for c in children(me, n) {
                     self.put_slot(ctx, armci, c, DOWN, w);
                 }
@@ -196,6 +206,7 @@ impl WaveDetector {
             if w > st.last_down.load(Ordering::Relaxed) {
                 st.last_down.store(w, Ordering::Relaxed);
                 st.waves.fetch_add(1, Ordering::Relaxed);
+                self.trace_down_wave(ctx, st, w);
                 for c in children(me, n) {
                     self.put_slot(ctx, armci, c, DOWN, w);
                 }
@@ -226,6 +237,11 @@ impl WaveDetector {
                     color = BLACK;
                 }
                 st.voted.store(w, Ordering::Relaxed);
+                ctx.trace(|| TraceEvent::TdWave {
+                    wave: w as u32,
+                    dir: WaveDir::Up,
+                    black: color == BLACK,
+                });
                 if me == 0 {
                     if color == WHITE {
                         // Global termination: announce down the tree.
@@ -233,6 +249,11 @@ impl WaveDetector {
                             b[TERM..TERM + 8].copy_from_slice(&1i64.to_le_bytes())
                         });
                         st.term_propagated.store(true, Ordering::Relaxed);
+                        ctx.trace(|| TraceEvent::TdWave {
+                            wave: w as u32,
+                            dir: WaveDir::Term,
+                            black: false,
+                        });
                         for c in children(me, n) {
                             self.put_slot(ctx, armci, c, TERM, 1);
                         }
@@ -247,6 +268,24 @@ impl WaveDetector {
             }
         }
         Poll::Continue
+    }
+
+    /// Trace a down-wave arrival and feed the quiescence-gap histogram
+    /// (virtual time between successive waves seen by this rank).
+    fn trace_down_wave(&self, ctx: &Ctx, st: &TdLocal, w: i64) {
+        if !ctx.trace_enabled() {
+            return;
+        }
+        let now = ctx.now();
+        let last = st.last_wave_ns.swap(now, Ordering::Relaxed);
+        if st.waves.load(Ordering::Relaxed) > 1 {
+            ctx.trace_hist(crate::trace::HIST_TD_WAVE_GAP, now.saturating_sub(last));
+        }
+        ctx.trace(|| TraceEvent::TdWave {
+            wave: w as u32,
+            dir: WaveDir::Down,
+            black: false,
+        });
     }
 
     /// Record a work transfer from `victim`/to `target` and apply the dirty

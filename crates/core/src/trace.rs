@@ -1,0 +1,113 @@
+//! Runtime-level observability: the metric names the Scioto runtime
+//! records into the simulator's tracing layer, plus re-exports of the
+//! trace types so applications depending only on `scioto` can configure
+//! and consume traces.
+//!
+//! Enable tracing with
+//! `MachineConfig::virtual_time(n).with_trace(TraceConfig::enabled())`;
+//! the completed run's [`Trace`] hangs off `RunOutput::report.trace`.
+//! Events are stamped with the emitting rank's virtual clock, so traces
+//! of a given seed are bit-identical across runs.
+
+pub use scioto_sim::{
+    validate_json, Gauge, RemoteOpKind, StampedEvent, Trace, TraceConfig, TraceEvent, VtHistogram,
+    WaveDir,
+};
+
+/// Histogram of task callback execution time (virtual ns), recorded by
+/// `TaskCollection::process` around every task it runs.
+pub const HIST_TASK_EXEC: &str = "task_exec_ns";
+
+/// Histogram of steal round-trip time (virtual ns): victim lock, index
+/// read, task transfer, unlock — including failed attempts.
+pub const HIST_STEAL_RTT: &str = "steal_rtt_ns";
+
+/// Histogram of the virtual-time gap between successive termination-
+/// detection waves seen by a rank (the quiescence-probe cadence).
+pub const HIST_TD_WAVE_GAP: &str = "td_wave_gap_ns";
+
+/// Gauge of the owner-private queue portion, sampled at detector polls.
+pub const GAUGE_QUEUE_LOCAL: &str = "queue_local";
+
+/// Gauge of the shared (stealable) queue portion, sampled at detector
+/// polls.
+pub const GAUGE_QUEUE_SHARED: &str = "queue_shared";
+
+#[cfg(test)]
+mod tests {
+    use std::sync::Arc;
+
+    use scioto_armci::Armci;
+    use scioto_sim::{LatencyModel, Machine, MachineConfig, TraceConfig, TraceEvent};
+
+    use crate::{Task, TaskCollection, TcConfig, AFFINITY_HIGH};
+
+    fn run_traced(seed: u64, trace: TraceConfig) -> scioto_sim::Report {
+        let cfg = MachineConfig::virtual_time(4)
+            .with_latency(LatencyModel::cluster())
+            .with_seed(seed)
+            .with_trace(trace);
+        Machine::run(cfg, |ctx| {
+            let armci = Armci::init(ctx);
+            let tc = TaskCollection::create(ctx, &armci, TcConfig::new(8, 2, 256));
+            let h = tc.register(ctx, Arc::new(|t| t.ctx.compute(500)));
+            if ctx.rank() == 0 {
+                for _ in 0..64 {
+                    tc.add(ctx, 0, AFFINITY_HIGH, &Task::new(h, vec![]));
+                }
+            }
+            tc.process(ctx);
+        })
+        .report
+    }
+
+    #[test]
+    fn runtime_emits_task_steal_split_and_wave_events() {
+        let report = run_traced(7, TraceConfig::enabled());
+        let trace = report.trace.expect("tracing was enabled");
+        let count = |name: &str| -> usize {
+            trace
+                .events
+                .iter()
+                .flatten()
+                .filter(|e| e.event.name() == name)
+                .count()
+        };
+        assert!(count("TaskExecBegin") == 64 && count("TaskExecEnd") == 64);
+        assert!(count("StealAttempt") > 0, "work must be stolen");
+        assert!(count("SplitRelease") > 0, "rank 0 must release work");
+        assert!(count("TdWave") > 0, "waves must be traced");
+        assert!(count("RemoteOp") > 0, "armci ops must be traced");
+        // Every rank participates in termination detection.
+        for r in 0..trace.nranks() {
+            assert!(
+                trace
+                    .events_for(r)
+                    .iter()
+                    .any(|e| matches!(e.event, TraceEvent::TdWave { .. })),
+                "rank {r} has no TdWave events"
+            );
+        }
+        // The runtime histograms were populated.
+        let exec = trace.merged_hist(super::HIST_TASK_EXEC).expect("task hist");
+        assert_eq!(exec.count(), 64);
+        assert!(exec.min() >= 500, "task latency includes the 500 ns compute");
+        assert!(trace.merged_hist(super::HIST_STEAL_RTT).is_some());
+    }
+
+    #[test]
+    fn disabled_tracing_attaches_nothing() {
+        let report = run_traced(7, TraceConfig::disabled());
+        assert!(report.trace.is_none());
+    }
+
+    #[test]
+    fn traced_and_untraced_runs_agree_on_virtual_time() {
+        // Instrumentation must not perturb the simulation: same seed, with
+        // and without tracing, must produce identical clocks.
+        let traced = run_traced(11, TraceConfig::enabled());
+        let plain = run_traced(11, TraceConfig::disabled());
+        assert_eq!(traced.makespan_ns, plain.makespan_ns);
+        assert_eq!(traced.rank_clock_ns, plain.rank_clock_ns);
+    }
+}

@@ -1,4 +1,7 @@
-//! Machine configuration: execution mode, latency model, CPU speed model.
+//! Machine configuration: execution mode, latency model, CPU speed model,
+//! tracing.
+
+use crate::trace::TraceConfig;
 
 /// How the simulated machine executes rank programs.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -183,6 +186,8 @@ pub struct MachineConfig {
     pub seed: u64,
     /// Stack size for rank threads. 512-rank simulations need modest stacks.
     pub stack_size: usize,
+    /// Event tracing and metrics collection (off by default).
+    pub trace: TraceConfig,
 }
 
 impl MachineConfig {
@@ -196,6 +201,7 @@ impl MachineConfig {
             speed: SpeedModel::uniform(ranks),
             seed: 0x005C_1070,
             stack_size: 1 << 20,
+            trace: TraceConfig::disabled(),
         }
     }
 
@@ -223,6 +229,13 @@ impl MachineConfig {
     /// Replace the RNG seed.
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
+        self
+    }
+
+    /// Replace the tracing configuration. Enabling tracing attaches a
+    /// [`crate::Trace`] to the run's [`crate::Report`].
+    pub fn with_trace(mut self, trace: TraceConfig) -> Self {
+        self.trace = trace;
         self
     }
 }

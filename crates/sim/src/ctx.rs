@@ -9,6 +9,7 @@ use scioto_det::Rng;
 use crate::config::{ExecMode, LatencyModel};
 use crate::kernel::Kernel;
 use crate::machine::Shared;
+use crate::trace::TraceEvent;
 
 /// The per-rank execution context.
 ///
@@ -105,6 +106,9 @@ impl Ctx {
     /// Wake `target`, resuming it (in virtual time) no earlier than
     /// `resume_at`.
     pub fn unblock(&self, target: usize, resume_at: u64) {
+        self.trace(|| TraceEvent::Unblock {
+            target: target as u32,
+        });
         self.kernel.unblock(target, resume_at);
     }
 
@@ -150,6 +154,33 @@ impl Ctx {
         // overwrite the slot) before everyone has read this one.
         self.barrier_with_cost(0);
         typed
+    }
+
+    /// Is event tracing enabled for this machine? Use to skip measurement
+    /// work (e.g. reading the clock twice) on untraced runs.
+    #[inline]
+    pub fn trace_enabled(&self) -> bool {
+        self.kernel.trace_on()
+    }
+
+    /// Record a trace event, stamped with this rank's virtual clock.
+    /// `make` only runs when tracing is enabled, so emission sites cost
+    /// one branch on untraced runs.
+    #[inline]
+    pub fn trace(&self, make: impl FnOnce() -> TraceEvent) {
+        self.kernel.emit(self.rank, make);
+    }
+
+    /// Record a virtual-time histogram sample under `name`.
+    #[inline]
+    pub fn trace_hist(&self, name: &'static str, v: u64) {
+        self.kernel.trace_hist(self.rank, name, v);
+    }
+
+    /// Record a gauge sample under `name`.
+    #[inline]
+    pub fn trace_gauge(&self, name: &'static str, v: u64) {
+        self.kernel.trace_gauge(self.rank, name, v);
     }
 
     pub(crate) fn kernel(&self) -> &Arc<Kernel> {

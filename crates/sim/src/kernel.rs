@@ -9,6 +9,7 @@ use scioto_det::sync::{Condvar, Mutex};
 
 use crate::config::{ExecMode, SpeedModel};
 use crate::report::EventCounters;
+use crate::trace::{TraceEvent, TraceSink};
 
 /// Scheduling state of one rank.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -46,10 +47,11 @@ pub(crate) struct Kernel {
     start: Instant,
     poisoned: AtomicBool,
     pub(crate) events: EventCounters,
+    pub(crate) trace: TraceSink,
 }
 
 impl Kernel {
-    pub(crate) fn new(n: usize, mode: ExecMode, speed: &SpeedModel) -> Self {
+    pub(crate) fn new(n: usize, mode: ExecMode, speed: &SpeedModel, trace: TraceSink) -> Self {
         assert!(n >= 1, "a machine needs at least one rank");
         assert_eq!(speed.len(), n, "speed model must cover all ranks");
         let mut status = vec![Status::Runnable; n];
@@ -75,7 +77,36 @@ impl Kernel {
             start: Instant::now(),
             poisoned: AtomicBool::new(false),
             events: EventCounters::default(),
+            trace,
         }
+    }
+
+    /// Is event tracing enabled for this machine?
+    #[inline]
+    pub(crate) fn trace_on(&self) -> bool {
+        self.trace.is_enabled()
+    }
+
+    /// Record a trace event for `rank`, stamped with its virtual clock.
+    /// `make` only runs when tracing is enabled.
+    #[inline]
+    pub(crate) fn emit(&self, rank: usize, make: impl FnOnce() -> TraceEvent) {
+        if self.trace.is_enabled() {
+            let t = self.clocks[rank].load(Ordering::Relaxed);
+            self.trace.emit(rank, t, make);
+        }
+    }
+
+    /// Record a histogram sample for `rank` under `name`.
+    #[inline]
+    pub(crate) fn trace_hist(&self, rank: usize, name: &'static str, v: u64) {
+        self.trace.hist(rank, name, v);
+    }
+
+    /// Record a gauge sample for `rank` under `name`.
+    #[inline]
+    pub(crate) fn trace_gauge(&self, rank: usize, name: &'static str, v: u64) {
+        self.trace.gauge(rank, name, v);
     }
 
     pub(crate) fn nranks(&self) -> usize {
@@ -165,6 +196,7 @@ impl Kernel {
     /// check-condition/block loop, so spurious wakeups are harmless.
     pub(crate) fn block(&self, rank: usize) {
         self.events.blocks.fetch_add(1, Ordering::Relaxed);
+        self.emit(rank, || TraceEvent::Block);
         let mut s = self.sched.lock();
         if s.wake_token[rank] {
             s.wake_token[rank] = false;
@@ -336,7 +368,12 @@ mod tests {
     use std::sync::Arc;
 
     fn vt_kernel(n: usize) -> Arc<Kernel> {
-        Arc::new(Kernel::new(n, ExecMode::VirtualTime, &SpeedModel::uniform(n)))
+        Arc::new(Kernel::new(
+            n,
+            ExecMode::VirtualTime,
+            &SpeedModel::uniform(n),
+            TraceSink::Disabled,
+        ))
     }
 
     #[test]
@@ -345,6 +382,7 @@ mod tests {
             2,
             ExecMode::VirtualTime,
             &SpeedModel::from_factors(vec![1.0, 2.0]),
+            TraceSink::Disabled,
         );
         k.charge_cpu(0, 100);
         k.charge_cpu(1, 100);
@@ -358,6 +396,7 @@ mod tests {
             1,
             ExecMode::VirtualTime,
             &SpeedModel::from_factors(vec![3.0]),
+            TraceSink::Disabled,
         );
         k.charge_net(0, 100);
         assert_eq!(k.clock(0), 100);

@@ -41,6 +41,7 @@ mod kernel;
 mod machine;
 mod mailbox;
 mod report;
+mod trace;
 mod vlock;
 
 pub use barrier::SimBarrier;
@@ -49,4 +50,8 @@ pub use ctx::Ctx;
 pub use machine::{Machine, RunOutput};
 pub use mailbox::{MailboxRouter, Msg, MsgFilter};
 pub use report::{EventCounters, Report};
+pub use trace::{
+    validate_json, Gauge, RemoteOpKind, StampedEvent, Trace, TraceConfig, TraceEvent, TraceSink,
+    VtHistogram, WaveDir, HIST_BUCKETS,
+};
 pub use vlock::VLock;

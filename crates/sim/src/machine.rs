@@ -11,6 +11,7 @@ use crate::config::{ExecMode, LatencyModel, MachineConfig};
 use crate::ctx::Ctx;
 use crate::kernel::Kernel;
 use crate::report::Report;
+use crate::trace::TraceSink;
 
 /// State shared by all ranks of one machine (beyond the kernel).
 pub(crate) struct Shared {
@@ -45,7 +46,12 @@ impl Machine {
     {
         let n = cfg.ranks;
         assert!(n >= 1, "a machine needs at least one rank");
-        let kernel = Arc::new(Kernel::new(n, cfg.mode, &cfg.speed));
+        let kernel = Arc::new(Kernel::new(
+            n,
+            cfg.mode,
+            &cfg.speed,
+            TraceSink::new(&cfg.trace, n),
+        ));
         let shared = Arc::new(Shared {
             latency: cfg.latency,
             slot: Mutex::new(None),
@@ -100,6 +106,7 @@ impl Machine {
             makespan_ns,
             rank_clock_ns,
             events: kernel.events.snapshot(),
+            trace: kernel.trace.finish(),
         };
         let results = results
             .into_iter()
@@ -240,6 +247,47 @@ mod tests {
             ctx.rank()
         });
         assert_eq!(out.results, (0..8).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn untraced_runs_carry_no_trace() {
+        let out = Machine::run(MachineConfig::virtual_time(2), |ctx| ctx.rank());
+        assert!(out.report.trace.is_none());
+    }
+
+    #[test]
+    fn traced_run_stamps_events_with_virtual_clocks() {
+        use crate::trace::{TraceConfig, TraceEvent};
+        let cfg = MachineConfig::virtual_time(2).with_trace(TraceConfig::enabled());
+        let out = Machine::run(cfg, |ctx| {
+            ctx.compute(100);
+            ctx.trace(|| TraceEvent::QueueDepth {
+                local: ctx.rank() as u32,
+                shared: 0,
+            });
+            // Rank 1 parks; rank 0 wakes it (Block + Unblock events).
+            if ctx.rank() == 1 {
+                ctx.block();
+            } else {
+                ctx.compute(500);
+                ctx.unblock(1, 0);
+            }
+        });
+        let trace = out.report.trace.expect("traced run must attach a trace");
+        assert_eq!(trace.nranks(), 2);
+        assert!(trace
+            .events_for(0)
+            .iter()
+            .any(|e| e.event == TraceEvent::QueueDepth { local: 0, shared: 0 } && e.t_ns == 100));
+        assert!(trace
+            .events_for(1)
+            .iter()
+            .any(|e| e.event == TraceEvent::Block));
+        assert!(trace
+            .events_for(0)
+            .iter()
+            .any(|e| e.event == TraceEvent::Unblock { target: 1 }));
+        assert_eq!(trace.dropped, vec![0, 0]);
     }
 
     #[test]

@@ -96,6 +96,10 @@ impl MailboxRouter {
             .events
             .messages
             .fetch_add(1, Ordering::Relaxed);
+        ctx.trace(|| crate::trace::TraceEvent::MsgSend {
+            dst: dst as u32,
+            bytes: data.len() as u32,
+        });
         self.boxes[dst].lock().push_back(Msg {
             src: ctx.rank(),
             tag,

@@ -3,6 +3,7 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use crate::config::ExecMode;
+use crate::trace::Trace;
 
 /// Counters of kernel-level events, useful for sanity-checking how much
 /// scheduling a run performed.
@@ -55,6 +56,9 @@ pub struct Report {
     pub rank_clock_ns: Vec<u64>,
     /// Kernel event counts for the whole run.
     pub events: EventSnapshot,
+    /// Event trace and metrics, present when the machine ran with
+    /// [`crate::TraceConfig::enabled`].
+    pub trace: Option<Trace>,
 }
 
 impl Report {
@@ -69,6 +73,18 @@ impl Report {
             return 0.0;
         }
         self.rank_clock_ns.iter().sum::<u64>() as f64 / self.rank_clock_ns.len() as f64
+    }
+
+    /// Load imbalance: the ratio of the largest final rank clock to the
+    /// mean. 1.0 means perfectly balanced; returns 1.0 for empty reports
+    /// or all-zero clocks (e.g. concurrent mode).
+    pub fn imbalance(&self) -> f64 {
+        let mean = self.mean_rank_clock_ns();
+        if mean == 0.0 {
+            return 1.0;
+        }
+        let max = self.rank_clock_ns.iter().copied().max().unwrap_or(0);
+        max as f64 / mean
     }
 }
 
@@ -94,8 +110,25 @@ mod tests {
             makespan_ns: 2_000_000_000,
             rank_clock_ns: vec![1_000, 3_000],
             events: EventCounters::default().snapshot(),
+            trace: None,
         };
         assert!((r.makespan_secs() - 2.0).abs() < 1e-12);
         assert!((r.mean_rank_clock_ns() - 2_000.0).abs() < 1e-12);
+        // max 3000 over mean 2000.
+        assert!((r.imbalance() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn imbalance_degenerate_cases() {
+        let mk = |clocks: Vec<u64>| Report {
+            mode: ExecMode::VirtualTime,
+            makespan_ns: 0,
+            rank_clock_ns: clocks,
+            events: EventCounters::default().snapshot(),
+            trace: None,
+        };
+        assert_eq!(mk(vec![]).imbalance(), 1.0);
+        assert_eq!(mk(vec![0, 0]).imbalance(), 1.0);
+        assert_eq!(mk(vec![500, 500, 500]).imbalance(), 1.0);
     }
 }

@@ -1,0 +1,1126 @@
+//! Deterministic tracing and metrics: per-rank ring buffers of typed
+//! events stamped with the **virtual clock**, log2-bucketed virtual-time
+//! histograms, gauges, and exporters (Chrome `trace_event` JSON, flat
+//! JSONL, human summary).
+//!
+//! Determinism contract: every event is stamped with the emitting rank's
+//! virtual clock ([`crate::Ctx::now`] in virtual-time mode), each per-rank
+//! ring is written only by its own rank thread, and the exporters format
+//! timestamps as exact integers (nanoseconds) or fixed-decimal
+//! microseconds — so two virtual-time runs with the same
+//! [`crate::MachineConfig`] produce byte-identical trace files. In
+//! [`crate::ExecMode::Concurrent`] mode the virtual clocks stay at zero
+//! and traces record ordering only.
+//!
+//! Hot-path cost is gated by [`TraceSink`]: the `Disabled` variant reduces
+//! every emission to one branch, and event construction happens inside a
+//! closure that is never called when tracing is off.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use scioto_det::sync::Mutex;
+
+/// Number of log2 buckets in a [`VtHistogram`]: bucket 0 holds the value
+/// 0, bucket `i >= 1` holds values in `[2^(i-1), 2^i - 1]`.
+pub const HIST_BUCKETS: usize = 65;
+
+/// Tracing configuration carried by [`crate::MachineConfig`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TraceConfig {
+    /// Master switch. When false the machine runs with
+    /// [`TraceSink::Disabled`] and pays one branch per emission site.
+    pub enabled: bool,
+    /// Capacity of each per-rank event ring. When a ring fills, the oldest
+    /// events are overwritten and counted in [`Trace::dropped`].
+    pub ring_capacity: usize,
+}
+
+impl TraceConfig {
+    /// Tracing off (the default).
+    pub fn disabled() -> Self {
+        TraceConfig {
+            enabled: false,
+            ring_capacity: 0,
+        }
+    }
+
+    /// Tracing on with the default ring capacity (65536 events per rank,
+    /// ~1.5 MiB per rank).
+    pub fn enabled() -> Self {
+        TraceConfig {
+            enabled: true,
+            ring_capacity: 1 << 16,
+        }
+    }
+
+    /// Replace the per-rank ring capacity.
+    pub fn with_capacity(mut self, cap: usize) -> Self {
+        self.ring_capacity = cap;
+        self
+    }
+}
+
+impl Default for TraceConfig {
+    fn default() -> Self {
+        TraceConfig::disabled()
+    }
+}
+
+/// Direction of a termination-detection wave event.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WaveDir {
+    /// Wave token propagating down the spanning tree.
+    Down,
+    /// Vote propagating up (the `black` flag carries the token colour).
+    Up,
+    /// Termination announced or observed.
+    Term,
+}
+
+impl WaveDir {
+    /// Stable lowercase name used by the exporters.
+    pub fn name(self) -> &'static str {
+        match self {
+            WaveDir::Down => "down",
+            WaveDir::Up => "up",
+            WaveDir::Term => "term",
+        }
+    }
+}
+
+/// Kind of a one-sided (ARMCI-level) remote operation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RemoteOpKind {
+    /// Contiguous put.
+    Put,
+    /// Contiguous get.
+    Get,
+    /// Atomic accumulate.
+    Acc,
+    /// Atomic read-modify-write.
+    Rmw,
+    /// Remote lock acquire.
+    Lock,
+    /// Remote lock release.
+    Unlock,
+}
+
+impl RemoteOpKind {
+    /// Stable lowercase name used by the exporters.
+    pub fn name(self) -> &'static str {
+        match self {
+            RemoteOpKind::Put => "put",
+            RemoteOpKind::Get => "get",
+            RemoteOpKind::Acc => "acc",
+            RemoteOpKind::Rmw => "rmw",
+            RemoteOpKind::Lock => "lock",
+            RemoteOpKind::Unlock => "unlock",
+        }
+    }
+}
+
+/// One typed trace event. Fixed-size (`Copy`) so ring storage is flat.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// A task callback started executing (`callback` is the handler index).
+    TaskExecBegin {
+        /// Registered callback index of the task.
+        callback: u32,
+    },
+    /// The matching end of a [`TraceEvent::TaskExecBegin`].
+    TaskExecEnd {
+        /// Registered callback index of the task.
+        callback: u32,
+    },
+    /// A steal attempt against `victim` that obtained `got` tasks
+    /// (`got == 0` is a failed attempt).
+    StealAttempt {
+        /// Rank the steal targeted.
+        victim: u32,
+        /// Tasks actually stolen.
+        got: u32,
+    },
+    /// The split queue released `moved` tasks from the private to the
+    /// shared portion.
+    SplitRelease {
+        /// Tasks moved across the split.
+        moved: u32,
+    },
+    /// The split queue reclaimed `moved` tasks from the shared portion.
+    SplitReclaim {
+        /// Tasks moved across the split.
+        moved: u32,
+    },
+    /// A termination-detection wave event (see [`WaveDir`]).
+    TdWave {
+        /// Wave number.
+        wave: u32,
+        /// Down the tree, vote up, or termination.
+        dir: WaveDir,
+        /// Token colour for up-votes (black = work moved this wave).
+        black: bool,
+    },
+    /// Queue occupancy sample: private (`local`) and stealable (`shared`)
+    /// task counts.
+    QueueDepth {
+        /// Tasks in the owner-private portion.
+        local: u32,
+        /// Tasks in the shared (stealable) portion.
+        shared: u32,
+    },
+    /// The rank parked waiting on a condition.
+    Block,
+    /// The rank issued a wake for `target`.
+    Unblock {
+        /// Rank being woken.
+        target: u32,
+    },
+    /// A two-sided message was sent to `dst`.
+    MsgSend {
+        /// Destination rank.
+        dst: u32,
+        /// Payload bytes.
+        bytes: u32,
+    },
+    /// A one-sided remote operation against `target`.
+    RemoteOp {
+        /// Operation kind.
+        kind: RemoteOpKind,
+        /// Target rank.
+        target: u32,
+        /// Bytes transferred (0 for lock/unlock).
+        bytes: u32,
+    },
+}
+
+impl TraceEvent {
+    /// Stable event name used by all exporters.
+    pub fn name(&self) -> &'static str {
+        match self {
+            TraceEvent::TaskExecBegin { .. } => "TaskExecBegin",
+            TraceEvent::TaskExecEnd { .. } => "TaskExecEnd",
+            TraceEvent::StealAttempt { .. } => "StealAttempt",
+            TraceEvent::SplitRelease { .. } => "SplitRelease",
+            TraceEvent::SplitReclaim { .. } => "SplitReclaim",
+            TraceEvent::TdWave { .. } => "TdWave",
+            TraceEvent::QueueDepth { .. } => "QueueDepth",
+            TraceEvent::Block => "Block",
+            TraceEvent::Unblock { .. } => "Unblock",
+            TraceEvent::MsgSend { .. } => "MsgSend",
+            TraceEvent::RemoteOp { .. } => "RemoteOp",
+        }
+    }
+
+    /// Append the event's payload as JSON object members (no braces, no
+    /// leading comma), e.g. `"victim":3,"got":2`. Empty for payload-free
+    /// events.
+    fn write_args(&self, out: &mut String) {
+        match *self {
+            TraceEvent::TaskExecBegin { callback } | TraceEvent::TaskExecEnd { callback } => {
+                let _ = write!(out, "\"callback\":{callback}");
+            }
+            TraceEvent::StealAttempt { victim, got } => {
+                let _ = write!(out, "\"victim\":{victim},\"got\":{got}");
+            }
+            TraceEvent::SplitRelease { moved } | TraceEvent::SplitReclaim { moved } => {
+                let _ = write!(out, "\"moved\":{moved}");
+            }
+            TraceEvent::TdWave { wave, dir, black } => {
+                let _ = write!(
+                    out,
+                    "\"wave\":{wave},\"dir\":\"{}\",\"black\":{black}",
+                    dir.name()
+                );
+            }
+            TraceEvent::QueueDepth { local, shared } => {
+                let _ = write!(out, "\"local\":{local},\"shared\":{shared}");
+            }
+            TraceEvent::Block => {}
+            TraceEvent::Unblock { target } => {
+                let _ = write!(out, "\"target\":{target}");
+            }
+            TraceEvent::MsgSend { dst, bytes } => {
+                let _ = write!(out, "\"dst\":{dst},\"bytes\":{bytes}");
+            }
+            TraceEvent::RemoteOp {
+                kind,
+                target,
+                bytes,
+            } => {
+                let _ = write!(
+                    out,
+                    "\"kind\":\"{}\",\"target\":{target},\"bytes\":{bytes}",
+                    kind.name()
+                );
+            }
+        }
+    }
+}
+
+/// A [`TraceEvent`] plus the emitting rank's virtual clock at emission.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct StampedEvent {
+    /// Virtual nanoseconds (zero in concurrent mode).
+    pub t_ns: u64,
+    /// The event payload.
+    pub event: TraceEvent,
+}
+
+/// Fixed-capacity ring: overwrites the oldest event when full.
+#[derive(Debug, Default)]
+struct RankRing {
+    cap: usize,
+    buf: Vec<StampedEvent>,
+    /// Index of the oldest event once the ring has wrapped.
+    next: usize,
+    dropped: u64,
+}
+
+impl RankRing {
+    fn with_capacity(cap: usize) -> Self {
+        RankRing {
+            cap,
+            buf: Vec::new(),
+            next: 0,
+            dropped: 0,
+        }
+    }
+
+    fn push(&mut self, e: StampedEvent) {
+        if self.cap == 0 {
+            self.dropped += 1;
+        } else if self.buf.len() < self.cap {
+            self.buf.push(e);
+        } else {
+            self.buf[self.next] = e;
+            self.next = (self.next + 1) % self.cap;
+            self.dropped += 1;
+        }
+    }
+
+    /// Events in emission order (oldest surviving event first).
+    fn chronological(&self) -> Vec<StampedEvent> {
+        let mut v = Vec::with_capacity(self.buf.len());
+        v.extend_from_slice(&self.buf[self.next..]);
+        v.extend_from_slice(&self.buf[..self.next]);
+        v
+    }
+}
+
+/// Log2-bucketed histogram of virtual-time durations (nanoseconds).
+///
+/// Bucketing is exact and integer-only, so merged histograms and their
+/// summaries are deterministic.
+#[derive(Clone, Debug)]
+pub struct VtHistogram {
+    buckets: [u64; HIST_BUCKETS],
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for VtHistogram {
+    fn default() -> Self {
+        VtHistogram {
+            buckets: [0; HIST_BUCKETS],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+}
+
+impl VtHistogram {
+    fn bucket_of(v: u64) -> usize {
+        (u64::BITS - v.leading_zeros()) as usize
+    }
+
+    /// Upper bound of bucket `i` (inclusive).
+    fn bucket_upper(i: usize) -> u64 {
+        if i == 0 {
+            0
+        } else if i >= 64 {
+            u64::MAX
+        } else {
+            (1u64 << i) - 1
+        }
+    }
+
+    /// Record one sample.
+    pub fn record(&mut self, v: u64) {
+        self.buckets[Self::bucket_of(v)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(v);
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Fold another histogram into this one.
+    pub fn merge(&mut self, other: &VtHistogram) {
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all samples (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest sample (0 if empty).
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest sample.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Mean sample value (0.0 if empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Upper bound of the bucket containing the `q`-quantile
+    /// (`0.0 <= q <= 1.0`). Exact to within one power of two.
+    pub fn quantile_upper_bound(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = ((q * self.count as f64).ceil() as u64).max(1);
+        let mut cum = 0u64;
+        for (i, c) in self.buckets.iter().enumerate() {
+            cum += c;
+            if cum >= target {
+                return Self::bucket_upper(i).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Per-bucket counts (index = log2 bucket, see [`HIST_BUCKETS`]).
+    pub fn buckets(&self) -> &[u64; HIST_BUCKETS] {
+        &self.buckets
+    }
+}
+
+/// A sampled gauge: tracks last, max and mean of the sampled values.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Gauge {
+    /// Number of samples taken.
+    pub samples: u64,
+    /// Sum of all samples (for the mean).
+    pub sum: u64,
+    /// Largest sample.
+    pub max: u64,
+    /// Most recent sample.
+    pub last: u64,
+}
+
+impl Gauge {
+    fn record(&mut self, v: u64) {
+        self.samples += 1;
+        self.sum = self.sum.saturating_add(v);
+        self.max = self.max.max(v);
+        self.last = v;
+    }
+
+    /// Mean sampled value (0.0 if never sampled).
+    pub fn mean(&self) -> f64 {
+        if self.samples == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.samples as f64
+        }
+    }
+}
+
+/// Live per-rank trace storage. Each rank's ring/registries are touched
+/// only by that rank's thread during a run, so the mutexes are
+/// uncontended; they exist to keep the type `Sync`.
+#[derive(Debug)]
+pub struct TraceBuffers {
+    rings: Vec<Mutex<RankRing>>,
+    hists: Vec<Mutex<BTreeMap<&'static str, VtHistogram>>>,
+    gauges: Vec<Mutex<BTreeMap<&'static str, Gauge>>>,
+}
+
+/// The emission gate held by the scheduling kernel. `Disabled` makes
+/// every emission site a single branch; event construction is deferred
+/// into a closure that never runs when tracing is off.
+#[derive(Debug)]
+pub enum TraceSink {
+    /// Tracing off: emissions are a branch on a bool.
+    Disabled,
+    /// Tracing on: events land in per-rank rings.
+    Enabled(TraceBuffers),
+}
+
+impl TraceSink {
+    /// Build a sink for `ranks` ranks according to `cfg`.
+    pub fn new(cfg: &TraceConfig, ranks: usize) -> Self {
+        if !cfg.enabled {
+            return TraceSink::Disabled;
+        }
+        TraceSink::Enabled(TraceBuffers {
+            rings: (0..ranks)
+                .map(|_| Mutex::new(RankRing::with_capacity(cfg.ring_capacity)))
+                .collect(),
+            hists: (0..ranks).map(|_| Mutex::new(BTreeMap::new())).collect(),
+            gauges: (0..ranks).map(|_| Mutex::new(BTreeMap::new())).collect(),
+        })
+    }
+
+    /// Is tracing on?
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        matches!(self, TraceSink::Enabled(_))
+    }
+
+    /// Record an event for `rank` at virtual time `t_ns`. `make` is only
+    /// invoked when tracing is enabled.
+    #[inline]
+    pub fn emit(&self, rank: usize, t_ns: u64, make: impl FnOnce() -> TraceEvent) {
+        if let TraceSink::Enabled(b) = self {
+            b.rings[rank].lock().push(StampedEvent {
+                t_ns,
+                event: make(),
+            });
+        }
+    }
+
+    /// Record a histogram sample for `rank` under `name`.
+    #[inline]
+    pub fn hist(&self, rank: usize, name: &'static str, v: u64) {
+        if let TraceSink::Enabled(b) = self {
+            b.hists[rank].lock().entry(name).or_default().record(v);
+        }
+    }
+
+    /// Record a gauge sample for `rank` under `name`.
+    #[inline]
+    pub fn gauge(&self, rank: usize, name: &'static str, v: u64) {
+        if let TraceSink::Enabled(b) = self {
+            b.gauges[rank].lock().entry(name).or_default().record(v);
+        }
+    }
+
+    /// Freeze the sink into an exportable [`Trace`] (None when disabled).
+    pub fn finish(&self) -> Option<Trace> {
+        let TraceSink::Enabled(b) = self else {
+            return None;
+        };
+        let mut events = Vec::with_capacity(b.rings.len());
+        let mut dropped = Vec::with_capacity(b.rings.len());
+        for ring in &b.rings {
+            let r = ring.lock();
+            events.push(r.chronological());
+            dropped.push(r.dropped);
+        }
+        Some(Trace {
+            events,
+            dropped,
+            hists: b.hists.iter().map(|h| h.lock().clone()).collect(),
+            gauges: b.gauges.iter().map(|g| g.lock().clone()).collect(),
+        })
+    }
+}
+
+/// A frozen trace of one completed run: per-rank event timelines plus the
+/// metric registries. Attached to [`crate::Report::trace`] when the
+/// machine ran with tracing enabled.
+#[derive(Clone, Debug)]
+pub struct Trace {
+    /// Per-rank events in emission order (oldest surviving first).
+    pub events: Vec<Vec<StampedEvent>>,
+    /// Per-rank count of events lost to ring overflow.
+    pub dropped: Vec<u64>,
+    /// Per-rank virtual-time histograms, keyed by metric name.
+    pub hists: Vec<BTreeMap<&'static str, VtHistogram>>,
+    /// Per-rank gauges, keyed by metric name.
+    pub gauges: Vec<BTreeMap<&'static str, Gauge>>,
+}
+
+impl Trace {
+    /// Number of ranks this trace covers.
+    pub fn nranks(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Events recorded by `rank`.
+    pub fn events_for(&self, rank: usize) -> &[StampedEvent] {
+        &self.events[rank]
+    }
+
+    /// Total events across all ranks.
+    pub fn total_events(&self) -> usize {
+        self.events.iter().map(Vec::len).sum()
+    }
+
+    /// Histogram `name` merged across all ranks (None if never recorded).
+    pub fn merged_hist(&self, name: &str) -> Option<VtHistogram> {
+        let mut out: Option<VtHistogram> = None;
+        for per_rank in &self.hists {
+            if let Some(h) = per_rank.get(name) {
+                out.get_or_insert_with(VtHistogram::default).merge(h);
+            }
+        }
+        out
+    }
+
+    /// Chrome `trace_event` JSON: one track (tid) per rank, `B`/`E` pairs
+    /// for task execution, counters for queue depth, instants for
+    /// everything else. Open in `chrome://tracing` or Perfetto.
+    pub fn to_chrome_json(&self) -> String {
+        let mut out = String::with_capacity(64 + 96 * self.total_events());
+        out.push_str("{\"displayTimeUnit\":\"ns\",\"traceEvents\":[\n");
+        let _ = write!(
+            out,
+            "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":0,\"tid\":0,\
+             \"args\":{{\"name\":\"scioto virtual machine\"}}}}"
+        );
+        for rank in 0..self.nranks() {
+            let _ = write!(
+                out,
+                ",\n{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":{rank},\
+                 \"args\":{{\"name\":\"rank {rank}\"}}}}"
+            );
+        }
+        for (rank, events) in self.events.iter().enumerate() {
+            for e in events {
+                out.push_str(",\n");
+                chrome_event(&mut out, rank, e);
+            }
+        }
+        out.push_str("\n]}\n");
+        out
+    }
+
+    /// Flat JSONL dump: one JSON object per line, rank-major then
+    /// chronological, timestamps in exact virtual nanoseconds.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::with_capacity(64 * self.total_events());
+        for (rank, events) in self.events.iter().enumerate() {
+            for e in events {
+                let _ = write!(out, "{{\"rank\":{rank},\"t\":{},\"ev\":\"{}\"", e.t_ns, e.event.name());
+                let mut args = String::new();
+                e.event.write_args(&mut args);
+                if !args.is_empty() {
+                    out.push(',');
+                    out.push_str(&args);
+                }
+                out.push_str("}\n");
+            }
+        }
+        out
+    }
+
+    /// Human-readable summary: per-rank event totals, global per-kind
+    /// counts, histogram and gauge digests.
+    pub fn summary(&self) -> String {
+        let n = self.nranks();
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "== trace summary: {n} ranks, {} events, {} dropped ==",
+            self.total_events(),
+            self.dropped.iter().sum::<u64>()
+        );
+        let _ = writeln!(out, "{:>6}  {:>10}  {:>10}", "rank", "events", "dropped");
+        for r in 0..n {
+            let _ = writeln!(out, "{r:>6}  {:>10}  {:>10}", self.events[r].len(), self.dropped[r]);
+        }
+        let mut kinds: BTreeMap<&'static str, u64> = BTreeMap::new();
+        for events in &self.events {
+            for e in events {
+                *kinds.entry(e.event.name()).or_default() += 1;
+            }
+        }
+        let _ = writeln!(out, "events by kind:");
+        for (k, c) in &kinds {
+            let _ = writeln!(out, "  {k:<16} {c}");
+        }
+        let mut hist_names: Vec<&'static str> = Vec::new();
+        for per_rank in &self.hists {
+            for k in per_rank.keys() {
+                if !hist_names.contains(k) {
+                    hist_names.push(k);
+                }
+            }
+        }
+        hist_names.sort_unstable();
+        if !hist_names.is_empty() {
+            let _ = writeln!(out, "histograms (virtual ns, merged across ranks):");
+            for name in hist_names {
+                if let Some(h) = self.merged_hist(name) {
+                    let _ = writeln!(
+                        out,
+                        "  {name:<16} count={} mean={:.0} p50<={} max={}",
+                        h.count(),
+                        h.mean(),
+                        h.quantile_upper_bound(0.5),
+                        h.max()
+                    );
+                }
+            }
+        }
+        let mut gauge_names: Vec<&'static str> = Vec::new();
+        for per_rank in &self.gauges {
+            for k in per_rank.keys() {
+                if !gauge_names.contains(k) {
+                    gauge_names.push(k);
+                }
+            }
+        }
+        gauge_names.sort_unstable();
+        if !gauge_names.is_empty() {
+            let _ = writeln!(out, "gauges (mean/max over all ranks' samples):");
+            for name in gauge_names {
+                let mut samples = 0u64;
+                let mut sum = 0u64;
+                let mut max = 0u64;
+                for per_rank in &self.gauges {
+                    if let Some(g) = per_rank.get(name) {
+                        samples += g.samples;
+                        sum = sum.saturating_add(g.sum);
+                        max = max.max(g.max);
+                    }
+                }
+                let mean = if samples == 0 {
+                    0.0
+                } else {
+                    sum as f64 / samples as f64
+                };
+                let _ = writeln!(out, "  {name:<16} samples={samples} mean={mean:.2} max={max}");
+            }
+        }
+        out
+    }
+}
+
+/// Format virtual nanoseconds as the fixed-decimal microseconds Chrome's
+/// `ts` field expects. Integer arithmetic only, so output is
+/// deterministic (no float formatting).
+fn ts_us(t_ns: u64) -> String {
+    format!("{}.{:03}", t_ns / 1_000, t_ns % 1_000)
+}
+
+fn chrome_event(out: &mut String, rank: usize, e: &StampedEvent) {
+    let ts = ts_us(e.t_ns);
+    match e.event {
+        TraceEvent::TaskExecBegin { callback } => {
+            let _ = write!(
+                out,
+                "{{\"name\":\"TaskExec\",\"cat\":\"task\",\"ph\":\"B\",\"ts\":{ts},\
+                 \"pid\":0,\"tid\":{rank},\"args\":{{\"callback\":{callback}}}}}"
+            );
+        }
+        TraceEvent::TaskExecEnd { .. } => {
+            let _ = write!(
+                out,
+                "{{\"name\":\"TaskExec\",\"cat\":\"task\",\"ph\":\"E\",\"ts\":{ts},\
+                 \"pid\":0,\"tid\":{rank}}}"
+            );
+        }
+        TraceEvent::QueueDepth { local, shared } => {
+            let _ = write!(
+                out,
+                "{{\"name\":\"queue depth r{rank}\",\"ph\":\"C\",\"ts\":{ts},\
+                 \"pid\":0,\"tid\":{rank},\
+                 \"args\":{{\"local\":{local},\"shared\":{shared}}}}}"
+            );
+        }
+        ev => {
+            let _ = write!(
+                out,
+                "{{\"name\":\"{}\",\"cat\":\"rt\",\"ph\":\"i\",\"s\":\"t\",\"ts\":{ts},\
+                 \"pid\":0,\"tid\":{rank}",
+                ev.name()
+            );
+            let mut args = String::new();
+            ev.write_args(&mut args);
+            if !args.is_empty() {
+                let _ = write!(out, ",\"args\":{{{args}}}");
+            }
+            out.push('}');
+        }
+    }
+}
+
+/// Validate that `s` is one well-formed JSON document. Returns a byte
+/// offset and description of the first error. Hand-rolled (the build is
+/// hermetic — no serde); used by tests and the `trace_check` tool to
+/// prove exported traces parse.
+pub fn validate_json(s: &str) -> Result<(), String> {
+    let mut p = JsonParser {
+        b: s.as_bytes(),
+        i: 0,
+    };
+    p.ws();
+    p.value()?;
+    p.ws();
+    if p.i != p.b.len() {
+        return Err(format!("trailing data at byte {}", p.i));
+    }
+    Ok(())
+}
+
+struct JsonParser<'a> {
+    b: &'a [u8],
+    i: usize,
+}
+
+impl JsonParser<'_> {
+    fn peek(&self) -> Option<u8> {
+        self.b.get(self.i).copied()
+    }
+
+    fn ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.i += 1;
+        }
+    }
+
+    fn err(&self, msg: &str) -> String {
+        format!("{msg} at byte {}", self.i)
+    }
+
+    fn value(&mut self) -> Result<(), String> {
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => self.string(),
+            Some(b't') => self.literal("true"),
+            Some(b'f') => self.literal("false"),
+            Some(b'n') => self.literal("null"),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            _ => Err(self.err("expected a JSON value")),
+        }
+    }
+
+    fn literal(&mut self, word: &str) -> Result<(), String> {
+        if self.b[self.i..].starts_with(word.as_bytes()) {
+            self.i += word.len();
+            Ok(())
+        } else {
+            Err(self.err("invalid literal"))
+        }
+    }
+
+    fn object(&mut self) -> Result<(), String> {
+        self.i += 1; // consume '{'
+        self.ws();
+        if self.peek() == Some(b'}') {
+            self.i += 1;
+            return Ok(());
+        }
+        loop {
+            self.ws();
+            if self.peek() != Some(b'"') {
+                return Err(self.err("expected object key"));
+            }
+            self.string()?;
+            self.ws();
+            if self.peek() != Some(b':') {
+                return Err(self.err("expected ':'"));
+            }
+            self.i += 1;
+            self.ws();
+            self.value()?;
+            self.ws();
+            match self.peek() {
+                Some(b',') => self.i += 1,
+                Some(b'}') => {
+                    self.i += 1;
+                    return Ok(());
+                }
+                _ => return Err(self.err("expected ',' or '}'")),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<(), String> {
+        self.i += 1; // consume '['
+        self.ws();
+        if self.peek() == Some(b']') {
+            self.i += 1;
+            return Ok(());
+        }
+        loop {
+            self.ws();
+            self.value()?;
+            self.ws();
+            match self.peek() {
+                Some(b',') => self.i += 1,
+                Some(b']') => {
+                    self.i += 1;
+                    return Ok(());
+                }
+                _ => return Err(self.err("expected ',' or ']'")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<(), String> {
+        self.i += 1; // consume '"'
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.i += 1;
+                    return Ok(());
+                }
+                Some(b'\\') => {
+                    self.i += 1;
+                    match self.peek() {
+                        Some(b'"' | b'\\' | b'/' | b'b' | b'f' | b'n' | b'r' | b't') => {
+                            self.i += 1;
+                        }
+                        Some(b'u') => {
+                            self.i += 1;
+                            for _ in 0..4 {
+                                if !self.peek().is_some_and(|c| c.is_ascii_hexdigit()) {
+                                    return Err(self.err("bad \\u escape"));
+                                }
+                                self.i += 1;
+                            }
+                        }
+                        _ => return Err(self.err("bad escape")),
+                    }
+                }
+                Some(c) if c < 0x20 => return Err(self.err("raw control char in string")),
+                Some(_) => self.i += 1,
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<(), String> {
+        if self.peek() == Some(b'-') {
+            self.i += 1;
+        }
+        match self.peek() {
+            Some(b'0') => self.i += 1,
+            Some(c) if c.is_ascii_digit() => {
+                while self.peek().is_some_and(|c| c.is_ascii_digit()) {
+                    self.i += 1;
+                }
+            }
+            _ => return Err(self.err("expected digit")),
+        }
+        if self.peek() == Some(b'.') {
+            self.i += 1;
+            if !self.peek().is_some_and(|c| c.is_ascii_digit()) {
+                return Err(self.err("expected fraction digit"));
+            }
+            while self.peek().is_some_and(|c| c.is_ascii_digit()) {
+                self.i += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            self.i += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.i += 1;
+            }
+            if !self.peek().is_some_and(|c| c.is_ascii_digit()) {
+                return Err(self.err("expected exponent digit"));
+            }
+            while self.peek().is_some_and(|c| c.is_ascii_digit()) {
+                self.i += 1;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn synthetic_trace() -> Trace {
+        let sink = TraceSink::new(&TraceConfig::enabled().with_capacity(8), 2);
+        sink.emit(0, 10, || TraceEvent::TaskExecBegin { callback: 1 });
+        sink.emit(0, 50, || TraceEvent::TaskExecEnd { callback: 1 });
+        sink.emit(0, 60, || TraceEvent::StealAttempt { victim: 1, got: 2 });
+        sink.emit(1, 5, || TraceEvent::TdWave {
+            wave: 1,
+            dir: WaveDir::Down,
+            black: false,
+        });
+        sink.emit(1, 7, || TraceEvent::QueueDepth {
+            local: 3,
+            shared: 1,
+        });
+        sink.hist(0, "task_exec_ns", 40);
+        sink.gauge(1, "queue_local", 3);
+        sink.finish().expect("enabled sink yields a trace")
+    }
+
+    #[test]
+    fn disabled_sink_skips_construction_and_yields_no_trace() {
+        let sink = TraceSink::new(&TraceConfig::disabled(), 2);
+        assert!(!sink.is_enabled());
+        sink.emit(0, 0, || panic!("closure must not run when disabled"));
+        sink.hist(0, "h", 1);
+        sink.gauge(0, "g", 1);
+        assert!(sink.finish().is_none());
+    }
+
+    #[test]
+    fn ring_overwrites_oldest_and_counts_drops() {
+        let mut r = RankRing::with_capacity(3);
+        for t in 0..5u64 {
+            r.push(StampedEvent {
+                t_ns: t,
+                event: TraceEvent::Block,
+            });
+        }
+        assert_eq!(r.dropped, 2);
+        let chron: Vec<u64> = r.chronological().iter().map(|e| e.t_ns).collect();
+        assert_eq!(chron, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn zero_capacity_ring_drops_everything() {
+        let mut r = RankRing::with_capacity(0);
+        r.push(StampedEvent {
+            t_ns: 1,
+            event: TraceEvent::Block,
+        });
+        assert_eq!(r.dropped, 1);
+        assert!(r.chronological().is_empty());
+    }
+
+    #[test]
+    fn histogram_buckets_powers_of_two() {
+        let mut h = VtHistogram::default();
+        for v in [0, 1, 2, 3, 4, 1_000, u64::MAX] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 7);
+        assert_eq!(h.buckets()[0], 1); // 0
+        assert_eq!(h.buckets()[1], 1); // 1
+        assert_eq!(h.buckets()[2], 2); // 2,3
+        assert_eq!(h.buckets()[3], 1); // 4
+        assert_eq!(h.buckets()[10], 1); // 1000 in [512,1023]
+        assert_eq!(h.buckets()[64], 1); // u64::MAX
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), u64::MAX);
+    }
+
+    #[test]
+    fn histogram_quantile_and_merge() {
+        let mut a = VtHistogram::default();
+        let mut b = VtHistogram::default();
+        for _ in 0..9 {
+            a.record(10); // bucket [8,15]
+        }
+        b.record(1_000_000);
+        a.merge(&b);
+        assert_eq!(a.count(), 10);
+        assert_eq!(a.quantile_upper_bound(0.5), 15);
+        assert_eq!(a.quantile_upper_bound(1.0), 1_000_000);
+        let empty = VtHistogram::default();
+        assert_eq!(empty.quantile_upper_bound(0.5), 0);
+        assert_eq!(empty.mean(), 0.0);
+        assert_eq!(empty.min(), 0);
+    }
+
+    #[test]
+    fn gauge_tracks_last_max_mean() {
+        let mut g = Gauge::default();
+        for v in [4, 10, 1] {
+            g.record(v);
+        }
+        assert_eq!(g.last, 1);
+        assert_eq!(g.max, 10);
+        assert!((g.mean() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn chrome_export_parses_and_has_rank_tracks() {
+        let t = synthetic_trace();
+        let json = t.to_chrome_json();
+        validate_json(&json).expect("chrome export must be valid JSON");
+        assert!(json.contains("\"name\":\"rank 0\""));
+        assert!(json.contains("\"name\":\"rank 1\""));
+        assert!(json.contains("\"ph\":\"B\""));
+        assert!(json.contains("\"ph\":\"E\""));
+        assert!(json.contains("\"ph\":\"C\""));
+        assert!(json.contains("\"victim\":1"));
+        // ts stamps are fixed-decimal microseconds derived from integer ns.
+        assert!(json.contains("\"ts\":0.010"));
+    }
+
+    #[test]
+    fn jsonl_export_lines_each_parse() {
+        let t = synthetic_trace();
+        let jsonl = t.to_jsonl();
+        assert_eq!(jsonl.lines().count(), 5);
+        for line in jsonl.lines() {
+            validate_json(line).expect("every JSONL line must parse");
+        }
+        assert!(jsonl.contains("\"ev\":\"TdWave\""));
+        assert!(jsonl.contains("\"dir\":\"down\""));
+    }
+
+    #[test]
+    fn summary_names_metrics_and_kinds() {
+        let s = synthetic_trace().summary();
+        assert!(s.contains("trace summary: 2 ranks"));
+        assert!(s.contains("StealAttempt"));
+        assert!(s.contains("task_exec_ns"));
+        assert!(s.contains("queue_local"));
+    }
+
+    #[test]
+    fn validator_accepts_and_rejects() {
+        for ok in [
+            "{}",
+            "[]",
+            "null",
+            "-1.5e-3",
+            "\"a\\u00ff\\n\"",
+            "{\"a\":[1,2,{\"b\":true}],\"c\":null}",
+            " [ 1 , 2 ] ",
+        ] {
+            validate_json(ok).unwrap_or_else(|e| panic!("{ok:?} should parse: {e}"));
+        }
+        for bad in [
+            "",
+            "{",
+            "[1,]",
+            "{\"a\":}",
+            "{a:1}",
+            "01",
+            "1.",
+            "\"\\x\"",
+            "\"unterminated",
+            "tru",
+            "[] []",
+            "{\"a\":1,}",
+        ] {
+            assert!(validate_json(bad).is_err(), "{bad:?} should be rejected");
+        }
+    }
+}

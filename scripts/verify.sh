@@ -27,4 +27,12 @@ cargo build --release --offline
 echo "== cargo test -q --offline (tier-1) =="
 cargo test -q --offline
 
+echo "== trace smoke: table1 --trace-out round-trips through trace_check =="
+trace_tmp=$(mktemp /tmp/scioto-trace.XXXXXX.json)
+trap 'rm -f "$trace_tmp"' EXIT
+cargo run --release --offline -q -p scioto-bench --bin table1 -- \
+    --trace-out "$trace_tmp" > /dev/null
+cargo run --release --offline -q -p scioto-bench --bin trace_check -- \
+    --file "$trace_tmp" --ranks 2
+
 echo "verify.sh: all checks passed"

@@ -14,7 +14,10 @@ use scioto_scf::{
     run_scf_parallel, scf_sequential, BasisSet, LoadBalance, Molecule, ParallelScfConfig,
     ScfConfig,
 };
-use scioto_sim::{ExecMode, LatencyModel, Machine, MachineConfig, SpeedModel};
+use scioto_sim::{
+    validate_json, ExecMode, LatencyModel, Machine, MachineConfig, SpeedModel, Trace, TraceConfig,
+    TraceEvent,
+};
 use scioto_tce::contract::reference_checksum;
 use scioto_tce::{run_contraction, ContractionConfig, TceLoadBalance};
 use scioto_uts::mpi_ws::{run_mpi_uts, MpiUtsConfig};
@@ -283,4 +286,93 @@ fn different_seeds_give_different_victim_sequences() {
         assert_ne!(va, vb, "rank {rank}: seeds 1 and 2 picked identical victims");
         assert!(va.iter().all(|&v| v != rank && v < 4));
     }
+}
+
+/// Seeded 8-rank traced UTS run — the observability acceptance workload.
+fn traced_uts(seed: u64) -> Trace {
+    let params = presets::tiny();
+    Machine::run(
+        MachineConfig::virtual_time(8)
+            .with_latency(LatencyModel::cluster())
+            .with_seed(seed)
+            .with_trace(TraceConfig::enabled()),
+        move |ctx| run_scioto_uts(ctx, &SciotoUtsConfig::new(params)).0,
+    )
+    .report
+    .trace
+    .expect("tracing was enabled")
+}
+
+#[test]
+fn same_seed_gives_byte_identical_trace_exports() {
+    // Events are stamped with the emitting rank's virtual clock, so a
+    // virtual-time trace is a pure function of the MachineConfig: both
+    // export formats must agree byte for byte across same-seed runs.
+    let a = traced_uts(0xD5EED);
+    let b = traced_uts(0xD5EED);
+    assert_eq!(a.to_jsonl(), b.to_jsonl(), "JSONL export must be bit-identical");
+    assert_eq!(
+        a.to_chrome_json(),
+        b.to_chrome_json(),
+        "Chrome export must be bit-identical"
+    );
+
+    let chrome = a.to_chrome_json();
+    validate_json(&chrome).expect("chrome export parses as JSON");
+    // Per-rank tracks with the acceptance event kinds, stamped in
+    // virtual ns.
+    for r in 0..a.nranks() {
+        assert!(
+            chrome.contains(&format!("\"name\":\"rank {r}\"")),
+            "rank {r} track metadata missing"
+        );
+        assert!(
+            a.events_for(r)
+                .iter()
+                .any(|e| matches!(e.event, TraceEvent::TdWave { .. })),
+            "rank {r} has no TdWave events"
+        );
+    }
+    let kinds: Vec<&str> = a
+        .events
+        .iter()
+        .flatten()
+        .map(|e| e.event.name())
+        .collect();
+    assert!(kinds.contains(&"TaskExecBegin"));
+    assert!(kinds.contains(&"StealAttempt"));
+    assert!(
+        a.events
+            .iter()
+            .flatten()
+            .any(|e| e.t_ns > 0),
+        "events must carry non-zero virtual timestamps"
+    );
+}
+
+#[test]
+fn different_seeds_give_different_traced_steal_sequences() {
+    // The steal schedule is seed-dependent, and the trace must show it:
+    // the per-rank (time, victim) sequences of StealAttempt events cannot
+    // coincide across seeds on every rank.
+    let steal_seq = |t: &Trace| -> Vec<Vec<(u64, u32)>> {
+        (0..t.nranks())
+            .map(|r| {
+                t.events_for(r)
+                    .iter()
+                    .filter_map(|e| match e.event {
+                        TraceEvent::StealAttempt { victim, .. } => Some((e.t_ns, victim)),
+                        _ => None,
+                    })
+                    .collect()
+            })
+            .collect()
+    };
+    let a = traced_uts(1);
+    let b = traced_uts(2);
+    assert_ne!(
+        steal_seq(&a),
+        steal_seq(&b),
+        "seeds 1 and 2 produced identical steal timelines"
+    );
 }
