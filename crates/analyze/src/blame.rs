@@ -1,0 +1,206 @@
+//! Blame decomposition: attribute every virtual nanosecond of a rank's
+//! elapsed time to exactly one [`Category`].
+//!
+//! The sweep walks the rank's spans (sorted by start, outermost first on
+//! ties) with an explicit nesting stack and charges each instant to the
+//! *innermost* covering span — so a lock wait nested in a steal attempt
+//! counts as lock time, not steal time, and the parent's category only
+//! gets the remainder. Time covered by no span is idle. By construction
+//! the six category totals sum **exactly** to the rank's elapsed time
+//! (the invariant pinned by `tests/cross_crate.rs`).
+
+use crate::timeline::{Category, Span, CATEGORIES};
+
+/// Per-category virtual-ns totals for one rank (or aggregated).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Blame {
+    ns: [u64; CATEGORIES.len()],
+}
+
+impl Blame {
+    /// Nanoseconds attributed to `cat`.
+    pub fn get(&self, cat: Category) -> u64 {
+        self.ns[cat.index()]
+    }
+
+    /// Sum over all categories — equals the elapsed time passed to
+    /// [`decompose`].
+    pub fn total(&self) -> u64 {
+        self.ns.iter().sum()
+    }
+
+    /// Directly charge `ns` to `cat` (used by the critical-path walk).
+    pub(crate) fn charge(&mut self, cat: Category, ns: u64) {
+        self.ns[cat.index()] += ns;
+    }
+
+    /// Fold another rank's blame into this one.
+    pub fn merge(&mut self, other: &Blame) {
+        for (a, b) in self.ns.iter_mut().zip(&other.ns) {
+            *a += b;
+        }
+    }
+}
+
+/// Decompose `elapsed` virtual ns of one rank into category totals given
+/// its spans. Spans are clipped to `[0, elapsed]`; overlapping
+/// non-nested spans (which well-formed traces do not produce) are
+/// resolved by clamping the later span to the earlier one's end, keeping
+/// the sum exact.
+pub fn decompose(spans: &[Span], elapsed: u64) -> Blame {
+    let mut sp: Vec<Span> = spans
+        .iter()
+        .map(|s| Span {
+            cat: s.cat,
+            start: s.start.min(elapsed),
+            end: s.end.min(elapsed),
+        })
+        .filter(|s| !s.is_empty())
+        .collect();
+    sp.sort_by(|a, b| a.start.cmp(&b.start).then(b.end.cmp(&a.end)));
+
+    let mut blame = Blame::default();
+    let mut stack: Vec<Span> = Vec::new();
+    let mut t = 0u64;
+    let mut i = 0usize;
+    loop {
+        let next_start = sp.get(i).map(|s| s.start);
+        let top = stack.last().copied();
+        match (next_start, top) {
+            (Some(start), top) if top.is_none_or(|p| start < p.end) => {
+                attribute(&mut blame, top, t, start, t);
+                t = t.max(start);
+                let mut s = sp[i];
+                if let Some(p) = top {
+                    // Defensive clamp for improper overlap.
+                    s.end = s.end.min(p.end);
+                }
+                if s.start < s.end {
+                    stack.push(s);
+                }
+                i += 1;
+            }
+            (_, Some(p)) => {
+                attribute(&mut blame, Some(p), t, p.end, t);
+                t = t.max(p.end);
+                stack.pop();
+            }
+            // `(Some(_), None)` always takes the first arm (its guard is
+            // vacuously true with no parent), so only `(None, None)` lands
+            // here.
+            _ => break,
+        }
+    }
+    if elapsed > t {
+        blame.ns[Category::Idle.index()] += elapsed - t;
+    }
+    blame
+}
+
+/// Charge `[from, to)` to `covering` (idle when `None`), ignoring empty
+/// or inverted intervals. `t` is the sweep's current time; only the part
+/// at or after it counts.
+fn attribute(blame: &mut Blame, covering: Option<Span>, from: u64, to: u64, t: u64) {
+    let from = from.max(t);
+    if to <= from {
+        return;
+    }
+    let cat = covering.map_or(Category::Idle, |s| s.cat);
+    blame.ns[cat.index()] += to - from;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span(cat: Category, start: u64, end: u64) -> Span {
+        Span { cat, start, end }
+    }
+
+    #[test]
+    fn empty_spans_are_all_idle() {
+        let b = decompose(&[], 100);
+        assert_eq!(b.get(Category::Idle), 100);
+        assert_eq!(b.total(), 100);
+    }
+
+    #[test]
+    fn nested_spans_charge_innermost() {
+        // Steal [10,50] with a lock wait [20,40] inside: steal self-time is
+        // 20, lock 20, idle 60.
+        let spans = [
+            span(Category::Steal, 10, 50),
+            span(Category::Lock, 20, 40),
+        ];
+        let b = decompose(&spans, 100);
+        assert_eq!(b.get(Category::Steal), 20);
+        assert_eq!(b.get(Category::Lock), 20);
+        assert_eq!(b.get(Category::Idle), 60);
+        assert_eq!(b.total(), 100);
+    }
+
+    #[test]
+    fn triple_nesting_and_adjacency() {
+        // Exec [0,100] containing td [10,30] containing lock [15,25], then
+        // an adjacent barrier [100,120].
+        let spans = [
+            span(Category::Exec, 0, 100),
+            span(Category::Td, 10, 30),
+            span(Category::Lock, 15, 25),
+            span(Category::Barrier, 100, 120),
+        ];
+        let b = decompose(&spans, 120);
+        assert_eq!(b.get(Category::Exec), 80);
+        assert_eq!(b.get(Category::Td), 10);
+        assert_eq!(b.get(Category::Lock), 10);
+        assert_eq!(b.get(Category::Barrier), 20);
+        assert_eq!(b.get(Category::Idle), 0);
+        assert_eq!(b.total(), 120);
+    }
+
+    #[test]
+    fn spans_beyond_elapsed_are_clipped() {
+        let spans = [span(Category::Exec, 50, 200)];
+        let b = decompose(&spans, 100);
+        assert_eq!(b.get(Category::Exec), 50);
+        assert_eq!(b.get(Category::Idle), 50);
+        assert_eq!(b.total(), 100);
+    }
+
+    #[test]
+    fn improper_overlap_keeps_sum_exact() {
+        // [0,10] and [5,15] do not nest; the sweep clamps but never double
+        // counts or loses the invariant.
+        let spans = [
+            span(Category::Exec, 0, 10),
+            span(Category::Steal, 5, 15),
+        ];
+        let b = decompose(&spans, 20);
+        assert_eq!(b.total(), 20);
+        assert_eq!(b.get(Category::Exec), 5);
+        assert_eq!(b.get(Category::Steal), 5);
+        assert_eq!(b.get(Category::Idle), 10);
+    }
+
+    #[test]
+    fn identical_spans_nest_without_loss() {
+        let spans = [
+            span(Category::Exec, 10, 30),
+            span(Category::Exec, 10, 30),
+        ];
+        let b = decompose(&spans, 40);
+        assert_eq!(b.get(Category::Exec), 20);
+        assert_eq!(b.total(), 40);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = decompose(&[span(Category::Exec, 0, 10)], 10);
+        let b = decompose(&[span(Category::Steal, 0, 4)], 10);
+        a.merge(&b);
+        assert_eq!(a.get(Category::Exec), 10);
+        assert_eq!(a.get(Category::Steal), 4);
+        assert_eq!(a.get(Category::Idle), 6);
+        assert_eq!(a.total(), 20);
+    }
+}

@@ -1,0 +1,338 @@
+//! Re-parse a JSONL trace export (`Trace::to_jsonl`) back into a
+//! [`Trace`], so analysis can run on files as well as in-memory traces.
+//!
+//! The reader is a purpose-built flat-JSON scanner (the build is
+//! hermetic — no serde): each line is one object whose values are
+//! unsigned integers, strings, booleans or arrays of unsigned integers,
+//! which covers everything the exporter emits. Histograms and gauges are
+//! not serialized per-line, so the reconstructed trace carries empty
+//! metric registries; events, drop counts and final clocks round-trip
+//! exactly.
+
+use std::collections::BTreeMap;
+
+use scioto_sim::{RemoteOpKind, StampedEvent, Trace, TraceEvent, WaveDir};
+
+/// One parsed flat-JSON value.
+#[derive(Clone, Debug, PartialEq)]
+enum Val {
+    Num(u64),
+    Str(String),
+    Bool(bool),
+    Arr(Vec<u64>),
+}
+
+/// Parse `body` (the full JSONL text) into a [`Trace`].
+pub fn parse(body: &str) -> Result<Trace, String> {
+    let mut lines = body.lines().enumerate().filter(|(_, l)| !l.trim().is_empty());
+    let (_, first) = lines
+        .next()
+        .ok_or_else(|| "empty trace file".to_string())?;
+    let meta = parse_flat(first).map_err(|e| format!("line 1: {e}"))?;
+    if get_str(&meta, "meta") != Some("scioto-trace") {
+        return Err("line 1: missing scioto-trace meta header".into());
+    }
+    let ranks = get_num(&meta, "ranks").ok_or("line 1: meta lacks \"ranks\"")? as usize;
+    if ranks == 0 {
+        return Err("line 1: meta declares 0 ranks".into());
+    }
+    let dropped = get_arr(&meta, "dropped").unwrap_or_else(|| vec![0; ranks]);
+    let final_clock_ns = get_arr(&meta, "final_clock_ns").unwrap_or_default();
+    if dropped.len() != ranks {
+        return Err(format!(
+            "line 1: dropped has {} entries for {ranks} ranks",
+            dropped.len()
+        ));
+    }
+
+    let mut events: Vec<Vec<StampedEvent>> = vec![Vec::new(); ranks];
+    for (i, line) in lines {
+        let lineno = i + 1;
+        let fields = parse_flat(line).map_err(|e| format!("line {lineno}: {e}"))?;
+        let rank = get_num(&fields, "rank")
+            .ok_or_else(|| format!("line {lineno}: missing \"rank\""))? as usize;
+        if rank >= ranks {
+            return Err(format!("line {lineno}: rank {rank} out of range ({ranks} ranks)"));
+        }
+        let t_ns = get_num(&fields, "t")
+            .ok_or_else(|| format!("line {lineno}: missing \"t\""))?;
+        let name = get_str(&fields, "ev")
+            .ok_or_else(|| format!("line {lineno}: missing \"ev\""))?;
+        let event = event_from(name, &fields)
+            .ok_or_else(|| format!("line {lineno}: malformed {name} event"))?;
+        events[rank].push(StampedEvent { t_ns, event });
+    }
+
+    Ok(Trace {
+        events,
+        dropped,
+        final_clock_ns,
+        hists: (0..ranks).map(|_| BTreeMap::new()).collect(),
+        gauges: (0..ranks).map(|_| BTreeMap::new()).collect(),
+    })
+}
+
+fn event_from(name: &str, f: &[(String, Val)]) -> Option<TraceEvent> {
+    let num = |k: &str| get_num(f, k);
+    let n32 = |k: &str| num(k).map(|v| v as u32);
+    Some(match name {
+        "TaskExecBegin" => TraceEvent::TaskExecBegin {
+            callback: n32("callback")?,
+            creator: n32("creator")?,
+        },
+        "TaskExecEnd" => TraceEvent::TaskExecEnd { callback: n32("callback")? },
+        "StealAttempt" => TraceEvent::StealAttempt {
+            victim: n32("victim")?,
+            got: n32("got")?,
+            dur_ns: num("dur")?,
+        },
+        "LockWait" => TraceEvent::LockWait { target: n32("target")?, dur_ns: num("dur")? },
+        "BarrierWait" => TraceEvent::BarrierWait { dur_ns: num("dur")? },
+        "TdProgress" => TraceEvent::TdProgress { dur_ns: num("dur")? },
+        "SplitRelease" => TraceEvent::SplitRelease { moved: n32("moved")? },
+        "SplitReclaim" => TraceEvent::SplitReclaim { moved: n32("moved")? },
+        "TdWave" => TraceEvent::TdWave {
+            wave: n32("wave")?,
+            dir: match get_str(f, "dir")? {
+                "down" => WaveDir::Down,
+                "up" => WaveDir::Up,
+                "term" => WaveDir::Term,
+                _ => return None,
+            },
+            black: get_bool(f, "black")?,
+        },
+        "QueueDepth" => TraceEvent::QueueDepth { local: n32("local")?, shared: n32("shared")? },
+        "Block" => TraceEvent::Block,
+        "Unblock" => TraceEvent::Unblock { target: n32("target")? },
+        "MsgSend" => TraceEvent::MsgSend { dst: n32("dst")?, bytes: n32("bytes")? },
+        "RemoteOp" => TraceEvent::RemoteOp {
+            kind: match get_str(f, "kind")? {
+                "put" => RemoteOpKind::Put,
+                "get" => RemoteOpKind::Get,
+                "acc" => RemoteOpKind::Acc,
+                "rmw" => RemoteOpKind::Rmw,
+                "lock" => RemoteOpKind::Lock,
+                "unlock" => RemoteOpKind::Unlock,
+                _ => return None,
+            },
+            target: n32("target")?,
+            bytes: n32("bytes")?,
+        },
+        _ => return None,
+    })
+}
+
+fn get_num(f: &[(String, Val)], k: &str) -> Option<u64> {
+    f.iter().find(|(key, _)| key == k).and_then(|(_, v)| match v {
+        Val::Num(n) => Some(*n),
+        _ => None,
+    })
+}
+
+fn get_str<'a>(f: &'a [(String, Val)], k: &str) -> Option<&'a str> {
+    f.iter().find(|(key, _)| key == k).and_then(|(_, v)| match v {
+        Val::Str(s) => Some(s.as_str()),
+        _ => None,
+    })
+}
+
+fn get_bool(f: &[(String, Val)], k: &str) -> Option<bool> {
+    f.iter().find(|(key, _)| key == k).and_then(|(_, v)| match v {
+        Val::Bool(b) => Some(*b),
+        _ => None,
+    })
+}
+
+fn get_arr(f: &[(String, Val)], k: &str) -> Option<Vec<u64>> {
+    f.iter().find(|(key, _)| key == k).and_then(|(_, v)| match v {
+        Val::Arr(a) => Some(a.clone()),
+        _ => None,
+    })
+}
+
+/// Parse one flat JSON object (`{"k":v,...}` with u64/string/bool/
+/// u64-array values). Returns keys in document order.
+fn parse_flat(line: &str) -> Result<Vec<(String, Val)>, String> {
+    let mut p = Scanner { b: line.trim().as_bytes(), i: 0 };
+    p.expect(b'{')?;
+    let mut out = Vec::new();
+    if p.peek() == Some(b'}') {
+        p.i += 1;
+        return p.finish(out);
+    }
+    loop {
+        let key = p.string()?;
+        p.expect(b':')?;
+        let val = p.value()?;
+        out.push((key, val));
+        match p.next_byte()? {
+            b',' => continue,
+            b'}' => return p.finish(out),
+            c => return Err(format!("unexpected byte {:?} at {}", c as char, p.i)),
+        }
+    }
+}
+
+struct Scanner<'a> {
+    b: &'a [u8],
+    i: usize,
+}
+
+impl Scanner<'_> {
+    fn peek(&self) -> Option<u8> {
+        self.b.get(self.i).copied()
+    }
+
+    fn next_byte(&mut self) -> Result<u8, String> {
+        let c = self.peek().ok_or("unexpected end of line")?;
+        self.i += 1;
+        Ok(c)
+    }
+
+    fn expect(&mut self, c: u8) -> Result<(), String> {
+        match self.next_byte()? {
+            got if got == c => Ok(()),
+            got => Err(format!("expected {:?}, got {:?} at {}", c as char, got as char, self.i)),
+        }
+    }
+
+    fn finish(&self, out: Vec<(String, Val)>) -> Result<Vec<(String, Val)>, String> {
+        if self.i == self.b.len() {
+            Ok(out)
+        } else {
+            Err(format!("trailing bytes at {}", self.i))
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let start = self.i;
+        while let Some(c) = self.peek() {
+            if c == b'"' {
+                let s = std::str::from_utf8(&self.b[start..self.i])
+                    .map_err(|_| "invalid utf-8 in string".to_string())?
+                    .to_string();
+                self.i += 1;
+                return Ok(s);
+            }
+            if c == b'\\' {
+                return Err("escapes are not used by the exporter".into());
+            }
+            self.i += 1;
+        }
+        Err("unterminated string".into())
+    }
+
+    fn number(&mut self) -> Result<u64, String> {
+        let start = self.i;
+        while self.peek().is_some_and(|c| c.is_ascii_digit()) {
+            self.i += 1;
+        }
+        if self.i == start {
+            return Err(format!("expected digits at {}", self.i));
+        }
+        std::str::from_utf8(&self.b[start..self.i])
+            .unwrap()
+            .parse()
+            .map_err(|e| format!("bad number: {e}"))
+    }
+
+    fn value(&mut self) -> Result<Val, String> {
+        match self.peek().ok_or("unexpected end of line")? {
+            b'"' => Ok(Val::Str(self.string()?)),
+            b't' => self.literal("true").map(|_| Val::Bool(true)),
+            b'f' => self.literal("false").map(|_| Val::Bool(false)),
+            b'[' => {
+                self.i += 1;
+                let mut arr = Vec::new();
+                if self.peek() == Some(b']') {
+                    self.i += 1;
+                    return Ok(Val::Arr(arr));
+                }
+                loop {
+                    arr.push(self.number()?);
+                    match self.next_byte()? {
+                        b',' => continue,
+                        b']' => return Ok(Val::Arr(arr)),
+                        c => return Err(format!("unexpected {:?} in array", c as char)),
+                    }
+                }
+            }
+            c if c.is_ascii_digit() => Ok(Val::Num(self.number()?)),
+            c => Err(format!("unexpected value start {:?}", c as char)),
+        }
+    }
+
+    fn literal(&mut self, word: &str) -> Result<(), String> {
+        if self.b[self.i..].starts_with(word.as_bytes()) {
+            self.i += word.len();
+            Ok(())
+        } else {
+            Err(format!("invalid literal at {}", self.i))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scioto_sim::{TraceConfig, TraceSink};
+
+    fn sample_trace() -> Trace {
+        let sink = TraceSink::new(&TraceConfig::enabled(), 2);
+        sink.emit(0, 10, || TraceEvent::TaskExecBegin { callback: 3, creator: 1 });
+        sink.emit(0, 40, || TraceEvent::TaskExecEnd { callback: 3 });
+        sink.emit(0, 90, || TraceEvent::StealAttempt { victim: 1, got: 2, dur_ns: 30 });
+        sink.emit(1, 5, || TraceEvent::TdWave { wave: 2, dir: WaveDir::Up, black: true });
+        sink.emit(1, 9, || TraceEvent::RemoteOp {
+            kind: RemoteOpKind::Acc,
+            target: 0,
+            bytes: 16,
+        });
+        sink.emit(1, 12, || TraceEvent::LockWait { target: 0, dur_ns: 4 });
+        sink.emit(1, 20, || TraceEvent::BarrierWait { dur_ns: 0 });
+        sink.emit(1, 33, || TraceEvent::TdProgress { dur_ns: 7 });
+        sink.emit(1, 35, || TraceEvent::Block);
+        let mut t = sink.finish().unwrap();
+        t.final_clock_ns = vec![90, 35];
+        t
+    }
+
+    #[test]
+    fn jsonl_round_trips_events_and_meta() {
+        let t = sample_trace();
+        let parsed = parse(&t.to_jsonl()).expect("export must re-parse");
+        assert_eq!(parsed.events, t.events);
+        assert_eq!(parsed.dropped, t.dropped);
+        assert_eq!(parsed.final_clock_ns, t.final_clock_ns);
+        // And the re-export of the parsed trace is byte-identical.
+        assert_eq!(parsed.to_jsonl(), t.to_jsonl());
+    }
+
+    #[test]
+    fn missing_header_is_an_error() {
+        let err = parse("{\"rank\":0,\"t\":1,\"ev\":\"Block\"}\n").unwrap_err();
+        assert!(err.contains("meta header"), "{err}");
+    }
+
+    #[test]
+    fn malformed_lines_carry_line_numbers() {
+        let t = sample_trace();
+        let mut body = t.to_jsonl();
+        body.push_str("{\"rank\":0,\"t\":1,\"ev\":\"NoSuchEvent\"}\n");
+        let err = parse(&body).unwrap_err();
+        assert!(err.contains("malformed NoSuchEvent"), "{err}");
+    }
+
+    #[test]
+    fn out_of_range_rank_is_rejected() {
+        let body = "{\"meta\":\"scioto-trace\",\"version\":2,\"ranks\":1,\"dropped\":[0],\"final_clock_ns\":[5]}\n\
+                    {\"rank\":3,\"t\":1,\"ev\":\"Block\"}\n";
+        assert!(parse(body).unwrap_err().contains("out of range"));
+    }
+
+    #[test]
+    fn empty_input_is_an_error() {
+        assert!(parse("").is_err());
+    }
+}

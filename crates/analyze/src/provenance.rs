@@ -1,0 +1,227 @@
+//! Steal provenance: who fed whom, how far work travelled, and how long
+//! steal chains grew.
+//!
+//! Built from `StealAttempt` events (victim → thief edges) and
+//! `TaskExecBegin` events (the `creator` field marks migrated tasks).
+//! Task records carry no global IDs, so chain depth is tracked per rank:
+//! the depth of a successful steal is one more than the depth of the
+//! victim's most recent successful steal *as a thief* before that moment
+//! (work the victim holds may descend from that steal). This is the
+//! standard lineage approximation for ID-free traces; it is exact when
+//! ranks drain stolen work before stealing again, and an upper bound
+//! otherwise.
+
+use scioto_sim::{Trace, TraceEvent};
+
+/// Aggregated victim→thief steal edge.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct StealEdge {
+    /// Rank performing the steals.
+    pub thief: u32,
+    /// Rank stolen from.
+    pub victim: u32,
+    /// Attempts (successful + failed).
+    pub attempts: u64,
+    /// Attempts that obtained at least one task.
+    pub successes: u64,
+    /// Total tasks moved along this edge.
+    pub tasks: u64,
+    /// Total virtual ns spent on this edge's attempts.
+    pub dur_ns: u64,
+}
+
+/// The steal-provenance profile of one trace.
+#[derive(Clone, Debug, Default)]
+pub struct Provenance {
+    /// Aggregated edges, sorted by (thief, victim).
+    pub edges: Vec<StealEdge>,
+    /// Successful-steal counts by ring distance `min(|t-v|, n-|t-v|)`;
+    /// index 0 is unused (self-steals cannot happen).
+    pub distance_hist: Vec<u64>,
+    /// Deepest steal chain observed (0 when nothing was stolen).
+    pub chain_depth_max: u64,
+    /// Mean chain depth over successful steals (0.0 when none).
+    pub chain_depth_mean: f64,
+    /// Tasks executed on a rank other than their creator.
+    pub migrated_execs: u64,
+    /// Total tasks executed (for the migration ratio).
+    pub total_execs: u64,
+}
+
+impl Provenance {
+    /// Successful steals across all edges.
+    pub fn total_successes(&self) -> u64 {
+        self.edges.iter().map(|e| e.successes).sum()
+    }
+
+    /// Fraction of executed tasks that migrated (0.0 when none executed).
+    pub fn migration_ratio(&self) -> f64 {
+        if self.total_execs == 0 {
+            0.0
+        } else {
+            self.migrated_execs as f64 / self.total_execs as f64
+        }
+    }
+}
+
+/// Build the provenance profile of `trace`.
+pub fn analyze(trace: &Trace) -> Provenance {
+    let n = trace.nranks();
+    let mut edges: std::collections::BTreeMap<(u32, u32), StealEdge> = Default::default();
+    let mut distance_hist = vec![0u64; n / 2 + 1];
+    let mut migrated_execs = 0u64;
+    let mut total_execs = 0u64;
+
+    // (completion time, thief, victim) of successful steals, globally
+    // ordered for the chain-depth walk. Ties break by thief rank, which is
+    // deterministic because per-rank streams are already ordered.
+    let mut successes: Vec<(u64, u32, u32)> = Vec::new();
+
+    for (rank, events) in trace.events.iter().enumerate() {
+        let thief = rank as u32;
+        for e in events {
+            match e.event {
+                TraceEvent::StealAttempt { victim, got, dur_ns } => {
+                    let edge = edges.entry((thief, victim)).or_insert(StealEdge {
+                        thief,
+                        victim,
+                        attempts: 0,
+                        successes: 0,
+                        tasks: 0,
+                        dur_ns: 0,
+                    });
+                    edge.attempts += 1;
+                    edge.dur_ns += dur_ns;
+                    if got > 0 {
+                        edge.successes += 1;
+                        edge.tasks += got as u64;
+                        let d = (thief as i64 - victim as i64).unsigned_abs() as usize;
+                        let ring = d.min(n - d);
+                        distance_hist[ring] += 1;
+                        successes.push((e.t_ns, thief, victim));
+                    }
+                }
+                TraceEvent::TaskExecBegin { creator, .. } => {
+                    total_execs += 1;
+                    if creator != thief {
+                        migrated_execs += 1;
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+
+    successes.sort_by_key(|&(t, thief, victim)| (t, thief, victim));
+    // depth_as_thief[r] = depth of r's most recent successful steal.
+    let mut depth_as_thief = vec![0u64; n];
+    let mut depth_sum = 0u64;
+    let mut depth_max = 0u64;
+    for &(_, thief, victim) in &successes {
+        let d = depth_as_thief[victim as usize] + 1;
+        depth_as_thief[thief as usize] = d;
+        depth_sum += d;
+        depth_max = depth_max.max(d);
+    }
+    let chain_depth_mean = if successes.is_empty() {
+        0.0
+    } else {
+        depth_sum as f64 / successes.len() as f64
+    };
+
+    Provenance {
+        edges: edges.into_values().collect(),
+        distance_hist,
+        chain_depth_max: depth_max,
+        chain_depth_mean,
+        migrated_execs,
+        total_execs,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scioto_sim::{StampedEvent, TraceConfig, TraceSink};
+
+    fn trace_of(per_rank: Vec<Vec<StampedEvent>>) -> Trace {
+        let sink = TraceSink::new(&TraceConfig::enabled(), per_rank.len());
+        for (rank, events) in per_rank.iter().enumerate() {
+            for e in events {
+                sink.emit(rank, e.t_ns, || e.event);
+            }
+        }
+        sink.finish().unwrap()
+    }
+
+    fn steal(t_ns: u64, victim: u32, got: u32) -> StampedEvent {
+        StampedEvent {
+            t_ns,
+            event: TraceEvent::StealAttempt { victim, got, dur_ns: 10 },
+        }
+    }
+
+    fn exec(t_ns: u64, creator: u32) -> StampedEvent {
+        StampedEvent {
+            t_ns,
+            event: TraceEvent::TaskExecBegin { callback: 0, creator },
+        }
+    }
+
+    #[test]
+    fn edges_aggregate_attempts_and_tasks() {
+        let t = trace_of(vec![
+            vec![],
+            vec![steal(10, 0, 2), steal(30, 0, 0), steal(50, 0, 3)],
+        ]);
+        let p = analyze(&t);
+        assert_eq!(p.edges.len(), 1);
+        let e = p.edges[0];
+        assert_eq!((e.thief, e.victim), (1, 0));
+        assert_eq!(e.attempts, 3);
+        assert_eq!(e.successes, 2);
+        assert_eq!(e.tasks, 5);
+        assert_eq!(e.dur_ns, 30);
+        assert_eq!(p.total_successes(), 2);
+    }
+
+    #[test]
+    fn ring_distance_wraps() {
+        // 4 ranks: 3 steals from 0 → linear distance 3, ring distance 1.
+        let t = trace_of(vec![vec![], vec![], vec![], vec![steal(10, 0, 1)]]);
+        let p = analyze(&t);
+        assert_eq!(p.distance_hist, vec![0, 1, 0]);
+    }
+
+    #[test]
+    fn chain_depth_follows_victims() {
+        // r1 steals from r0 (depth 1), then r2 steals from r1 (depth 2),
+        // then r0 steals from r2 (depth 3).
+        let t = trace_of(vec![
+            vec![steal(50, 2, 1)],
+            vec![steal(10, 0, 1)],
+            vec![steal(30, 1, 1)],
+        ]);
+        let p = analyze(&t);
+        assert_eq!(p.chain_depth_max, 3);
+        assert!((p.chain_depth_mean - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn migration_counts_non_creator_execs() {
+        let t = trace_of(vec![vec![exec(5, 0), exec(10, 1)], vec![exec(7, 1)]]);
+        let p = analyze(&t);
+        assert_eq!(p.total_execs, 3);
+        assert_eq!(p.migrated_execs, 1);
+        assert!((p.migration_ratio() - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_trace_is_benign() {
+        let p = analyze(&trace_of(vec![vec![], vec![]]));
+        assert_eq!(p.total_successes(), 0);
+        assert_eq!(p.chain_depth_max, 0);
+        assert_eq!(p.chain_depth_mean, 0.0);
+        assert_eq!(p.migration_ratio(), 0.0);
+    }
+}

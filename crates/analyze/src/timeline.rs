@@ -1,0 +1,204 @@
+//! Per-rank timeline reconstruction: turn a rank's event stream into a
+//! list of categorized virtual-time spans.
+//!
+//! Span sources:
+//! * `TaskExecBegin`/`TaskExecEnd` pairs → [`Category::Exec`] spans;
+//! * `StealAttempt { dur_ns }` → [`Category::Steal`] spans ending at the
+//!   event stamp (events are stamped at completion);
+//! * `LockWait { dur_ns }` → [`Category::Lock`];
+//! * `BarrierWait { dur_ns }` → [`Category::Barrier`];
+//! * `TdProgress { dur_ns }` → [`Category::Td`].
+//!
+//! Spans on one rank nest like the call stack that emitted them (a lock
+//! wait inside a steal sits inside the steal's span); the blame sweep in
+//! [`crate::blame`] attributes each instant to the *innermost* covering
+//! span. Anything not covered by a span is idle time.
+
+use scioto_sim::{StampedEvent, TraceEvent};
+
+/// Blame category of a span (or of uncovered time).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Category {
+    /// Task callback execution.
+    Exec,
+    /// Steal attempts (successful or not): victim lock, index read,
+    /// transfer, unlock.
+    Steal,
+    /// Mutex queue wait plus acquire round trip.
+    Lock,
+    /// Termination-detection polling.
+    Td,
+    /// Barrier arrival-to-release.
+    Barrier,
+    /// Time covered by no span.
+    Idle,
+}
+
+/// All categories in reporting order.
+pub const CATEGORIES: [Category; 6] = [
+    Category::Exec,
+    Category::Steal,
+    Category::Lock,
+    Category::Td,
+    Category::Barrier,
+    Category::Idle,
+];
+
+impl Category {
+    /// Stable lowercase name used in reports and JSON.
+    pub fn name(self) -> &'static str {
+        match self {
+            Category::Exec => "exec",
+            Category::Steal => "steal",
+            Category::Lock => "lock",
+            Category::Td => "td",
+            Category::Barrier => "barrier",
+            Category::Idle => "idle",
+        }
+    }
+
+    /// Index into [`CATEGORIES`]-ordered arrays.
+    pub fn index(self) -> usize {
+        self as usize
+    }
+}
+
+/// One categorized virtual-time span on a single rank.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Span {
+    /// Blame category.
+    pub cat: Category,
+    /// Span start, virtual ns.
+    pub start: u64,
+    /// Span end (exclusive), virtual ns; `end >= start`.
+    pub end: u64,
+}
+
+impl Span {
+    /// Span length in virtual ns.
+    pub fn len(&self) -> u64 {
+        self.end - self.start
+    }
+
+    /// True when the span covers no time.
+    pub fn is_empty(&self) -> bool {
+        self.end == self.start
+    }
+}
+
+/// Extract the categorized spans of one rank's event stream, in event
+/// order. Unmatched `TaskExecBegin`s (a truncated ring, or a trace cut
+/// mid-task) are closed at the rank's last event stamp; unmatched
+/// `TaskExecEnd`s are ignored. Duration-stamped spans whose length
+/// exceeds their completion stamp are clipped at 0.
+pub fn spans_for_rank(events: &[StampedEvent]) -> Vec<Span> {
+    let last_t = events.last().map_or(0, |e| e.t_ns);
+    let mut spans = Vec::new();
+    let mut open_execs: Vec<u64> = Vec::new();
+    for e in events {
+        match e.event {
+            TraceEvent::TaskExecBegin { .. } => open_execs.push(e.t_ns),
+            TraceEvent::TaskExecEnd { .. } => {
+                if let Some(start) = open_execs.pop() {
+                    spans.push(Span {
+                        cat: Category::Exec,
+                        start,
+                        end: e.t_ns.max(start),
+                    });
+                }
+            }
+            TraceEvent::StealAttempt { dur_ns, .. } => spans.push(completed(e, dur_ns, Category::Steal)),
+            TraceEvent::LockWait { dur_ns, .. } => spans.push(completed(e, dur_ns, Category::Lock)),
+            TraceEvent::BarrierWait { dur_ns } => spans.push(completed(e, dur_ns, Category::Barrier)),
+            TraceEvent::TdProgress { dur_ns } => spans.push(completed(e, dur_ns, Category::Td)),
+            _ => {}
+        }
+    }
+    for start in open_execs {
+        spans.push(Span {
+            cat: Category::Exec,
+            start,
+            end: last_t.max(start),
+        });
+    }
+    spans
+}
+
+fn completed(e: &StampedEvent, dur_ns: u64, cat: Category) -> Span {
+    Span {
+        cat,
+        start: e.t_ns.saturating_sub(dur_ns),
+        end: e.t_ns,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(t_ns: u64, event: TraceEvent) -> StampedEvent {
+        StampedEvent { t_ns, event }
+    }
+
+    #[test]
+    fn spans_cover_all_duration_sources() {
+        let events = vec![
+            ev(10, TraceEvent::TaskExecBegin { callback: 0, creator: 0 }),
+            ev(40, TraceEvent::TaskExecEnd { callback: 0 }),
+            ev(70, TraceEvent::StealAttempt { victim: 1, got: 0, dur_ns: 20 }),
+            ev(90, TraceEvent::LockWait { target: 1, dur_ns: 5 }),
+            ev(100, TraceEvent::BarrierWait { dur_ns: 3 }),
+            ev(120, TraceEvent::TdProgress { dur_ns: 8 }),
+            ev(120, TraceEvent::Block),
+        ];
+        let spans = spans_for_rank(&events);
+        assert_eq!(
+            spans,
+            vec![
+                Span { cat: Category::Exec, start: 10, end: 40 },
+                Span { cat: Category::Steal, start: 50, end: 70 },
+                Span { cat: Category::Lock, start: 85, end: 90 },
+                Span { cat: Category::Barrier, start: 97, end: 100 },
+                Span { cat: Category::Td, start: 112, end: 120 },
+            ]
+        );
+    }
+
+    #[test]
+    fn unmatched_begin_closes_at_last_event() {
+        let events = vec![
+            ev(10, TraceEvent::TaskExecBegin { callback: 0, creator: 0 }),
+            ev(30, TraceEvent::QueueDepth { local: 1, shared: 0 }),
+        ];
+        let spans = spans_for_rank(&events);
+        assert_eq!(spans, vec![Span { cat: Category::Exec, start: 10, end: 30 }]);
+    }
+
+    #[test]
+    fn unmatched_end_is_ignored_and_oversized_dur_clips_at_zero() {
+        let events = vec![
+            ev(5, TraceEvent::TaskExecEnd { callback: 0 }),
+            ev(7, TraceEvent::TdProgress { dur_ns: 100 }),
+        ];
+        let spans = spans_for_rank(&events);
+        assert_eq!(spans, vec![Span { cat: Category::Td, start: 0, end: 7 }]);
+    }
+
+    #[test]
+    fn nested_execs_pair_innermost_first() {
+        let events = vec![
+            ev(0, TraceEvent::TaskExecBegin { callback: 0, creator: 0 }),
+            ev(10, TraceEvent::TaskExecBegin { callback: 1, creator: 0 }),
+            ev(20, TraceEvent::TaskExecEnd { callback: 1 }),
+            ev(30, TraceEvent::TaskExecEnd { callback: 0 }),
+        ];
+        let spans = spans_for_rank(&events);
+        assert_eq!(
+            spans,
+            vec![
+                Span { cat: Category::Exec, start: 10, end: 20 },
+                Span { cat: Category::Exec, start: 0, end: 30 },
+            ]
+        );
+    }
+}

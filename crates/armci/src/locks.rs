@@ -72,7 +72,19 @@ impl Armci {
             target: rank as u32,
             bytes: 0,
         });
+        let t0 = if ctx.trace_enabled() { ctx.now() } else { 0 };
         storage.locks[rank][idx].acquire(ctx, self.lock_cost(ctx, rank));
+        // Stamped at completion: the span covers the queue wait plus the
+        // acquire round trip. Zero-length waits are elided.
+        if ctx.trace_enabled() {
+            let dur_ns = ctx.now().saturating_sub(t0);
+            if dur_ns > 0 {
+                ctx.trace(|| TraceEvent::LockWait {
+                    target: rank as u32,
+                    dur_ns,
+                });
+            }
+        }
     }
 
     /// Try to acquire mutex `idx` on `rank` without blocking.

@@ -13,8 +13,10 @@ use std::sync::Arc;
 
 use scioto::{StatsSummary, Task, TaskCollection, TcConfig, AFFINITY_HIGH};
 use scioto_armci::Armci;
-use scioto_bench::{dump_trace, render_table, trace_requested, us, Args};
-use scioto_sim::{LatencyModel, Machine, MachineConfig, SpeedModel, TraceConfig};
+use scioto_bench::{
+    dump_analysis, dump_trace, obs_requested, render_table, trace_config, us, Args, BenchOut,
+};
+use scioto_sim::{LatencyModel, Machine, MachineConfig, SpeedModel};
 use scioto_uts::scioto_driver::{run_scioto_uts, SciotoUtsConfig};
 use scioto_uts::{presets, TreeStats};
 
@@ -44,10 +46,12 @@ fn uts_rate(p: usize, chunk: usize) -> (f64, u64) {
     )
 }
 
-fn chunk_sweep() {
+fn chunk_sweep(bench: &mut BenchOut) {
     let mut rows = Vec::new();
     for chunk in [1usize, 2, 5, 10, 20, 50] {
         let (rate, steals) = uts_rate(16, chunk);
+        bench.metric(&format!("chunk{chunk:02}_mnodes"), rate);
+        bench.metric(&format!("chunk{chunk:02}_steals"), steals as f64);
         rows.push(vec![
             chunk.to_string(),
             format!("{rate:.2}"),
@@ -64,7 +68,7 @@ fn chunk_sweep() {
     );
 }
 
-fn release_sweep() {
+fn release_sweep(bench: &mut BenchOut) {
     let params = presets::small();
     let mut rows = Vec::new();
     for (threshold, fraction) in [(1usize, 0.25f64), (10, 0.5), (10, 0.9), (64, 0.5)] {
@@ -83,13 +87,9 @@ fn release_sweep() {
         );
         let mut total = TreeStats::default();
         out.results.iter().for_each(|t| total.merge(t));
-        rows.push(vec![
-            format!("{threshold}/{fraction}"),
-            format!(
-                "{:.2}",
-                total.nodes as f64 / (out.report.makespan_ns as f64 / 1e9) / 1e6
-            ),
-        ]);
+        let rate = total.nodes as f64 / (out.report.makespan_ns as f64 / 1e9) / 1e6;
+        bench.metric(&format!("release_t{threshold:02}_f{fraction}_mnodes"), rate);
+        rows.push(vec![format!("{threshold}/{fraction}"), format!("{rate:.2}")]);
     }
     print!(
         "{}",
@@ -101,7 +101,7 @@ fn release_sweep() {
     );
 }
 
-fn votes_before() {
+fn votes_before(bench: &mut BenchOut) {
     let mut rows = Vec::new();
     for opt in [true, false] {
         let out = Machine::run(
@@ -125,6 +125,16 @@ fn votes_before() {
             &out.results.iter().map(|(s, _)| *s).collect::<Vec<_>>(),
         );
         let makespan = out.results.iter().map(|(_, t)| *t).max().unwrap();
+        let tag = if opt { "on" } else { "off" };
+        bench.metric(
+            &format!("votes_{tag}_marks_sent"),
+            summary.totals.dirty_marks_sent as f64,
+        );
+        bench.metric(
+            &format!("votes_{tag}_marks_elided"),
+            summary.totals.dirty_marks_elided as f64,
+        );
+        bench.metric(&format!("votes_{tag}_phase_ns"), makespan as f64);
         rows.push(vec![
             if opt { "on (§5.3)" } else { "off" }.to_string(),
             summary.totals.dirty_marks_sent.to_string(),
@@ -144,13 +154,13 @@ fn votes_before() {
 
 fn main() {
     let args = Args::parse();
-    if trace_requested(&args) {
+    if obs_requested(&args) {
         // Dedicated traced votes-before run at 8 ranks; the ablation
         // tables below stay untraced.
         let out = Machine::run(
             MachineConfig::virtual_time(8)
                 .with_latency(LatencyModel::cluster())
-                .with_trace(TraceConfig::enabled()),
+                .with_trace(trace_config(&args)),
             |ctx| {
                 let armci = Armci::init(ctx);
                 let cfg = TcConfig::new(8, 2, 4096).with_votes_before_opt(true);
@@ -165,8 +175,12 @@ fn main() {
             },
         );
         dump_trace(&args, &out.report);
+        dump_analysis(&args, &out.report);
     }
-    chunk_sweep();
-    release_sweep();
-    votes_before();
+    let mut bench = BenchOut::new("ablation");
+    bench.param("ranks", 16);
+    chunk_sweep(&mut bench);
+    release_sweep(&mut bench);
+    votes_before(&mut bench);
+    bench.write_if_requested(&args);
 }

@@ -1,0 +1,97 @@
+//! Compare two `scioto-bench-v1` JSON documents and flag metric drift.
+//!
+//! Run: `cargo run -p scioto-bench --bin bench_diff -- \
+//!           --baseline results/baselines/BENCH_table1.json \
+//!           --new /tmp/BENCH_table1.json [--rel-tol 0.05] [--abs-tol 1e-9]`
+//!
+//! A metric drifts when `|new - base| > abs_tol + rel_tol * |base|`, in
+//! either direction — an unexpected speedup is as suspicious as a
+//! slowdown when virtual-time results are supposed to be deterministic.
+//! Metrics present in only one document always count as drift.
+//!
+//! Exit codes: 0 all metrics within tolerance; 1 drift detected;
+//! 2 usage error, unreadable/invalid file, or benchmark/params mismatch
+//! (comparing runs with different parameters is a harness bug, not a
+//! regression).
+
+use scioto_bench::{benchjson, Args};
+
+fn load(path: &str) -> benchjson::BenchOut {
+    let body = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("bench_diff: cannot read {path}: {e}");
+        std::process::exit(2);
+    });
+    benchjson::parse(&body).unwrap_or_else(|e| {
+        eprintln!("bench_diff: {path}: {e}");
+        std::process::exit(2);
+    })
+}
+
+fn main() {
+    let args = Args::parse();
+    let (Some(base_path), Some(new_path)) = (args.get_opt("baseline"), args.get_opt("new")) else {
+        eprintln!(
+            "usage: bench_diff --baseline <base.json> --new <new.json> \
+             [--rel-tol 0.05] [--abs-tol 1e-9]"
+        );
+        std::process::exit(2);
+    };
+    let rel_tol: f64 = args.get("rel-tol", 0.05);
+    let abs_tol: f64 = args.get("abs-tol", 1e-9);
+    let base = load(&base_path);
+    let new = load(&new_path);
+
+    if base.name != new.name {
+        eprintln!(
+            "bench_diff: benchmark mismatch: baseline is {:?}, new is {:?}",
+            base.name, new.name
+        );
+        std::process::exit(2);
+    }
+    if base.params != new.params {
+        eprintln!(
+            "bench_diff: params mismatch for {}: baseline {:?} vs new {:?}",
+            base.name, base.params, new.params
+        );
+        std::process::exit(2);
+    }
+
+    let mut drifted = 0usize;
+    let mut checked = 0usize;
+    let keys: std::collections::BTreeSet<&String> =
+        base.metrics.keys().chain(new.metrics.keys()).collect();
+    for key in keys {
+        match (base.metrics.get(key), new.metrics.get(key)) {
+            (Some(b), Some(n)) => {
+                checked += 1;
+                let delta = (n - b).abs();
+                if delta > abs_tol + rel_tol * b.abs() {
+                    let pct = if *b == 0.0 { f64::INFINITY } else { 100.0 * (n - b) / b };
+                    println!("DRIFT {key}: {b:.6} -> {n:.6} ({pct:+.2}%)");
+                    drifted += 1;
+                }
+            }
+            (Some(b), None) => {
+                println!("DRIFT {key}: {b:.6} -> (missing in new)");
+                drifted += 1;
+            }
+            (None, Some(n)) => {
+                println!("DRIFT {key}: (missing in baseline) -> {n:.6}");
+                drifted += 1;
+            }
+            (None, None) => unreachable!(),
+        }
+    }
+    if drifted > 0 {
+        eprintln!(
+            "bench_diff: {}: {drifted} metric(s) drifted beyond rel {rel_tol} / abs {abs_tol} \
+             ({checked} compared)",
+            base.name
+        );
+        std::process::exit(1);
+    }
+    println!(
+        "bench_diff: {}: {checked} metric(s) within rel {rel_tol} / abs {abs_tol}",
+        base.name
+    );
+}

@@ -11,7 +11,9 @@ use std::sync::Arc;
 
 use scioto::{Task, TaskCollection, TcConfig, AFFINITY_HIGH};
 use scioto_armci::Armci;
-use scioto_bench::{dump_trace, render_table, trace_requested, us, Args};
+use scioto_bench::{
+    dump_analysis, dump_trace, obs_requested, render_table, trace_config, us, Args, BenchOut,
+};
 use scioto_mpi::Comm;
 use scioto_sim::{LatencyModel, Machine, MachineConfig, Report, TraceConfig};
 
@@ -78,12 +80,15 @@ fn mpi_barrier_time(p: usize) -> u64 {
 fn main() {
     let args = Args::parse();
     let max_p: usize = args.get("max-ranks", 64);
-    if trace_requested(&args) {
-        // Dedicated traced detection run at p = 8; the sweep stays untraced
-        // so the published table is unaffected.
-        let (_, report) = termination_time(8, TraceConfig::enabled());
+    if obs_requested(&args) {
+        // Dedicated traced detection run (`--trace-ranks N`, default 8);
+        // the sweep stays untraced so the published table is unaffected.
+        let (_, report) = termination_time(args.get("trace-ranks", 8), trace_config(&args));
         dump_trace(&args, &report);
+        dump_analysis(&args, &report);
     }
+    let mut bench = BenchOut::new("fig4_termination");
+    bench.param("max_ranks", max_p);
     let mut rows = Vec::new();
     let mut p = 1;
     while p <= max_p {
@@ -91,6 +96,9 @@ fn main() {
         let ab = armci_barrier_time(p);
         let mb = mpi_barrier_time(p);
         let ratio = td as f64 / ab.max(1) as f64;
+        bench.metric(&format!("td_ns_p{p:03}"), td as f64);
+        bench.metric(&format!("armci_barrier_ns_p{p:03}"), ab as f64);
+        bench.metric(&format!("mpi_barrier_ns_p{p:03}"), mb as f64);
         rows.push(vec![
             p.to_string(),
             us(td),
@@ -100,6 +108,7 @@ fn main() {
         ]);
         p *= 2;
     }
+    bench.write_if_requested(&args);
     print!(
         "{}",
         render_table(

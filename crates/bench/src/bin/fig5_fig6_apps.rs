@@ -11,9 +11,12 @@
 //! Options: `--max-ranks N` (default 64), `--atoms N` (default 10),
 //! `--tiles N` (default 12).
 
-use scioto_bench::{cluster_rank_sweep, dump_trace, render_table, secs, trace_requested, Args};
+use scioto_bench::{
+    cluster_rank_sweep, dump_analysis, dump_trace, obs_requested, render_table, secs,
+    trace_config, Args, BenchOut,
+};
 use scioto_scf::{run_scf_parallel, BasisSet, LoadBalance, Molecule, ParallelScfConfig};
-use scioto_sim::{LatencyModel, Machine, MachineConfig, SpeedModel, TraceConfig};
+use scioto_sim::{LatencyModel, Machine, MachineConfig, SpeedModel};
 use scioto_tce::{run_contraction, ContractionConfig, SparsityPattern, TceLoadBalance};
 
 fn machine(p: usize) -> MachineConfig {
@@ -66,11 +69,12 @@ fn main() {
     let atoms: usize = args.get("atoms", 16);
     let tiles: usize = args.get("tiles", 48);
 
-    if trace_requested(&args) {
+    if obs_requested(&args) {
         // Dedicated traced 4-rank SCF run (2 Roothaan iterations, small
         // basis); the figure sweep below stays untraced.
         let basis = BasisSet::even_tempered(Molecule::h_chain(6), 2, 0.4, 3.5);
-        let out = Machine::run(machine(4).with_trace(TraceConfig::enabled()), move |ctx| {
+        let trace = trace_config(&args);
+        let out = Machine::run(machine(4).with_trace(trace), move |ctx| {
             let mut cfg = ParallelScfConfig {
                 lb: LoadBalance::Scioto,
                 block: 4,
@@ -82,11 +86,16 @@ fn main() {
             run_scf_parallel(ctx, &basis, &cfg).energy
         });
         dump_trace(&args, &out.report);
+        dump_analysis(&args, &out.report);
     }
 
     let mut ps = vec![1usize];
     ps.extend(cluster_rank_sweep(max_p));
 
+    let mut bench = BenchOut::new("fig5_fig6_apps");
+    bench.param("max_ranks", max_p);
+    bench.param("atoms", atoms);
+    bench.param("tiles", tiles);
     let mut results: Vec<(usize, [u64; 4])> = Vec::new();
     for &p in &ps {
         eprintln!("running P = {p} ...");
@@ -96,8 +105,12 @@ fn main() {
             tce_run(p, tiles, TceLoadBalance::Scioto),
             tce_run(p, tiles, TceLoadBalance::GlobalCounter),
         ];
+        for (name, ns) in ["scf", "scf_orig", "tce", "tce_orig"].iter().zip(row) {
+            bench.metric(&format!("{name}_ns_p{p:03}"), ns as f64);
+        }
         results.push((p, row));
     }
+    bench.write_if_requested(&args);
 
     let base = results[0].1;
     let runtime_rows: Vec<Vec<String>> = results

@@ -11,8 +11,11 @@
 //! Run: `cargo run --release -p scioto-bench --bin fig7_uts_cluster`
 //! Options: `--max-ranks N` (default 64), `--tree small|medium|large`.
 
-use scioto_bench::{cluster_rank_sweep, dump_trace, render_table, trace_requested, Args};
-use scioto_sim::{LatencyModel, Machine, MachineConfig, SpeedModel, TraceConfig};
+use scioto_bench::{
+    cluster_rank_sweep, dump_analysis, dump_trace, obs_requested, render_table, trace_config,
+    Args, BenchOut,
+};
+use scioto_sim::{LatencyModel, Machine, MachineConfig, SpeedModel};
 use scioto_uts::mpi_ws::{run_mpi_uts, MpiUtsConfig};
 use scioto_uts::scioto_driver::{run_scioto_uts, SciotoUtsConfig};
 use scioto_uts::{presets, TreeParams, TreeStats};
@@ -64,20 +67,29 @@ fn main() {
         "large" => presets::large(),
         other => panic!("unknown tree preset {other}"),
     };
-    if trace_requested(&args) {
-        // Dedicated traced 8-rank UTS run on a tiny tree; the throughput
-        // sweep below stays untraced.
-        let out = Machine::run(machine(8).with_trace(TraceConfig::enabled()), move |ctx| {
+    if obs_requested(&args) {
+        // Dedicated traced UTS run on a tiny tree (`--trace-ranks N`,
+        // default 8); the throughput sweep below stays untraced.
+        let trace_ranks: usize = args.get("trace-ranks", 8);
+        let trace = trace_config(&args);
+        let out = Machine::run(machine(trace_ranks).with_trace(trace), move |ctx| {
             run_scioto_uts(ctx, &SciotoUtsConfig::new(presets::tiny())).0
         });
         dump_trace(&args, &out.report);
+        dump_analysis(&args, &out.report);
     }
+    let mut bench = BenchOut::new("fig7_uts_cluster");
+    bench.param("max_ranks", max_p);
+    bench.param("tree", &tree);
     let mut rows = Vec::new();
     for p in cluster_rank_sweep(max_p) {
         eprintln!("running P = {p} ...");
         let split = scioto_rate(p, params, scioto::QueueKind::Split);
         let mpi = mpi_rate(p, params);
         let nosplit = scioto_rate(p, params, scioto::QueueKind::Locked);
+        bench.metric(&format!("split_mnodes_p{p:03}"), split);
+        bench.metric(&format!("mpi_ws_mnodes_p{p:03}"), mpi);
+        bench.metric(&format!("nosplit_mnodes_p{p:03}"), nosplit);
         rows.push(vec![
             p.to_string(),
             format!("{split:.2}"),
@@ -85,6 +97,7 @@ fn main() {
             format!("{nosplit:.2}"),
         ]);
     }
+    bench.write_if_requested(&args);
     print!(
         "{}",
         render_table(

@@ -10,8 +10,10 @@
 //! Run: `cargo run --release -p scioto-bench --bin fig8_uts_xt4`
 //! Options: `--max-ranks N` (default 512), `--tree small|medium|large`.
 
-use scioto_bench::{dump_trace, render_table, trace_requested, Args};
-use scioto_sim::{LatencyModel, Machine, MachineConfig, SpeedModel, TraceConfig};
+use scioto_bench::{
+    dump_analysis, dump_trace, obs_requested, render_table, trace_config, Args, BenchOut,
+};
+use scioto_sim::{LatencyModel, Machine, MachineConfig, SpeedModel};
 use scioto_uts::mpi_ws::{run_mpi_uts, MpiUtsConfig};
 use scioto_uts::scioto_driver::{run_scioto_uts, SciotoUtsConfig};
 use scioto_uts::{presets, TreeParams, TreeStats};
@@ -61,14 +63,20 @@ fn main() {
         "large" => presets::large(),
         other => panic!("unknown tree preset {other}"),
     };
-    if trace_requested(&args) {
-        // Dedicated traced 8-rank XT4 UTS run on a tiny tree; the sweep
-        // below stays untraced.
-        let out = Machine::run(machine(8).with_trace(TraceConfig::enabled()), move |ctx| {
+    if obs_requested(&args) {
+        // Dedicated traced XT4 UTS run on a tiny tree (`--trace-ranks N`,
+        // default 8); the sweep below stays untraced.
+        let trace_ranks: usize = args.get("trace-ranks", 8);
+        let trace = trace_config(&args);
+        let out = Machine::run(machine(trace_ranks).with_trace(trace), move |ctx| {
             run_scioto_uts(ctx, &SciotoUtsConfig::new(presets::tiny())).0
         });
         dump_trace(&args, &out.report);
+        dump_analysis(&args, &out.report);
     }
+    let mut bench = BenchOut::new("fig8_uts_xt4");
+    bench.param("max_ranks", max_p);
+    bench.param("tree", &tree);
     let mut rows = Vec::new();
     for p in [8usize, 16, 32, 64, 128, 256, 512] {
         if p > max_p {
@@ -77,12 +85,15 @@ fn main() {
         eprintln!("running P = {p} ...");
         let scioto = scioto_rate(p, params);
         let mpi = mpi_rate(p, params);
+        bench.metric(&format!("scioto_mnodes_p{p:03}"), scioto);
+        bench.metric(&format!("mpi_mnodes_p{p:03}"), mpi);
         rows.push(vec![
             p.to_string(),
             format!("{scioto:.2}"),
             format!("{mpi:.2}"),
         ]);
     }
+    bench.write_if_requested(&args);
     print!(
         "{}",
         render_table(

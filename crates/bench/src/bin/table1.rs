@@ -9,7 +9,9 @@
 
 use scioto::{Task, TaskCollection, TcConfig};
 use scioto_armci::Armci;
-use scioto_bench::{dump_trace, render_table, trace_requested, us, Args};
+use scioto_bench::{
+    dump_analysis, dump_trace, obs_requested, render_table, trace_config, us, Args, BenchOut,
+};
 use scioto_sim::{LatencyModel, Machine, MachineConfig, Report, TraceConfig};
 
 const BODY: usize = 1024;
@@ -97,14 +99,27 @@ fn measure(latency: LatencyModel, trace: TraceConfig) -> (OpTimes, Report) {
 fn main() {
     let args = Args::parse();
     // The cluster measurement doubles as the traced run when asked for.
-    let trace = if trace_requested(&args) {
-        TraceConfig::enabled()
+    let trace = if obs_requested(&args) {
+        trace_config(&args)
     } else {
         TraceConfig::disabled()
     };
     let (cluster, cluster_report) = measure(LatencyModel::cluster(), trace);
     let (xt4, _) = measure(LatencyModel::xt4(), TraceConfig::disabled());
     dump_trace(&args, &cluster_report);
+    dump_analysis(&args, &cluster_report);
+
+    let mut bench = BenchOut::new("table1");
+    bench.param("body_bytes", BODY);
+    bench.param("chunk", CHUNK);
+    bench.param("ranks", 2);
+    for (model, t) in [("cluster", &cluster), ("xt4", &xt4)] {
+        bench.metric(&format!("{model}_local_insert_ns"), t.local_insert as f64);
+        bench.metric(&format!("{model}_local_get_ns"), t.local_get as f64);
+        bench.metric(&format!("{model}_remote_insert_ns"), t.remote_insert as f64);
+        bench.metric(&format!("{model}_remote_steal_ns"), t.remote_steal as f64);
+    }
+    bench.write_if_requested(&args);
     let rows = vec![
         vec![
             "Local Insert".into(),

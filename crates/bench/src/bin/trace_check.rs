@@ -52,5 +52,30 @@ fn main() {
             std::process::exit(1);
         }
     }
+    // The Chrome export carries the ring-overflow counters in its
+    // `sciotoMeta` trailer; surface drops loudly (they mean truncated
+    // timelines) without failing the check.
+    if let Some(dropped) = dropped_counts(&body) {
+        let total: u64 = dropped.iter().sum();
+        if total > 0 {
+            eprintln!(
+                "trace_check: WARNING: ring overflow dropped {total} event(s) on {} rank(s); \
+                 rerun with a larger --trace-ring",
+                dropped.iter().filter(|&&d| d > 0).count()
+            );
+        }
+    }
     println!("trace_check: {path} OK ({ranks} rank tracks, JSON parses)");
+}
+
+/// Pull the per-rank drop counters out of `"sciotoMeta":{"dropped":[...]`.
+/// Returns `None` for traces predating the metadata trailer.
+fn dropped_counts(body: &str) -> Option<Vec<u64>> {
+    let prefix = "\"sciotoMeta\":{\"dropped\":[";
+    let rest = &body[body.find(prefix)? + prefix.len()..];
+    let list = &rest[..rest.find(']')?];
+    list.split(',')
+        .filter(|s| !s.is_empty())
+        .map(|s| s.trim().parse().ok())
+        .collect()
 }

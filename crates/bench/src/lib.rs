@@ -4,7 +4,10 @@
 
 use std::fmt::Write as _;
 
+pub mod benchjson;
 pub mod tinybench;
+
+pub use benchjson::BenchOut;
 
 /// Minimal flag parser: `--key value` pairs and bare flags.
 pub struct Args {
@@ -106,6 +109,54 @@ pub fn cluster_rank_sweep(max: usize) -> Vec<usize> {
 /// Did the user ask for a trace dump (`--trace-out <path>`)?
 pub fn trace_requested(args: &Args) -> bool {
     args.get_opt("trace-out").is_some()
+}
+
+/// Did the user ask for any observability output — a raw trace dump
+/// (`--trace-out`) or an analysis report (`--analysis-out`)? Either one
+/// makes the bench binaries run their dedicated traced configuration.
+pub fn obs_requested(args: &Args) -> bool {
+    trace_requested(args) || args.get_opt("analysis-out").is_some()
+}
+
+/// The trace configuration for a bench binary's traced run: enabled,
+/// with the per-rank ring capacity from `--trace-ring N` when given
+/// (events beyond the capacity are dropped oldest-first and reported in
+/// the trace's `dropped` counters).
+pub fn trace_config(args: &Args) -> scioto_sim::TraceConfig {
+    let cfg = scioto_sim::TraceConfig::enabled();
+    match args.get_opt("trace-ring").and_then(|v| v.parse::<usize>().ok()) {
+        Some(cap) => cfg.with_capacity(cap),
+        None => cfg,
+    }
+}
+
+/// Analyze `report`'s trace and write the `scioto-analysis-v1` JSON to
+/// the `--analysis-out` path (human text instead when the path ends in
+/// `.txt`); no-op when the flag is absent. Ring-overflow and truncation
+/// warnings are mirrored to stderr so a lossy trace never passes
+/// silently.
+pub fn dump_analysis(args: &Args, report: &scioto_sim::Report) {
+    let Some(path) = args.get_opt("analysis-out") else {
+        return;
+    };
+    let trace = report
+        .trace
+        .as_ref()
+        .expect("dump_analysis needs a report from a tracing-enabled run");
+    let analysis = scioto_analyze::analyze(trace);
+    for w in &analysis.warnings {
+        eprintln!("analysis WARNING: {w}");
+    }
+    let body = if path.ends_with(".txt") {
+        analysis.to_text()
+    } else {
+        analysis.to_json()
+    };
+    std::fs::write(&path, body).unwrap_or_else(|e| panic!("writing analysis to {path}: {e}"));
+    eprintln!(
+        "analysis: {} ranks, makespan {} ns, written to {path}",
+        analysis.ranks, analysis.makespan_ns
+    );
 }
 
 /// Write `report`'s trace to the `--trace-out` path: Chrome `trace_event`

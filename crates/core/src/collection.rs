@@ -227,14 +227,13 @@ impl TaskCollection {
                 let steal_start = if traced { ctx.now() } else { 0 };
                 let stolen = self.queue.steal(ctx, &self.armci, victim);
                 if traced {
+                    let rtt = ctx.now().saturating_sub(steal_start);
                     ctx.trace(|| TraceEvent::StealAttempt {
                         victim: victim as u32,
                         got: stolen.len() as u32,
+                        dur_ns: rtt,
                     });
-                    ctx.trace_hist(
-                        crate::trace::HIST_STEAL_RTT,
-                        ctx.now().saturating_sub(steal_start),
-                    );
+                    ctx.trace_hist(crate::trace::HIST_STEAL_RTT, rtt);
                 }
                 if !stolen.is_empty() {
                     self.counters[me]
@@ -292,6 +291,7 @@ impl TaskCollection {
         let start = if traced { ctx.now() } else { 0 };
         ctx.trace(|| TraceEvent::TaskExecBegin {
             callback: rec.header.callback,
+            creator: rec.header.creator,
         });
         f(&tctx);
         ctx.trace(|| TraceEvent::TaskExecEnd {

@@ -163,6 +163,21 @@ impl WaveDetector {
     /// a passive root starts waves), but every caller forwards waves and
     /// the TERM announcement.
     pub(crate) fn progress(&self, ctx: &Ctx, armci: &Armci, passive: bool) -> Poll {
+        if !ctx.trace_enabled() {
+            return self.progress_inner(ctx, armci, passive);
+        }
+        // Stamped at completion: the TdProgress span covers this whole poll
+        // (slot reads, token puts, voting) for the blame decomposition.
+        let t0 = ctx.now();
+        let poll = self.progress_inner(ctx, armci, passive);
+        let dur_ns = ctx.now().saturating_sub(t0);
+        if dur_ns > 0 {
+            ctx.trace(|| TraceEvent::TdProgress { dur_ns });
+        }
+        poll
+    }
+
+    fn progress_inner(&self, ctx: &Ctx, armci: &Armci, passive: bool) -> Poll {
         let me = ctx.rank();
         let n = ctx.nranks();
         let st = &self.local[me];

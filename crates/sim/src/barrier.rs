@@ -3,6 +3,7 @@
 use scioto_det::sync::Mutex;
 
 use crate::kernel::Kernel;
+use crate::trace::TraceEvent;
 
 struct BState {
     generation: u64,
@@ -36,6 +37,11 @@ impl SimBarrier {
 
     pub(crate) fn wait(&self, kernel: &Kernel, rank: usize, cost: u64) {
         kernel.yield_point(rank);
+        // Arrival on the virtual clock; the BarrierWait event emitted at
+        // release spans [arrival, release]. Emitted even when the span is
+        // empty so that the k-th BarrierWait on every rank belongs to the
+        // same episode (the analyzer matches episodes by index).
+        let arrival = kernel.clock(rank);
         let n = kernel.nranks();
         let mut st = self.state.lock();
         let my_generation = st.generation;
@@ -52,6 +58,9 @@ impl SimBarrier {
                 kernel.unblock(w, release);
             }
             kernel.advance_to(rank, release);
+            kernel.emit(rank, || TraceEvent::BarrierWait {
+                dur_ns: kernel.clock(rank).saturating_sub(arrival),
+            });
             return;
         }
         st.waiters.push(rank);
@@ -60,6 +69,10 @@ impl SimBarrier {
             kernel.block(rank);
             st = self.state.lock();
             if st.generation != my_generation {
+                drop(st);
+                kernel.emit(rank, || TraceEvent::BarrierWait {
+                    dur_ns: kernel.clock(rank).saturating_sub(arrival),
+                });
                 return;
             }
             // Spurious wake (a token meant for another primitive): the rank

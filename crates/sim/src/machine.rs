@@ -101,12 +101,20 @@ impl Machine {
             ExecMode::VirtualTime => rank_clock_ns.iter().copied().max().unwrap_or(0),
             ExecMode::Concurrent => kernel.wall_ns(),
         };
+        let trace = kernel.trace.finish().map(|mut t| {
+            // Stamp per-rank elapsed time into the trace so analysis (and
+            // re-analysis from an exported JSONL file) can decompose each
+            // rank's full clock, including any trailing idle time after its
+            // last event.
+            t.final_clock_ns = rank_clock_ns.clone();
+            t
+        });
         let report = Report {
             mode: cfg.mode,
             makespan_ns,
             rank_clock_ns,
             events: kernel.events.snapshot(),
-            trace: kernel.trace.finish(),
+            trace,
         };
         let results = results
             .into_iter()
@@ -288,6 +296,7 @@ mod tests {
             .iter()
             .any(|e| e.event == TraceEvent::Unblock { target: 1 }));
         assert_eq!(trace.dropped, vec![0, 0]);
+        assert_eq!(trace.final_clock_ns, out.report.rank_clock_ns);
     }
 
     #[test]

@@ -121,12 +121,21 @@ impl RemoteOpKind {
 }
 
 /// One typed trace event. Fixed-size (`Copy`) so ring storage is flat.
+///
+/// Duration-carrying events (`dur_ns`) are stamped at operation
+/// *completion*: the operation's virtual-time span is `[t_ns - dur_ns,
+/// t_ns]`. The analyzer (`scioto-analyze`) reconstructs per-rank
+/// timelines from these spans; they nest like the call stack that
+/// emitted them.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum TraceEvent {
     /// A task callback started executing (`callback` is the handler index).
     TaskExecBegin {
         /// Registered callback index of the task.
         callback: u32,
+        /// Rank that created (spawned) the task — `creator != rank` means
+        /// the task migrated here via a steal or a remote add.
+        creator: u32,
     },
     /// The matching end of a [`TraceEvent::TaskExecBegin`].
     TaskExecEnd {
@@ -134,12 +143,39 @@ pub enum TraceEvent {
         callback: u32,
     },
     /// A steal attempt against `victim` that obtained `got` tasks
-    /// (`got == 0` is a failed attempt).
+    /// (`got == 0` is a failed attempt). Stamped at completion;
+    /// `dur_ns` is the full round trip (victim lock, index read, task
+    /// transfer, unlock — including any lock wait, which is also
+    /// reported separately as a nested [`TraceEvent::LockWait`]).
     StealAttempt {
         /// Rank the steal targeted.
         victim: u32,
         /// Tasks actually stolen.
         got: u32,
+        /// Virtual-time round trip of the whole attempt.
+        dur_ns: u64,
+    },
+    /// A mutex acquire completed after `dur_ns` of waiting plus the
+    /// acquire round trip. Stamped at completion.
+    LockWait {
+        /// Rank owning the acquired mutex.
+        target: u32,
+        /// Wait plus acquire cost, virtual ns.
+        dur_ns: u64,
+    },
+    /// A machine-wide barrier episode completed on this rank. Stamped at
+    /// the collective release; `dur_ns` spans this rank's arrival to the
+    /// release (always emitted, even when zero, so the k-th BarrierWait
+    /// on every rank is the same episode).
+    BarrierWait {
+        /// Release minus this rank's arrival, virtual ns.
+        dur_ns: u64,
+    },
+    /// One termination-detection poll (`WaveDetector::progress`-level)
+    /// completed, spanning `dur_ns`. Only emitted when `dur_ns > 0`.
+    TdProgress {
+        /// Virtual time consumed by the poll.
+        dur_ns: u64,
     },
     /// The split queue released `moved` tasks from the private to the
     /// shared portion.
@@ -201,6 +237,9 @@ impl TraceEvent {
             TraceEvent::TaskExecBegin { .. } => "TaskExecBegin",
             TraceEvent::TaskExecEnd { .. } => "TaskExecEnd",
             TraceEvent::StealAttempt { .. } => "StealAttempt",
+            TraceEvent::LockWait { .. } => "LockWait",
+            TraceEvent::BarrierWait { .. } => "BarrierWait",
+            TraceEvent::TdProgress { .. } => "TdProgress",
             TraceEvent::SplitRelease { .. } => "SplitRelease",
             TraceEvent::SplitReclaim { .. } => "SplitReclaim",
             TraceEvent::TdWave { .. } => "TdWave",
@@ -217,11 +256,20 @@ impl TraceEvent {
     /// events.
     fn write_args(&self, out: &mut String) {
         match *self {
-            TraceEvent::TaskExecBegin { callback } | TraceEvent::TaskExecEnd { callback } => {
+            TraceEvent::TaskExecBegin { callback, creator } => {
+                let _ = write!(out, "\"callback\":{callback},\"creator\":{creator}");
+            }
+            TraceEvent::TaskExecEnd { callback } => {
                 let _ = write!(out, "\"callback\":{callback}");
             }
-            TraceEvent::StealAttempt { victim, got } => {
-                let _ = write!(out, "\"victim\":{victim},\"got\":{got}");
+            TraceEvent::StealAttempt { victim, got, dur_ns } => {
+                let _ = write!(out, "\"victim\":{victim},\"got\":{got},\"dur\":{dur_ns}");
+            }
+            TraceEvent::LockWait { target, dur_ns } => {
+                let _ = write!(out, "\"target\":{target},\"dur\":{dur_ns}");
+            }
+            TraceEvent::BarrierWait { dur_ns } | TraceEvent::TdProgress { dur_ns } => {
+                let _ = write!(out, "\"dur\":{dur_ns}");
             }
             TraceEvent::SplitRelease { moved } | TraceEvent::SplitReclaim { moved } => {
                 let _ = write!(out, "\"moved\":{moved}");
@@ -402,13 +450,27 @@ impl VtHistogram {
         }
     }
 
-    /// Upper bound of the bucket containing the `q`-quantile
-    /// (`0.0 <= q <= 1.0`). Exact to within one power of two.
+    /// Upper bound of the bucket containing the `q`-quantile, exact to
+    /// within one power of two.
+    ///
+    /// Edge cases are defined (not panics): an empty histogram returns 0
+    /// for every `q`; `q` is clamped to `[0, 1]` (so `q < 0`, `q > 1` and
+    /// NaN behave like 0.0 / 1.0 / 0.0 respectively); `q == 0.0` returns
+    /// the bound of the first non-empty bucket (the minimum's bucket);
+    /// `q == 1.0` returns the exact maximum sample.
     pub fn quantile_upper_bound(&self, q: f64) -> u64 {
         if self.count == 0 {
             return 0;
         }
-        let target = ((q * self.count as f64).ceil() as u64).max(1);
+        // NaN fails both comparisons below and clamps to 0.0.
+        let q = if q >= 1.0 {
+            return self.max;
+        } else if q > 0.0 {
+            q
+        } else {
+            0.0
+        };
+        let target = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
         let mut cum = 0u64;
         for (i, c) in self.buckets.iter().enumerate() {
             cum += c;
@@ -541,6 +603,7 @@ impl TraceSink {
         Some(Trace {
             events,
             dropped,
+            final_clock_ns: Vec::new(),
             hists: b.hists.iter().map(|h| h.lock().clone()).collect(),
             gauges: b.gauges.iter().map(|g| g.lock().clone()).collect(),
         })
@@ -556,6 +619,11 @@ pub struct Trace {
     pub events: Vec<Vec<StampedEvent>>,
     /// Per-rank count of events lost to ring overflow.
     pub dropped: Vec<u64>,
+    /// Each rank's final virtual clock (the run's elapsed time per rank).
+    /// Populated by `Machine::run`; empty for hand-built traces — consumers
+    /// should fall back to the rank's latest event timestamp (see
+    /// [`Trace::elapsed_ns`]).
+    pub final_clock_ns: Vec<u64>,
     /// Per-rank virtual-time histograms, keyed by metric name.
     pub hists: Vec<BTreeMap<&'static str, VtHistogram>>,
     /// Per-rank gauges, keyed by metric name.
@@ -578,6 +646,15 @@ impl Trace {
         self.events.iter().map(Vec::len).sum()
     }
 
+    /// Elapsed virtual time of `rank`: its final clock when recorded,
+    /// otherwise the timestamp of its latest event (0 if none).
+    pub fn elapsed_ns(&self, rank: usize) -> u64 {
+        self.final_clock_ns
+            .get(rank)
+            .copied()
+            .unwrap_or_else(|| self.events[rank].iter().map(|e| e.t_ns).max().unwrap_or(0))
+    }
+
     /// Histogram `name` merged across all ranks (None if never recorded).
     pub fn merged_hist(&self, name: &str) -> Option<VtHistogram> {
         let mut out: Option<VtHistogram> = None;
@@ -590,8 +667,12 @@ impl Trace {
     }
 
     /// Chrome `trace_event` JSON: one track (tid) per rank, `B`/`E` pairs
-    /// for task execution, counters for queue depth, instants for
-    /// everything else. Open in `chrome://tracing` or Perfetto.
+    /// for task execution, complete (`X`) events for duration-carrying
+    /// records (steal attempts, lock waits, barrier waits, TD polls),
+    /// counters for queue depth, instants for everything else. A
+    /// `sciotoMeta` top-level member (ignored by viewers) carries per-rank
+    /// drop counts and final clocks. Open in `chrome://tracing` or
+    /// Perfetto.
     pub fn to_chrome_json(&self) -> String {
         let mut out = String::with_capacity(64 + 96 * self.total_events());
         out.push_str("{\"displayTimeUnit\":\"ns\",\"traceEvents\":[\n");
@@ -613,14 +694,35 @@ impl Trace {
                 chrome_event(&mut out, rank, e);
             }
         }
-        out.push_str("\n]}\n");
+        out.push_str("\n],\"sciotoMeta\":{\"dropped\":[");
+        for (i, d) in self.dropped.iter().enumerate() {
+            let _ = write!(out, "{}{d}", if i == 0 { "" } else { "," });
+        }
+        out.push_str("],\"final_clock_ns\":[");
+        for (i, c) in self.final_clock_ns.iter().enumerate() {
+            let _ = write!(out, "{}{c}", if i == 0 { "" } else { "," });
+        }
+        out.push_str("]}}\n");
         out
     }
 
-    /// Flat JSONL dump: one JSON object per line, rank-major then
-    /// chronological, timestamps in exact virtual nanoseconds.
+    /// Flat JSONL dump: a meta header line (`{"meta":...}` with rank
+    /// count, per-rank drop counts and final clocks) followed by one JSON
+    /// object per event, rank-major then chronological, timestamps in
+    /// exact virtual nanoseconds. The header makes a JSONL file
+    /// self-contained for re-analysis (`scioto-analyze` reads it back).
     pub fn to_jsonl(&self) -> String {
         let mut out = String::with_capacity(64 * self.total_events());
+        let _ = write!(out, "{{\"meta\":\"scioto-trace\",\"version\":2,\"ranks\":{}", self.nranks());
+        out.push_str(",\"dropped\":[");
+        for (i, d) in self.dropped.iter().enumerate() {
+            let _ = write!(out, "{}{d}", if i == 0 { "" } else { "," });
+        }
+        out.push_str("],\"final_clock_ns\":[");
+        for (i, c) in self.final_clock_ns.iter().enumerate() {
+            let _ = write!(out, "{}{c}", if i == 0 { "" } else { "," });
+        }
+        out.push_str("]}\n");
         for (rank, events) in self.events.iter().enumerate() {
             for e in events {
                 let _ = write!(out, "{{\"rank\":{rank},\"t\":{},\"ev\":\"{}\"", e.t_ns, e.event.name());
@@ -650,6 +752,16 @@ impl Trace {
         let _ = writeln!(out, "{:>6}  {:>10}  {:>10}", "rank", "events", "dropped");
         for r in 0..n {
             let _ = writeln!(out, "{r:>6}  {:>10}  {:>10}", self.events[r].len(), self.dropped[r]);
+        }
+        let total_dropped: u64 = self.dropped.iter().sum();
+        if total_dropped > 0 {
+            let ranks_hit = self.dropped.iter().filter(|&&d| d > 0).count();
+            let _ = writeln!(
+                out,
+                "WARNING: ring overflow dropped {total_dropped} event(s) on \
+                 {ranks_hit} rank(s); timelines are truncated — rerun with a \
+                 larger ring capacity (TraceConfig::with_capacity / --trace-ring)"
+            );
         }
         let mut kinds: BTreeMap<&'static str, u64> = BTreeMap::new();
         for events in &self.events {
@@ -729,12 +841,34 @@ fn ts_us(t_ns: u64) -> String {
 fn chrome_event(out: &mut String, rank: usize, e: &StampedEvent) {
     let ts = ts_us(e.t_ns);
     match e.event {
-        TraceEvent::TaskExecBegin { callback } => {
+        TraceEvent::TaskExecBegin { callback, creator } => {
             let _ = write!(
                 out,
                 "{{\"name\":\"TaskExec\",\"cat\":\"task\",\"ph\":\"B\",\"ts\":{ts},\
-                 \"pid\":0,\"tid\":{rank},\"args\":{{\"callback\":{callback}}}}}"
+                 \"pid\":0,\"tid\":{rank},\
+                 \"args\":{{\"callback\":{callback},\"creator\":{creator}}}}}"
             );
+        }
+        TraceEvent::StealAttempt { dur_ns, .. }
+        | TraceEvent::LockWait { dur_ns, .. }
+        | TraceEvent::BarrierWait { dur_ns }
+        | TraceEvent::TdProgress { dur_ns } => {
+            // Stamped at completion: render as a complete (X) event whose
+            // ts is the span start.
+            let _ = write!(
+                out,
+                "{{\"name\":\"{}\",\"cat\":\"rt\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\
+                 \"pid\":0,\"tid\":{rank}",
+                e.event.name(),
+                ts_us(e.t_ns.saturating_sub(dur_ns)),
+                ts_us(dur_ns)
+            );
+            let mut args = String::new();
+            e.event.write_args(&mut args);
+            if !args.is_empty() {
+                let _ = write!(out, ",\"args\":{{{args}}}");
+            }
+            out.push('}');
         }
         TraceEvent::TaskExecEnd { .. } => {
             let _ = write!(
@@ -959,9 +1093,16 @@ mod tests {
 
     fn synthetic_trace() -> Trace {
         let sink = TraceSink::new(&TraceConfig::enabled().with_capacity(8), 2);
-        sink.emit(0, 10, || TraceEvent::TaskExecBegin { callback: 1 });
+        sink.emit(0, 10, || TraceEvent::TaskExecBegin {
+            callback: 1,
+            creator: 1,
+        });
         sink.emit(0, 50, || TraceEvent::TaskExecEnd { callback: 1 });
-        sink.emit(0, 60, || TraceEvent::StealAttempt { victim: 1, got: 2 });
+        sink.emit(0, 60, || TraceEvent::StealAttempt {
+            victim: 1,
+            got: 2,
+            dur_ns: 8,
+        });
         sink.emit(1, 5, || TraceEvent::TdWave {
             wave: 1,
             dir: WaveDir::Down,
@@ -973,7 +1114,9 @@ mod tests {
         });
         sink.hist(0, "task_exec_ns", 40);
         sink.gauge(1, "queue_local", 3);
-        sink.finish().expect("enabled sink yields a trace")
+        let mut t = sink.finish().expect("enabled sink yields a trace");
+        t.final_clock_ns = vec![60, 7];
+        t
     }
 
     #[test]
@@ -1068,6 +1211,11 @@ mod tests {
         assert!(json.contains("\"ph\":\"E\""));
         assert!(json.contains("\"ph\":\"C\""));
         assert!(json.contains("\"victim\":1"));
+        // StealAttempt carries a duration: rendered as a complete event
+        // starting at t - dur (60 - 8 = 52 ns).
+        assert!(json.contains("\"ph\":\"X\",\"ts\":0.052,\"dur\":0.008"));
+        // Per-rank drop counts and final clocks ride along for tools.
+        assert!(json.contains("\"sciotoMeta\":{\"dropped\":[0,0],\"final_clock_ns\":[60,7]}"));
         // ts stamps are fixed-decimal microseconds derived from integer ns.
         assert!(json.contains("\"ts\":0.010"));
     }
@@ -1076,12 +1224,66 @@ mod tests {
     fn jsonl_export_lines_each_parse() {
         let t = synthetic_trace();
         let jsonl = t.to_jsonl();
-        assert_eq!(jsonl.lines().count(), 5);
+        assert_eq!(jsonl.lines().count(), 6, "meta header + 5 events");
         for line in jsonl.lines() {
             validate_json(line).expect("every JSONL line must parse");
         }
+        let meta = jsonl.lines().next().unwrap();
+        assert!(meta.contains("\"meta\":\"scioto-trace\""));
+        assert!(meta.contains("\"ranks\":2"));
+        assert!(meta.contains("\"final_clock_ns\":[60,7]"));
         assert!(jsonl.contains("\"ev\":\"TdWave\""));
         assert!(jsonl.contains("\"dir\":\"down\""));
+        assert!(jsonl.contains("\"victim\":1,\"got\":2,\"dur\":8"));
+    }
+
+    #[test]
+    fn elapsed_falls_back_to_latest_event_when_clocks_missing() {
+        let mut t = synthetic_trace();
+        assert_eq!(t.elapsed_ns(0), 60);
+        t.final_clock_ns.clear();
+        assert_eq!(t.elapsed_ns(0), 60);
+        assert_eq!(t.elapsed_ns(1), 7);
+    }
+
+    #[test]
+    fn summary_warns_on_ring_overflow() {
+        let sink = TraceSink::new(&TraceConfig::enabled().with_capacity(2), 1);
+        for t in 0..5u64 {
+            sink.emit(0, t, || TraceEvent::Block);
+        }
+        let trace = sink.finish().unwrap();
+        assert_eq!(trace.dropped, vec![3]);
+        let s = trace.summary();
+        assert!(s.contains("WARNING: ring overflow dropped 3 event(s) on 1 rank(s)"));
+        // A clean trace must not warn.
+        assert!(!synthetic_trace().summary().contains("WARNING"));
+    }
+
+    #[test]
+    fn quantile_edge_cases_are_defined() {
+        let empty = VtHistogram::default();
+        for q in [f64::NAN, -1.0, 0.0, 0.5, 1.0, 2.0] {
+            assert_eq!(empty.quantile_upper_bound(q), 0);
+        }
+        let mut h = VtHistogram::default();
+        h.record(10); // bucket [8,15]
+        h.record(100); // bucket [64,127]
+        h.record(1000); // bucket [512,1023]
+        // q=0 lands in the minimum's bucket; q=1 is the exact max.
+        assert_eq!(h.quantile_upper_bound(0.0), 15);
+        assert_eq!(h.quantile_upper_bound(1.0), 1000);
+        // Out-of-range and NaN clamp instead of panicking or overflowing.
+        assert_eq!(h.quantile_upper_bound(-0.5), 15);
+        assert_eq!(h.quantile_upper_bound(7.0), 1000);
+        assert_eq!(h.quantile_upper_bound(f64::NAN), 15);
+        assert_eq!(h.quantile_upper_bound(0.5), 127);
+        // Single-sample histogram: every q maps to that sample's bucket.
+        let mut one = VtHistogram::default();
+        one.record(0);
+        for q in [0.0, 0.5, 1.0] {
+            assert_eq!(one.quantile_upper_bound(q), 0);
+        }
     }
 
     #[test]

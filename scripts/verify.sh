@@ -29,10 +29,38 @@ cargo test -q --offline
 
 echo "== trace smoke: table1 --trace-out round-trips through trace_check =="
 trace_tmp=$(mktemp /tmp/scioto-trace.XXXXXX.json)
-trap 'rm -f "$trace_tmp"' EXIT
+work=$(mktemp -d /tmp/scioto-verify.XXXXXX)
+trap 'rm -rf "$trace_tmp" "$work"' EXIT
 cargo run --release --offline -q -p scioto-bench --bin table1 -- \
     --trace-out "$trace_tmp" > /dev/null
 cargo run --release --offline -q -p scioto-bench --bin trace_check -- \
     --file "$trace_tmp" --ranks 2
+
+echo "== analyze: traced table1 -> blame/critical-path report =="
+# One traced run emits the JSONL dump, the in-memory analysis, and the
+# machine-readable benchmark result.
+cargo run --release --offline -q -p scioto-bench --bin table1 -- \
+    --trace-out "$work/table1.jsonl" \
+    --analysis-out "$work/table1_analysis.json" \
+    --json-out "$work/BENCH_table1.json" > /dev/null
+# The offline analyzer re-parses the JSONL dump; its report must match
+# the in-memory analysis byte for byte.
+cargo run --release --offline -q -p scioto-bench --bin analyze -- \
+    --file "$work/table1.jsonl" \
+    --json-out "$work/table1_analysis_offline.json" > /dev/null
+cmp "$work/table1_analysis.json" "$work/table1_analysis_offline.json"
+echo "ok: offline analyzer matches in-memory analysis"
+
+echo "== bench_diff: table1 + fig7 vs committed baselines =="
+cargo run --release --offline -q -p scioto-bench --bin fig7_uts_cluster -- \
+    --max-ranks 8 --tree small --json-out "$work/BENCH_fig7.json" > /dev/null
+# Generous tolerance: the diff exists to catch real regressions from
+# code changes, and virtual-time results only move when the code does.
+cargo run --release --offline -q -p scioto-bench --bin bench_diff -- \
+    --baseline results/baselines/BENCH_table1.json \
+    --new "$work/BENCH_table1.json" --rel-tol 0.5
+cargo run --release --offline -q -p scioto-bench --bin bench_diff -- \
+    --baseline results/baselines/BENCH_fig7.json \
+    --new "$work/BENCH_fig7.json" --rel-tol 0.5
 
 echo "verify.sh: all checks passed"

@@ -289,7 +289,7 @@ fn different_seeds_give_different_victim_sequences() {
 }
 
 /// Seeded 8-rank traced UTS run — the observability acceptance workload.
-fn traced_uts(seed: u64) -> Trace {
+fn traced_uts_report(seed: u64) -> scioto_sim::Report {
     let params = presets::tiny();
     Machine::run(
         MachineConfig::virtual_time(8)
@@ -299,8 +299,10 @@ fn traced_uts(seed: u64) -> Trace {
         move |ctx| run_scioto_uts(ctx, &SciotoUtsConfig::new(params)).0,
     )
     .report
-    .trace
-    .expect("tracing was enabled")
+}
+
+fn traced_uts(seed: u64) -> Trace {
+    traced_uts_report(seed).trace.expect("tracing was enabled")
 }
 
 #[test]
@@ -375,4 +377,120 @@ fn different_seeds_give_different_traced_steal_sequences() {
         steal_seq(&b),
         "seeds 1 and 2 produced identical steal timelines"
     );
+}
+
+#[test]
+fn analyzer_blame_sums_exactly_to_elapsed_on_uts() {
+    // The tentpole invariant: the six blame categories of every rank sum
+    // exactly to that rank's elapsed virtual time from the Report, and
+    // the critical path is bounded by total work below max single-task
+    // time and above the summed elapsed time.
+    let report = traced_uts_report(0xD5EED);
+    let trace = report.trace.as_ref().unwrap();
+    let analysis = scioto_analyze::analyze(trace);
+    assert_eq!(analysis.ranks, 8);
+    for r in 0..analysis.ranks {
+        assert_eq!(
+            analysis.blame[r].total(),
+            report.rank_clock_ns[r],
+            "rank {r} blame must sum to its Report elapsed time"
+        );
+    }
+    // The workload actually exercises the interesting categories.
+    let total = analysis.total_blame();
+    assert!(total.get(scioto_analyze::Category::Exec) > 0, "no exec time attributed");
+    assert!(total.get(scioto_analyze::Category::Steal) > 0, "no steal time attributed");
+    assert!(analysis.provenance.total_successes() > 0);
+    assert!(analysis.provenance.migrated_execs > 0);
+
+    let cp = &analysis.critical_path;
+    let total_elapsed: u64 = report.rank_clock_ns.iter().sum();
+    assert_eq!(cp.length_ns, analysis.makespan_ns);
+    assert!(cp.length_ns <= total_elapsed);
+    assert!(cp.length_ns >= cp.max_task_ns, "critical path shorter than one task");
+    assert!(cp.max_task_ns > 0);
+    assert!(!cp.truncated);
+    assert!(analysis.warnings.is_empty(), "{:?}", analysis.warnings);
+}
+
+#[test]
+fn analyzer_blame_invariant_holds_for_lock_and_barrier_heavy_run() {
+    // A table1-style 2-rank microbench: explicit barriers, remote adds
+    // through the victim's lock, termination detection — the categories a
+    // steal-light run exercises.
+    let out = Machine::run(
+        MachineConfig::virtual_time(2)
+            .with_latency(LatencyModel::cluster())
+            .with_seed(7)
+            .with_trace(TraceConfig::enabled()),
+        |ctx| {
+            let armci = Armci::init(ctx);
+            let tc = TaskCollection::create(ctx, &armci, TcConfig::new(8, 2, 256));
+            let h = tc.register(ctx, Arc::new(|t| t.ctx.compute(1_000)));
+            armci.barrier(ctx);
+            if ctx.rank() == 1 {
+                for _ in 0..50 {
+                    tc.add(ctx, 0, AFFINITY_HIGH, &Task::new(h, vec![]));
+                }
+            }
+            tc.process(ctx);
+            armci.barrier(ctx);
+        },
+    );
+    let analysis = scioto_analyze::analyze(out.report.trace.as_ref().unwrap());
+    for r in 0..2 {
+        assert_eq!(analysis.blame[r].total(), out.report.rank_clock_ns[r], "rank {r}");
+    }
+    let total = analysis.total_blame();
+    assert!(total.get(scioto_analyze::Category::Barrier) > 0, "no barrier time attributed");
+    assert!(total.get(scioto_analyze::Category::Td) > 0, "no TD time attributed");
+}
+
+#[test]
+fn analysis_report_is_deterministic_and_survives_jsonl_roundtrip() {
+    // Same seed → byte-identical analysis JSON, both in-memory and after
+    // a JSONL export/re-parse round trip.
+    let a = scioto_analyze::analyze(&traced_uts(0xD5EED));
+    let b = scioto_analyze::analyze(&traced_uts(0xD5EED));
+    let ja = a.to_json();
+    assert_eq!(ja, b.to_json(), "same-seed analysis must be byte-identical");
+    validate_json(&ja).expect("analysis JSON parses");
+    assert!(ja.contains("\"schema\":\"scioto-analysis-v1\""));
+
+    let reparsed = scioto_analyze::jsonl::parse(&traced_uts(0xD5EED).to_jsonl())
+        .expect("JSONL dump re-parses");
+    assert_eq!(
+        scioto_analyze::analyze(&reparsed).to_json(),
+        ja,
+        "offline analysis of the JSONL dump must match the in-memory analysis"
+    );
+}
+
+#[test]
+fn bench_json_is_deterministic_modulo_wall_clock() {
+    // Build the BENCH document from same-seed UTS runs twice: only the
+    // generated_wall_ns line may differ.
+    let doc = |wall: u64| {
+        let report = traced_uts_report(0xD5EED);
+        let mut b = scioto_bench::BenchOut::new("uts_acceptance");
+        b.param("ranks", 8);
+        b.param("seed", "0xD5EED");
+        b.metric("makespan_ns", report.makespan_ns as f64);
+        for (r, ns) in report.rank_clock_ns.iter().enumerate() {
+            b.metric(&format!("elapsed_ns_r{r}"), *ns as f64);
+        }
+        b.to_json(wall)
+    };
+    let a = doc(1);
+    let b = doc(2);
+    assert_ne!(a, b, "wall stamp must differ");
+    assert_eq!(
+        scioto_bench::benchjson::strip_wall_clock(&a),
+        scioto_bench::benchjson::strip_wall_clock(&b),
+        "BENCH json must be byte-identical modulo the wall-clock line"
+    );
+    scioto_bench::benchjson::validate(&a).expect("BENCH json satisfies its schema");
+    let parsed = scioto_bench::benchjson::parse(&a).unwrap();
+    assert_eq!(parsed.name, "uts_acceptance");
+    assert_eq!(parsed.metrics.len(), 9);
 }
