@@ -240,7 +240,7 @@ fn rank_walk_spans(events: &[scioto_sim::StampedEvent]) -> (Vec<WalkSpan>, Vec<(
                 };
                 spans.push(WalkSpan { span, jump: Jump::Lock(target) });
             }
-            TraceEvent::BarrierWait { dur_ns } => {
+            TraceEvent::BarrierWait { dur_ns, .. } => {
                 let span = Span {
                     cat: Category::Barrier,
                     start: e.t_ns.saturating_sub(dur_ns),
@@ -410,9 +410,9 @@ mod tests {
                 vec![
                     ev(0, TraceEvent::TaskExecBegin { callback: 0, creator: 0 }),
                     ev(100, TraceEvent::TaskExecEnd { callback: 0 }),
-                    ev(100, TraceEvent::BarrierWait { dur_ns: 0 }),
+                    ev(100, TraceEvent::BarrierWait { dur_ns: 0, epoch: 0 }),
                 ],
-                vec![ev(100, TraceEvent::BarrierWait { dur_ns: 80 })],
+                vec![ev(100, TraceEvent::BarrierWait { dur_ns: 80, epoch: 0 })],
             ],
             vec![100, 100],
         );
@@ -428,9 +428,9 @@ mod tests {
                 vec![
                     ev(0, TraceEvent::TaskExecBegin { callback: 0, creator: 0 }),
                     ev(100, TraceEvent::TaskExecEnd { callback: 0 }),
-                    ev(100, TraceEvent::BarrierWait { dur_ns: 0 }),
+                    ev(100, TraceEvent::BarrierWait { dur_ns: 0, epoch: 0 }),
                 ],
-                vec![ev(100, TraceEvent::BarrierWait { dur_ns: 80 })],
+                vec![ev(100, TraceEvent::BarrierWait { dur_ns: 80, epoch: 0 })],
             ],
             vec![100, 110],
         );

@@ -4,14 +4,13 @@
 //! The reader is a purpose-built flat-JSON scanner (the build is
 //! hermetic — no serde): each line is one object whose values are
 //! unsigned integers, strings, booleans or arrays of unsigned integers,
-//! which covers everything the exporter emits. Histograms and gauges are
-//! not serialized per-line, so the reconstructed trace carries empty
-//! metric registries; events, drop counts and final clocks round-trip
-//! exactly.
+//! which covers everything the exporter emits. Events, metric registries
+//! (histograms and gauges), drop counts and final clocks all round-trip
+//! exactly: re-exporting a parsed trace is byte-identical.
 
 use std::collections::BTreeMap;
 
-use scioto_sim::{RemoteOpKind, StampedEvent, Trace, TraceEvent, WaveDir};
+use scioto_sim::{Gauge, RemoteOpKind, StampedEvent, Trace, TraceEvent, VtHistogram, WaveDir};
 
 /// One parsed flat-JSON value.
 #[derive(Clone, Debug, PartialEq)]
@@ -46,6 +45,9 @@ pub fn parse(body: &str) -> Result<Trace, String> {
     }
 
     let mut events: Vec<Vec<StampedEvent>> = vec![Vec::new(); ranks];
+    let mut hists: Vec<BTreeMap<String, VtHistogram>> =
+        (0..ranks).map(|_| BTreeMap::new()).collect();
+    let mut gauges: Vec<BTreeMap<String, Gauge>> = (0..ranks).map(|_| BTreeMap::new()).collect();
     for (i, line) in lines {
         let lineno = i + 1;
         let fields = parse_flat(line).map_err(|e| format!("line {lineno}: {e}"))?;
@@ -53,6 +55,18 @@ pub fn parse(body: &str) -> Result<Trace, String> {
             .ok_or_else(|| format!("line {lineno}: missing \"rank\""))? as usize;
         if rank >= ranks {
             return Err(format!("line {lineno}: rank {rank} out of range ({ranks} ranks)"));
+        }
+        if let Some(name) = get_str(&fields, "hist") {
+            let h = hist_from(&fields)
+                .ok_or_else(|| format!("line {lineno}: malformed histogram {name}"))?;
+            hists[rank].insert(name.to_string(), h);
+            continue;
+        }
+        if let Some(name) = get_str(&fields, "gauge") {
+            let g = gauge_from(&fields)
+                .ok_or_else(|| format!("line {lineno}: malformed gauge {name}"))?;
+            gauges[rank].insert(name.to_string(), g);
+            continue;
         }
         let t_ns = get_num(&fields, "t")
             .ok_or_else(|| format!("line {lineno}: missing \"t\""))?;
@@ -67,8 +81,27 @@ pub fn parse(body: &str) -> Result<Trace, String> {
         events,
         dropped,
         final_clock_ns,
-        hists: (0..ranks).map(|_| BTreeMap::new()).collect(),
-        gauges: (0..ranks).map(|_| BTreeMap::new()).collect(),
+        hists,
+        gauges,
+    })
+}
+
+fn hist_from(f: &[(String, Val)]) -> Option<VtHistogram> {
+    VtHistogram::from_parts(
+        &get_arr(f, "buckets")?,
+        get_num(f, "count")?,
+        get_num(f, "sum")?,
+        get_num(f, "min")?,
+        get_num(f, "max")?,
+    )
+}
+
+fn gauge_from(f: &[(String, Val)]) -> Option<Gauge> {
+    Some(Gauge {
+        samples: get_num(f, "samples")?,
+        sum: get_num(f, "sum")?,
+        max: get_num(f, "max")?,
+        last: get_num(f, "last")?,
     })
 }
 
@@ -87,7 +120,7 @@ fn event_from(name: &str, f: &[(String, Val)]) -> Option<TraceEvent> {
             dur_ns: num("dur")?,
         },
         "LockWait" => TraceEvent::LockWait { target: n32("target")?, dur_ns: num("dur")? },
-        "BarrierWait" => TraceEvent::BarrierWait { dur_ns: num("dur")? },
+        "BarrierWait" => TraceEvent::BarrierWait { dur_ns: num("dur")?, epoch: num("epoch")? },
         "TdProgress" => TraceEvent::TdProgress { dur_ns: num("dur")? },
         "SplitRelease" => TraceEvent::SplitRelease { moved: n32("moved")? },
         "SplitReclaim" => TraceEvent::SplitReclaim { moved: n32("moved")? },
@@ -104,19 +137,44 @@ fn event_from(name: &str, f: &[(String, Val)]) -> Option<TraceEvent> {
         "QueueDepth" => TraceEvent::QueueDepth { local: n32("local")?, shared: n32("shared")? },
         "Block" => TraceEvent::Block,
         "Unblock" => TraceEvent::Unblock { target: n32("target")? },
-        "MsgSend" => TraceEvent::MsgSend { dst: n32("dst")?, bytes: n32("bytes")? },
+        "MsgSend" => TraceEvent::MsgSend {
+            dst: n32("dst")?,
+            bytes: n32("bytes")?,
+            seq: num("seq")?,
+        },
+        "MsgRecv" => TraceEvent::MsgRecv { src: n32("src")?, seq: num("seq")? },
         "RemoteOp" => TraceEvent::RemoteOp {
             kind: match get_str(f, "kind")? {
                 "put" => RemoteOpKind::Put,
                 "get" => RemoteOpKind::Get,
                 "acc" => RemoteOpKind::Acc,
                 "rmw" => RemoteOpKind::Rmw,
-                "lock" => RemoteOpKind::Lock,
-                "unlock" => RemoteOpKind::Unlock,
                 _ => return None,
             },
             target: n32("target")?,
+            seg: n32("seg")?,
+            offset: num("off")?,
             bytes: n32("bytes")?,
+            atomic: get_bool(f, "atomic")?,
+        },
+        "LocalAccess" => TraceEvent::LocalAccess {
+            seg: n32("seg")?,
+            offset: num("off")?,
+            bytes: n32("bytes")?,
+            write: get_bool(f, "write")?,
+            atomic: get_bool(f, "atomic")?,
+        },
+        "LockAcq" => TraceEvent::LockAcq {
+            target: n32("target")?,
+            set: n32("set")?,
+            idx: n32("idx")?,
+            seq: num("seq")?,
+        },
+        "LockRel" => TraceEvent::LockRel {
+            target: n32("target")?,
+            set: n32("set")?,
+            idx: n32("idx")?,
+            seq: num("seq")?,
         },
         _ => return None,
     })
@@ -287,14 +345,32 @@ mod tests {
         sink.emit(1, 9, || TraceEvent::RemoteOp {
             kind: RemoteOpKind::Acc,
             target: 0,
+            seg: 2,
+            offset: 64,
             bytes: 16,
+            atomic: true,
         });
         sink.emit(1, 12, || TraceEvent::LockWait { target: 0, dur_ns: 4 });
-        sink.emit(1, 20, || TraceEvent::BarrierWait { dur_ns: 0 });
+        sink.emit(1, 20, || TraceEvent::BarrierWait { dur_ns: 0, epoch: 0 });
         sink.emit(1, 33, || TraceEvent::TdProgress { dur_ns: 7 });
         sink.emit(1, 35, || TraceEvent::Block);
+        sink.emit(1, 40, || TraceEvent::LocalAccess {
+            seg: 1,
+            offset: 8,
+            bytes: 8,
+            write: true,
+            atomic: false,
+        });
+        sink.emit(1, 44, || TraceEvent::LockAcq { target: 0, set: 0, idx: 3, seq: 9 });
+        sink.emit(1, 48, || TraceEvent::LockRel { target: 0, set: 0, idx: 3, seq: 9 });
+        sink.emit(0, 95, || TraceEvent::MsgSend { dst: 1, bytes: 32, seq: 5 });
+        sink.emit(1, 99, || TraceEvent::MsgRecv { src: 0, seq: 5 });
+        sink.hist(0, "task_exec_ns", 30);
+        sink.hist(0, "task_exec_ns", 4_000);
+        sink.hist(1, "steal_rtt_ns", 30_000);
+        sink.gauge(1, "queue_local", 7);
         let mut t = sink.finish().unwrap();
-        t.final_clock_ns = vec![90, 35];
+        t.final_clock_ns = vec![95, 99];
         t
     }
 
@@ -307,6 +383,30 @@ mod tests {
         assert_eq!(parsed.final_clock_ns, t.final_clock_ns);
         // And the re-export of the parsed trace is byte-identical.
         assert_eq!(parsed.to_jsonl(), t.to_jsonl());
+    }
+
+    #[test]
+    fn jsonl_round_trips_metric_registries() {
+        let t = sample_trace();
+        let parsed = parse(&t.to_jsonl()).expect("export must re-parse");
+        assert_eq!(parsed.hists, t.hists);
+        assert_eq!(parsed.gauges, t.gauges);
+        let h = &parsed.hists[0]["task_exec_ns"];
+        assert_eq!((h.count(), h.sum(), h.min(), h.max()), (2, 4_030, 30, 4_000));
+        let g = parsed.gauges[1]["queue_local"];
+        assert_eq!((g.samples, g.sum, g.max, g.last), (1, 7, 7, 7));
+    }
+
+    #[test]
+    fn malformed_histogram_line_is_an_error() {
+        let t = sample_trace();
+        let mut body = t.to_jsonl();
+        // A ragged (odd-length) bucket pair array must be rejected.
+        body.push_str(
+            "{\"hist\":\"bad\",\"rank\":0,\"count\":1,\"sum\":1,\"min\":1,\"max\":1,\"buckets\":[1]}\n",
+        );
+        let err = parse(&body).unwrap_err();
+        assert!(err.contains("malformed histogram bad"), "{err}");
     }
 
     #[test]

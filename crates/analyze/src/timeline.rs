@@ -109,7 +109,7 @@ pub fn spans_for_rank(events: &[StampedEvent]) -> Vec<Span> {
             }
             TraceEvent::StealAttempt { dur_ns, .. } => spans.push(completed(e, dur_ns, Category::Steal)),
             TraceEvent::LockWait { dur_ns, .. } => spans.push(completed(e, dur_ns, Category::Lock)),
-            TraceEvent::BarrierWait { dur_ns } => spans.push(completed(e, dur_ns, Category::Barrier)),
+            TraceEvent::BarrierWait { dur_ns, .. } => spans.push(completed(e, dur_ns, Category::Barrier)),
             TraceEvent::TdProgress { dur_ns } => spans.push(completed(e, dur_ns, Category::Td)),
             _ => {}
         }
@@ -147,7 +147,7 @@ mod tests {
             ev(40, TraceEvent::TaskExecEnd { callback: 0 }),
             ev(70, TraceEvent::StealAttempt { victim: 1, got: 0, dur_ns: 20 }),
             ev(90, TraceEvent::LockWait { target: 1, dur_ns: 5 }),
-            ev(100, TraceEvent::BarrierWait { dur_ns: 3 }),
+            ev(100, TraceEvent::BarrierWait { dur_ns: 3, epoch: 0 }),
             ev(120, TraceEvent::TdProgress { dur_ns: 8 }),
             ev(120, TraceEvent::Block),
         ];

@@ -106,12 +106,27 @@ impl Armci {
 
     /// One-sided contiguous put: copy `src` into `(rank, offset)`.
     pub fn put(&self, ctx: &Ctx, g: Gmem, rank: usize, offset: usize, src: &[u8]) {
+        self.put_impl(ctx, g, rank, offset, src, false);
+    }
+
+    /// A put the split-queue protocol declares *atomic*: same cost and
+    /// semantics as [`Armci::put`], but the trace marks the written words
+    /// as protocol-atomic so the race checker pairs them with the
+    /// target's own lock-free index publishes instead of flagging them.
+    pub fn put_atomic(&self, ctx: &Ctx, g: Gmem, rank: usize, offset: usize, src: &[u8]) {
+        self.put_impl(ctx, g, rank, offset, src, true);
+    }
+
+    fn put_impl(&self, ctx: &Ctx, g: Gmem, rank: usize, offset: usize, src: &[u8], atomic: bool) {
         self.check_bounds(g, rank, offset, src.len());
         ctx.yield_point();
         ctx.trace(|| TraceEvent::RemoteOp {
             kind: RemoteOpKind::Put,
             target: rank as u32,
+            seg: g.id as u32,
+            offset: offset as u64,
             bytes: src.len() as u32,
+            atomic,
         });
         let seg = self.segment(g);
         seg.data[rank].lock()[offset..offset + src.len()].copy_from_slice(src);
@@ -120,12 +135,26 @@ impl Armci {
 
     /// One-sided contiguous get: copy `(rank, offset)` into `dst`.
     pub fn get(&self, ctx: &Ctx, g: Gmem, rank: usize, offset: usize, dst: &mut [u8]) {
+        self.get_impl(ctx, g, rank, offset, dst, false);
+    }
+
+    /// A get the split-queue protocol declares *atomic* (see
+    /// [`Armci::put_atomic`]): reads words that a lock-free writer may be
+    /// publishing concurrently, which the protocol tolerates by design.
+    pub fn get_atomic(&self, ctx: &Ctx, g: Gmem, rank: usize, offset: usize, dst: &mut [u8]) {
+        self.get_impl(ctx, g, rank, offset, dst, true);
+    }
+
+    fn get_impl(&self, ctx: &Ctx, g: Gmem, rank: usize, offset: usize, dst: &mut [u8], atomic: bool) {
         self.check_bounds(g, rank, offset, dst.len());
         ctx.yield_point();
         ctx.trace(|| TraceEvent::RemoteOp {
             kind: RemoteOpKind::Get,
             target: rank as u32,
+            seg: g.id as u32,
+            offset: offset as u64,
             bytes: dst.len() as u32,
+            atomic,
         });
         let seg = self.segment(g);
         dst.copy_from_slice(&seg.data[rank].lock()[offset..offset + dst.len()]);
@@ -150,7 +179,10 @@ impl Armci {
         ctx.trace(|| TraceEvent::RemoteOp {
             kind: RemoteOpKind::Acc,
             target: rank as u32,
+            seg: g.id as u32,
+            offset: offset as u64,
             bytes: len as u32,
+            atomic: true,
         });
         let seg = self.segment(g);
         let mut data = seg.data[rank].lock();
@@ -180,7 +212,10 @@ impl Armci {
         ctx.trace(|| TraceEvent::RemoteOp {
             kind: RemoteOpKind::Acc,
             target: rank as u32,
+            seg: g.id as u32,
+            offset: offset as u64,
             bytes: len as u32,
+            atomic: true,
         });
         let seg = self.segment(g);
         let mut data = seg.data[rank].lock();
@@ -195,7 +230,9 @@ impl Armci {
 
     /// Run `f` with mutable access to this rank's own portion of the
     /// segment. Charges only local software overhead; intended for
-    /// owner-private initialization and queue manipulation.
+    /// owner-private initialization (setup that happens before any
+    /// concurrency, so it emits no access record — shared-protocol
+    /// accesses must go through [`Armci::with_local_range_mut`]).
     pub fn with_local_mut<R>(&self, ctx: &Ctx, g: Gmem, f: impl FnOnce(&mut [u8]) -> R) -> R {
         let seg = self.segment(g);
         let mut data = seg.data[ctx.rank()].lock();
@@ -207,6 +244,58 @@ impl Armci {
         let seg = self.segment(g);
         let data = seg.data[ctx.rank()].lock();
         f(&data)
+    }
+
+    /// Owner-side read of `[offset, offset + len)` of this rank's own
+    /// portion, recorded in the trace as a `LocalAccess` so the race
+    /// checker can pair owner accesses against remote thieves. `atomic`
+    /// marks single-word protocol accesses (lock-free index reads) the
+    /// queue discipline declares safe against concurrent atomic writers.
+    pub fn with_local_range<R>(
+        &self,
+        ctx: &Ctx,
+        g: Gmem,
+        offset: usize,
+        len: usize,
+        atomic: bool,
+        f: impl FnOnce(&[u8]) -> R,
+    ) -> R {
+        self.check_bounds(g, ctx.rank(), offset, len);
+        ctx.trace(|| TraceEvent::LocalAccess {
+            seg: g.id as u32,
+            offset: offset as u64,
+            bytes: len as u32,
+            write: false,
+            atomic,
+        });
+        let seg = self.segment(g);
+        let data = seg.data[ctx.rank()].lock();
+        f(&data[offset..offset + len])
+    }
+
+    /// Owner-side write access to `[offset, offset + len)` of this rank's
+    /// own portion, recorded as a `LocalAccess` write (see
+    /// [`Armci::with_local_range`]).
+    pub fn with_local_range_mut<R>(
+        &self,
+        ctx: &Ctx,
+        g: Gmem,
+        offset: usize,
+        len: usize,
+        atomic: bool,
+        f: impl FnOnce(&mut [u8]) -> R,
+    ) -> R {
+        self.check_bounds(g, ctx.rank(), offset, len);
+        ctx.trace(|| TraceEvent::LocalAccess {
+            seg: g.id as u32,
+            offset: offset as u64,
+            bytes: len as u32,
+            write: true,
+            atomic,
+        });
+        let seg = self.segment(g);
+        let mut data = seg.data[ctx.rank()].lock();
+        f(&mut data[offset..offset + len])
     }
 }
 

@@ -7,7 +7,7 @@
 
 use std::sync::Arc;
 
-use scioto_sim::{Ctx, RemoteOpKind, TraceEvent, VLock};
+use scioto_sim::{Ctx, TraceEvent, VLock};
 
 use crate::world::Armci;
 
@@ -67,15 +67,19 @@ impl Armci {
     /// Acquire mutex `idx` on `rank`, blocking in virtual time while held.
     pub fn lock(&self, ctx: &Ctx, set: MutexSet, idx: usize, rank: usize) {
         let storage = self.mutex(set, idx, rank);
-        ctx.trace(|| TraceEvent::RemoteOp {
-            kind: RemoteOpKind::Lock,
-            target: rank as u32,
-            bytes: 0,
-        });
         let t0 = if ctx.trace_enabled() { ctx.now() } else { 0 };
-        storage.locks[rank][idx].acquire(ctx, self.lock_cost(ctx, rank));
-        // Stamped at completion: the span covers the queue wait plus the
-        // acquire round trip. Zero-length waits are elided.
+        let seq = storage.locks[rank][idx].acquire(ctx, self.lock_cost(ctx, rank));
+        // Emitted at completion so acquisition events appear in lock order:
+        // the n-th LockAcq of a mutex carries seq n and is ordered after
+        // the LockRel with seq n - 1.
+        ctx.trace(|| TraceEvent::LockAcq {
+            target: rank as u32,
+            set: set.id as u32,
+            idx: idx as u32,
+            seq,
+        });
+        // The span covers the queue wait plus the acquire round trip.
+        // Zero-length waits are elided.
         if ctx.trace_enabled() {
             let dur_ns = ctx.now().saturating_sub(t0);
             if dur_ns > 0 {
@@ -90,18 +94,30 @@ impl Armci {
     /// Try to acquire mutex `idx` on `rank` without blocking.
     pub fn try_lock(&self, ctx: &Ctx, set: MutexSet, idx: usize, rank: usize) -> bool {
         let storage = self.mutex(set, idx, rank);
-        storage.locks[rank][idx].try_acquire(ctx, self.lock_cost(ctx, rank))
+        match storage.locks[rank][idx].try_acquire(ctx, self.lock_cost(ctx, rank)) {
+            Some(seq) => {
+                ctx.trace(|| TraceEvent::LockAcq {
+                    target: rank as u32,
+                    set: set.id as u32,
+                    idx: idx as u32,
+                    seq,
+                });
+                true
+            }
+            None => false,
+        }
     }
 
     /// Release mutex `idx` on `rank`.
     pub fn unlock(&self, ctx: &Ctx, set: MutexSet, idx: usize, rank: usize) {
         let storage = self.mutex(set, idx, rank);
-        ctx.trace(|| TraceEvent::RemoteOp {
-            kind: RemoteOpKind::Unlock,
+        let seq = storage.locks[rank][idx].release(ctx, self.lock_cost(ctx, rank));
+        ctx.trace(|| TraceEvent::LockRel {
             target: rank as u32,
-            bytes: 0,
+            set: set.id as u32,
+            idx: idx as u32,
+            seq,
         });
-        storage.locks[rank][idx].release(ctx, self.lock_cost(ctx, rank));
     }
 }
 
@@ -172,6 +188,73 @@ mod tests {
             }
         });
         assert_eq!(out.results, vec![true, false]);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not hold it")]
+    fn unlock_without_lock_panics() {
+        Machine::run(MachineConfig::virtual_time(1), |ctx| {
+            let armci = Armci::init(ctx);
+            let m = armci.create_mutexes(ctx, 1);
+            armci.unlock(ctx, m, 0, 0);
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "re-entrantly")]
+    fn reentrant_lock_panics() {
+        Machine::run(MachineConfig::virtual_time(1), |ctx| {
+            let armci = Armci::init(ctx);
+            let m = armci.create_mutexes(ctx, 1);
+            armci.lock(ctx, m, 0, 0);
+            armci.lock(ctx, m, 0, 0);
+        });
+    }
+
+    #[test]
+    fn lock_unlock_seqs_pair_in_trace_order() {
+        use scioto_sim::TraceConfig;
+        let out = Machine::run(
+            MachineConfig::virtual_time(2).with_trace(TraceConfig::enabled()),
+            |ctx| {
+                let armci = Armci::init(ctx);
+                let m = armci.create_mutexes(ctx, 1);
+                armci.lock(ctx, m, 0, 0);
+                ctx.compute(50);
+                armci.unlock(ctx, m, 0, 0);
+                armci.barrier(ctx);
+            },
+        );
+        let trace = out.report.trace.expect("tracing enabled");
+        let mut all_seqs = Vec::new();
+        for events in &trace.events {
+            // Each rank's stream must show its acquisition before its
+            // release, with the same ownership generation on both.
+            let acq: Vec<(usize, u64)> = events
+                .iter()
+                .enumerate()
+                .filter_map(|(i, e)| match e.event {
+                    TraceEvent::LockAcq { seq, .. } => Some((i, seq)),
+                    _ => None,
+                })
+                .collect();
+            let rel: Vec<(usize, u64)> = events
+                .iter()
+                .enumerate()
+                .filter_map(|(i, e)| match e.event {
+                    TraceEvent::LockRel { seq, .. } => Some((i, seq)),
+                    _ => None,
+                })
+                .collect();
+            assert_eq!(acq.len(), 1);
+            assert_eq!(rel.len(), 1);
+            assert!(acq[0].0 < rel[0].0, "acquire must precede release");
+            assert_eq!(acq[0].1, rel[0].1, "acquire/release generations pair");
+            all_seqs.push(acq[0].1);
+        }
+        // Ownership generations are globally sequential across ranks.
+        all_seqs.sort_unstable();
+        assert_eq!(all_seqs, vec![1, 2]);
     }
 
     #[test]

@@ -14,7 +14,7 @@
 //! faithfully. Same-location ordering of a rank's own operations is
 //! preserved.
 
-use scioto_sim::Ctx;
+use scioto_sim::{Ctx, RemoteOpKind, TraceEvent};
 
 use crate::gmem::Gmem;
 use crate::world::Armci;
@@ -60,6 +60,14 @@ impl Armci {
             offset + src.len()
         );
         seg.data[rank].lock()[offset..offset + src.len()].copy_from_slice(src);
+        ctx.trace(|| TraceEvent::RemoteOp {
+            kind: RemoteOpKind::Put,
+            target: rank as u32,
+            seg: g.id as u32,
+            offset: offset as u64,
+            bytes: src.len() as u32,
+            atomic: false,
+        });
         ctx.charge_cpu(INJECT_NS);
         NbHandle {
             complete_at: ctx.now() + self.xfer_cost(ctx, rank, src.len()),
@@ -85,6 +93,14 @@ impl Armci {
             offset + dst.len()
         );
         dst.copy_from_slice(&seg.data[rank].lock()[offset..offset + dst.len()]);
+        ctx.trace(|| TraceEvent::RemoteOp {
+            kind: RemoteOpKind::Get,
+            target: rank as u32,
+            seg: g.id as u32,
+            offset: offset as u64,
+            bytes: dst.len() as u32,
+            atomic: false,
+        });
         ctx.charge_cpu(INJECT_NS);
         NbHandle {
             complete_at: ctx.now() + self.xfer_cost(ctx, rank, dst.len()),

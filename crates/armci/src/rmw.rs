@@ -36,17 +36,20 @@ impl Armci {
         ctx.trace(|| TraceEvent::RemoteOp {
             kind: RemoteOpKind::Rmw,
             target: rank as u32,
+            seg: g.id as u32,
+            offset: offset as u64,
             bytes: 8,
+            atomic: true,
         });
         let word = seg.hot_word(rank, offset);
-        word.acquire(ctx, 0);
+        let _ = word.acquire(ctx, 0);
         ctx.charge_net(service);
         let mut data = seg.data[rank].lock();
         let cur = i64::from_le_bytes(data[offset..offset + 8].try_into().expect("8 bytes"));
         let (new, ret) = f(cur);
         data[offset..offset + 8].copy_from_slice(&new.to_le_bytes());
         drop(data);
-        word.release(ctx, 0);
+        let _ = word.release(ctx, 0);
         ctx.charge_net(self.rmw_cost(ctx, rank));
         ret
     }

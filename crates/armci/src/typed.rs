@@ -65,6 +65,27 @@ impl Armci {
         self.get(ctx, g, rank, offset, &mut buf);
         bytes_to_i64s(&buf)
     }
+
+    /// [`Armci::put_i64s`] whose trace record marks the access atomic —
+    /// for protocol words ordered by the enclosing algorithm rather than a
+    /// lock (same cost as `put_i64s`).
+    pub fn put_i64s_atomic(&self, ctx: &Ctx, g: Gmem, rank: usize, offset: usize, src: &[i64]) {
+        self.put_atomic(ctx, g, rank, offset, &i64s_to_bytes(src));
+    }
+
+    /// [`Armci::get_i64s`] whose trace record marks the access atomic.
+    pub fn get_i64s_atomic(
+        &self,
+        ctx: &Ctx,
+        g: Gmem,
+        rank: usize,
+        offset: usize,
+        count: usize,
+    ) -> Vec<i64> {
+        let mut buf = vec![0u8; count * 8];
+        self.get_atomic(ctx, g, rank, offset, &mut buf);
+        bytes_to_i64s(&buf)
+    }
 }
 
 #[cfg(test)]

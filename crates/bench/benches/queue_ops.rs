@@ -13,8 +13,8 @@ use scioto_sim::{Machine, MachineConfig, TraceConfig};
 /// wall time of the whole run. `trace` toggles the tracing layer so the
 /// disabled-sink overhead (`TraceSink::Disabled`, one branch per site)
 /// can be compared against the plain baseline — the PR's budget is <3%.
-fn push_pop_run(iters: u64, trace: TraceConfig) -> std::time::Duration {
-    let start = std::time::Instant::now();
+fn push_pop_run(iters: u64, trace: TraceConfig) -> std::time::Duration { // scioto-lint: allow(wallclock)
+    let start = std::time::Instant::now(); // scioto-lint: allow(wallclock)
     Machine::run(MachineConfig::virtual_time(1).with_trace(trace), |ctx| {
         let armci = Armci::init(ctx);
         let tc = TaskCollection::create(ctx, &armci, TcConfig::new(64, 10, 1 << 14));
@@ -29,8 +29,8 @@ fn push_pop_run(iters: u64, trace: TraceConfig) -> std::time::Duration {
 }
 
 /// Steal path: rank 1 repeatedly steals chunks that rank 0 replenishes.
-fn steal_run(iters: u64) -> std::time::Duration {
-    let start = std::time::Instant::now();
+fn steal_run(iters: u64) -> std::time::Duration { // scioto-lint: allow(wallclock)
+    let start = std::time::Instant::now(); // scioto-lint: allow(wallclock)
     Machine::run(MachineConfig::virtual_time(2), move |ctx| {
         let armci = Armci::init(ctx);
         // The harness scales `iters`; the queue must hold all seeded tasks.

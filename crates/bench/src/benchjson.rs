@@ -92,8 +92,8 @@ impl BenchOut {
         let Some(path) = args.get_opt("json-out") else {
             return;
         };
-        let wall_ns = std::time::SystemTime::now()
-            .duration_since(std::time::UNIX_EPOCH)
+        let wall_ns = std::time::SystemTime::now() // scioto-lint: allow(wallclock)
+            .duration_since(std::time::UNIX_EPOCH) // scioto-lint: allow(wallclock)
             .map(|d| d.as_nanos() as u64)
             .unwrap_or(0);
         let body = self.to_json(wall_ns);

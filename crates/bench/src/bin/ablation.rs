@@ -14,7 +14,7 @@ use std::sync::Arc;
 use scioto::{StatsSummary, Task, TaskCollection, TcConfig, AFFINITY_HIGH};
 use scioto_armci::Armci;
 use scioto_bench::{
-    dump_analysis, dump_trace, obs_requested, render_table, trace_config, us, Args, BenchOut,
+    dump_analysis, dump_trace, obs_requested, run_race_check, render_table, trace_config, us, Args, BenchOut,
 };
 use scioto_sim::{LatencyModel, Machine, MachineConfig, SpeedModel};
 use scioto_uts::scioto_driver::{run_scioto_uts, SciotoUtsConfig};
@@ -176,6 +176,7 @@ fn main() {
         );
         dump_trace(&args, &out.report);
         dump_analysis(&args, &out.report);
+        run_race_check(&args, &out.report);
     }
     let mut bench = BenchOut::new("ablation");
     bench.param("ranks", 16);

@@ -12,7 +12,7 @@ use std::sync::Arc;
 use scioto::{Task, TaskCollection, TcConfig, AFFINITY_HIGH};
 use scioto_armci::Armci;
 use scioto_bench::{
-    dump_analysis, dump_trace, obs_requested, render_table, trace_config, us, Args, BenchOut,
+    dump_analysis, dump_trace, obs_requested, run_race_check, render_table, trace_config, us, Args, BenchOut,
 };
 use scioto_mpi::Comm;
 use scioto_sim::{LatencyModel, Machine, MachineConfig, Report, TraceConfig};
@@ -86,6 +86,7 @@ fn main() {
         let (_, report) = termination_time(args.get("trace-ranks", 8), trace_config(&args));
         dump_trace(&args, &report);
         dump_analysis(&args, &report);
+        run_race_check(&args, &report);
     }
     let mut bench = BenchOut::new("fig4_termination");
     bench.param("max_ranks", max_p);

@@ -12,7 +12,7 @@
 //! `--tiles N` (default 12).
 
 use scioto_bench::{
-    cluster_rank_sweep, dump_analysis, dump_trace, obs_requested, render_table, secs,
+    cluster_rank_sweep, dump_analysis, dump_trace, obs_requested, run_race_check, render_table, secs,
     trace_config, Args, BenchOut,
 };
 use scioto_scf::{run_scf_parallel, BasisSet, LoadBalance, Molecule, ParallelScfConfig};
@@ -87,6 +87,7 @@ fn main() {
         });
         dump_trace(&args, &out.report);
         dump_analysis(&args, &out.report);
+        run_race_check(&args, &out.report);
     }
 
     let mut ps = vec![1usize];

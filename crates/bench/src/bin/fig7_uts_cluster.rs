@@ -12,7 +12,7 @@
 //! Options: `--max-ranks N` (default 64), `--tree small|medium|large`.
 
 use scioto_bench::{
-    cluster_rank_sweep, dump_analysis, dump_trace, obs_requested, render_table, trace_config,
+    cluster_rank_sweep, dump_analysis, dump_trace, obs_requested, run_race_check, render_table, trace_config,
     Args, BenchOut,
 };
 use scioto_sim::{LatencyModel, Machine, MachineConfig, SpeedModel};
@@ -77,6 +77,7 @@ fn main() {
         });
         dump_trace(&args, &out.report);
         dump_analysis(&args, &out.report);
+        run_race_check(&args, &out.report);
     }
     let mut bench = BenchOut::new("fig7_uts_cluster");
     bench.param("max_ranks", max_p);

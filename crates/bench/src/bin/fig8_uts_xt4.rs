@@ -11,7 +11,7 @@
 //! Options: `--max-ranks N` (default 512), `--tree small|medium|large`.
 
 use scioto_bench::{
-    dump_analysis, dump_trace, obs_requested, render_table, trace_config, Args, BenchOut,
+    dump_analysis, dump_trace, obs_requested, run_race_check, render_table, trace_config, Args, BenchOut,
 };
 use scioto_sim::{LatencyModel, Machine, MachineConfig, SpeedModel};
 use scioto_uts::mpi_ws::{run_mpi_uts, MpiUtsConfig};
@@ -73,6 +73,7 @@ fn main() {
         });
         dump_trace(&args, &out.report);
         dump_analysis(&args, &out.report);
+        run_race_check(&args, &out.report);
     }
     let mut bench = BenchOut::new("fig8_uts_xt4");
     bench.param("max_ranks", max_p);

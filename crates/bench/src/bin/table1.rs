@@ -10,7 +10,7 @@
 use scioto::{Task, TaskCollection, TcConfig};
 use scioto_armci::Armci;
 use scioto_bench::{
-    dump_analysis, dump_trace, obs_requested, render_table, trace_config, us, Args, BenchOut,
+    dump_analysis, dump_trace, obs_requested, run_race_check, render_table, trace_config, us, Args, BenchOut,
 };
 use scioto_sim::{LatencyModel, Machine, MachineConfig, Report, TraceConfig};
 
@@ -108,6 +108,7 @@ fn main() {
     let (xt4, _) = measure(LatencyModel::xt4(), TraceConfig::disabled());
     dump_trace(&args, &cluster_report);
     dump_analysis(&args, &cluster_report);
+    run_race_check(&args, &cluster_report);
 
     let mut bench = BenchOut::new("table1");
     bench.param("body_bytes", BODY);

@@ -111,11 +111,20 @@ pub fn trace_requested(args: &Args) -> bool {
     args.get_opt("trace-out").is_some()
 }
 
+/// Did the user ask for a happens-before race check on the traced run
+/// (`--race-check`)?
+pub fn race_check_requested(args: &Args) -> bool {
+    args.has("race-check")
+}
+
 /// Did the user ask for any observability output — a raw trace dump
-/// (`--trace-out`) or an analysis report (`--analysis-out`)? Either one
-/// makes the bench binaries run their dedicated traced configuration.
+/// (`--trace-out`), an analysis report (`--analysis-out`), or a race
+/// check (`--race-check`)? Any of them makes the bench binaries run
+/// their dedicated traced configuration.
 pub fn obs_requested(args: &Args) -> bool {
-    trace_requested(args) || args.get_opt("analysis-out").is_some()
+    trace_requested(args)
+        || args.get_opt("analysis-out").is_some()
+        || race_check_requested(args)
 }
 
 /// The trace configuration for a bench binary's traced run: enabled,
@@ -192,6 +201,34 @@ pub fn dump_trace(args: &Args, report: &scioto_sim::Report) {
             .unwrap_or_else(|e| panic!("opening {spath}: {e}"));
         write!(f, "{}", trace.summary()).unwrap_or_else(|e| panic!("writing {spath}: {e}"));
         eprintln!("trace summary appended to {spath}");
+    }
+}
+
+/// Replay `report`'s trace through the happens-before race checker and
+/// print the verdict; no-op without `--race-check`. Exits 1 when races
+/// are found and 2 when the trace cannot be replayed (e.g. ring
+/// overflow dropped events — rerun with a larger `--trace-ring`), so CI
+/// wiring can gate on a clean check. Panics if the report carries no
+/// trace (the caller must have run the traced machine).
+pub fn run_race_check(args: &Args, report: &scioto_sim::Report) {
+    if !race_check_requested(args) {
+        return;
+    }
+    let trace = report
+        .trace
+        .as_ref()
+        .expect("run_race_check needs a report from a tracing-enabled run");
+    match scioto_race::check_trace(trace) {
+        Ok(verdict) => {
+            eprint!("{verdict}");
+            if !verdict.is_clean() {
+                std::process::exit(1);
+            }
+        }
+        Err(e) => {
+            eprintln!("race check error: {e}");
+            std::process::exit(2);
+        }
     }
 }
 

@@ -7,7 +7,7 @@
 //! as order-of-magnitude software-overhead checks, where the medians are
 //! stable to a few percent.
 
-use std::time::{Duration, Instant};
+use std::time::{Duration, Instant}; // scioto-lint: allow(wallclock)
 
 /// Minimum wall time one calibrated sample should take.
 const TARGET_SAMPLE: Duration = Duration::from_millis(20);

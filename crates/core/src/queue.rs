@@ -74,10 +74,20 @@ impl PatchQueue {
     }
 
     // ---- owner-private metadata access (no scheduling point) ----
+    //
+    // Access-record atomicity follows the split-queue protocol (§5):
+    // * `HEAD` is written lock-free by the owner while thieves read it in
+    //   `insert_tail`'s composite index get — both sides are marked atomic
+    //   (single-word discipline the protocol declares safe);
+    // * `SPLIT` is only ever written under the queue lock, so plain
+    //   accesses are happens-before ordered by the lock;
+    // * `TAIL` is written by thieves under the lock but read lock-free by
+    //   the owner's reclaim/release pre-checks, so those reads and the
+    //   thieves' puts are marked atomic.
 
     fn write_meta_local(&self, ctx: &Ctx, armci: &Armci, off: usize, v: i64) {
-        armci.with_local_mut(ctx, self.meta, |b| {
-            b[off..off + 8].copy_from_slice(&v.to_le_bytes())
+        armci.with_local_range_mut(ctx, self.meta, off, 8, off == HEAD, |b| {
+            b.copy_from_slice(&v.to_le_bytes())
         });
     }
 
@@ -87,32 +97,36 @@ impl PatchQueue {
 
     fn write_slot_local(&self, ctx: &Ctx, armci: &Armci, index: i64, rec: &TaskRecord) {
         let pos = self.slot_pos(index);
-        armci.with_local_mut(ctx, self.slots, |b| {
-            rec.encode_into(&mut b[pos..pos + self.slot_sz]);
+        armci.with_local_range_mut(ctx, self.slots, pos, self.slot_sz, false, |b| {
+            rec.encode_into(b);
         });
     }
 
     fn read_slot_local(&self, ctx: &Ctx, armci: &Armci, index: i64) -> TaskRecord {
         let pos = self.slot_pos(index);
-        armci.with_local(ctx, self.slots, |b| {
-            TaskRecord::decode(&b[pos..pos + self.slot_sz])
+        armci.with_local_range(ctx, self.slots, pos, self.slot_sz, false, |b| {
+            TaskRecord::decode(b)
         })
     }
 
-    /// Zero the owner's metadata (collective reset; caller barriers).
+    /// Zero the owner's metadata (collective reset; caller barriers, so
+    /// this pre-concurrency fill stays un-recorded).
     pub(crate) fn reset_local(&self, ctx: &Ctx, armci: &Armci) {
         armci.with_local_mut(ctx, self.meta, |b| b.fill(0));
     }
 
     /// `(head, split, tail)` of the owner's queue.
     pub(crate) fn indices_local(&self, ctx: &Ctx, armci: &Armci) -> (i64, i64, i64) {
-        armci.with_local(ctx, self.meta, |b| {
+        let (head, split) = armci.with_local_range(ctx, self.meta, HEAD, 16, false, |b| {
             (
-                i64::from_le_bytes(b[HEAD..HEAD + 8].try_into().expect("8")),
-                i64::from_le_bytes(b[SPLIT..SPLIT + 8].try_into().expect("8")),
-                i64::from_le_bytes(b[TAIL..TAIL + 8].try_into().expect("8")),
+                i64::from_le_bytes(b[0..8].try_into().expect("8")),
+                i64::from_le_bytes(b[8..16].try_into().expect("8")),
             )
-        })
+        });
+        let tail = armci.with_local_range(ctx, self.meta, TAIL, 8, true, |b| {
+            i64::from_le_bytes(b[0..8].try_into().expect("8"))
+        });
+        (head, split, tail)
     }
 
     /// True when the owner's queue holds no tasks.
@@ -280,7 +294,9 @@ impl PatchQueue {
     /// the decremented tail one-sided, unlock.
     pub(crate) fn insert_tail(&self, ctx: &Ctx, armci: &Armci, target: usize, rec: &TaskRecord) {
         armci.lock(ctx, self.locks, 0, target);
-        let idx = armci.get_i64s(ctx, self.meta, target, HEAD, 3);
+        // Atomic composite get: this one transfer also covers `head`, which
+        // the owner updates lock-free (single-word protocol discipline).
+        let idx = armci.get_i64s_atomic(ctx, self.meta, target, HEAD, 3);
         let (head, _split, tail) = (idx[0], idx[1], idx[2]);
         self.check_capacity(head, tail);
         let t = tail - 1;
@@ -288,7 +304,9 @@ impl PatchQueue {
         let mut buf = vec![0u8; self.slot_sz];
         rec.encode_into(&mut buf);
         armci.put(ctx, self.slots, target, pos, &buf);
-        armci.put_i64s(ctx, self.meta, target, TAIL, &[t]);
+        // Atomic: the owner's reclaim/release pre-checks read `tail`
+        // without taking the lock.
+        armci.put_i64s_atomic(ctx, self.meta, target, TAIL, &[t]);
         armci.unlock(ctx, self.locks, 0, target);
     }
 
@@ -326,7 +344,7 @@ impl PatchQueue {
                 &mut buf[run1 as usize * self.slot_sz..],
             );
         }
-        armci.put_i64s(ctx, self.meta, victim, TAIL, &[tail + k]);
+        armci.put_i64s_atomic(ctx, self.meta, victim, TAIL, &[tail + k]);
         armci.unlock(ctx, self.locks, 0, victim);
         buf.chunks_exact(self.slot_sz)
             .map(TaskRecord::decode)

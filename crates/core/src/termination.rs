@@ -136,24 +136,26 @@ impl WaveDetector {
         self.local[rank].waves.load(Ordering::Relaxed)
     }
 
-    /// One-sided store of a token slot. Tokens are single-writer values,
-    /// so a plain put (no atomic RMW service queue) is sufficient.
+    /// One-sided store of a token slot. Tokens are single-writer i64
+    /// values polled lock-free by the destination, so every slot access is
+    /// recorded atomic (no RMW service queue is needed, only single-word
+    /// discipline).
     fn put_slot(&self, ctx: &Ctx, armci: &Armci, rank: usize, off: usize, v: i64) {
-        armci.put(ctx, self.td, rank, off, &v.to_le_bytes());
+        armci.put_atomic(ctx, self.td, rank, off, &v.to_le_bytes());
     }
 
     fn read_slot(&self, ctx: &Ctx, armci: &Armci, off: usize) -> i64 {
-        armci.with_local(ctx, self.td, |b| {
-            i64::from_le_bytes(b[off..off + 8].try_into().expect("8 bytes"))
+        armci.with_local_range(ctx, self.td, off, 8, true, |b| {
+            i64::from_le_bytes(b.try_into().expect("8 bytes"))
         })
     }
 
     /// Atomically read and clear the local dirty flag (a thief may be
     /// writing it concurrently in real-thread mode).
     fn take_dirty(&self, ctx: &Ctx, armci: &Armci) -> bool {
-        armci.with_local_mut(ctx, self.td, |b| {
-            let v = i64::from_le_bytes(b[DIRTY..DIRTY + 8].try_into().expect("8 bytes"));
-            b[DIRTY..DIRTY + 8].copy_from_slice(&0i64.to_le_bytes());
+        armci.with_local_range_mut(ctx, self.td, DIRTY, 8, true, |b| {
+            let v = i64::from_le_bytes(b[..8].try_into().expect("8 bytes"));
+            b.copy_from_slice(&0i64.to_le_bytes());
             v != 0
         })
     }
@@ -260,8 +262,8 @@ impl WaveDetector {
                 if me == 0 {
                     if color == WHITE {
                         // Global termination: announce down the tree.
-                        armci.with_local_mut(ctx, self.td, |b| {
-                            b[TERM..TERM + 8].copy_from_slice(&1i64.to_le_bytes())
+                        armci.with_local_range_mut(ctx, self.td, TERM, 8, true, |b| {
+                            b.copy_from_slice(&1i64.to_le_bytes())
                         });
                         st.term_propagated.store(true, Ordering::Relaxed);
                         ctx.trace(|| TraceEvent::TdWave {

@@ -137,7 +137,7 @@ fn subtasks_spawned_during_execution_are_processed() {
                 c.fetch_add(1, Ordering::Relaxed);
                 let depth = scioto::wire::get_u64(t.body(), 0);
                 if depth > 0 {
-                    let h = h_cell2.lock().expect("handle registered");
+                    let h = (*h_cell2.lock()).expect("handle registered");
                     let mut body = Vec::new();
                     scioto::wire::put_u64(&mut body, depth - 1);
                     let child = Task::new(h, body);

@@ -1,0 +1,50 @@
+//! Standalone happens-before race checker for exported JSONL traces.
+//!
+//! Usage: `race_check TRACE.jsonl [TRACE2.jsonl ...]`
+//!
+//! Exit status: 0 when every trace is race-free, 1 when any race is
+//! found, 2 on I/O, parse, or replay errors.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() || args.iter().any(|a| a == "-h" || a == "--help") {
+        eprintln!("usage: race_check TRACE.jsonl [TRACE2.jsonl ...]");
+        eprintln!("  replays each JSONL trace with vector clocks and reports");
+        eprintln!("  happens-before races on simulated global memory");
+        return ExitCode::from(2);
+    }
+    let mut racy = false;
+    for path in &args {
+        let body = match std::fs::read_to_string(path) {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("race_check: {path}: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        let trace = match scioto_analyze::jsonl::parse(&body) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("race_check: {path}: parse error: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        match scioto_race::check_trace(&trace) {
+            Ok(report) => {
+                print!("{path}: {report}");
+                racy |= !report.is_clean();
+            }
+            Err(e) => {
+                eprintln!("race_check: {path}: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    if racy {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    }
+}

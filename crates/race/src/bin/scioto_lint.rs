@@ -1,0 +1,47 @@
+//! Source-tree invariant scanner. See [`scioto_race::lint`] for the rules.
+//!
+//! Usage: `scioto-lint [ROOT ...]` — roots default to `crates` and `src`
+//! under the current directory. Exit status: 0 clean, 1 findings, 2 I/O
+//! error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut roots: Vec<PathBuf> = std::env::args().skip(1).map(PathBuf::from).collect();
+    if roots.iter().any(|r| r.as_os_str() == "-h" || r.as_os_str() == "--help") {
+        eprintln!("usage: scioto-lint [ROOT ...]   (default: crates src)");
+        return ExitCode::from(2);
+    }
+    if roots.is_empty() {
+        roots = ["crates", "src"]
+            .iter()
+            .map(PathBuf::from)
+            .filter(|p| p.is_dir())
+            .collect();
+        if roots.is_empty() {
+            eprintln!("scioto-lint: no crates/ or src/ directory here; pass roots explicitly");
+            return ExitCode::from(2);
+        }
+    }
+    let mut findings = Vec::new();
+    for root in &roots {
+        match scioto_race::lint_tree(root) {
+            Ok(f) => findings.extend(f),
+            Err(e) => {
+                eprintln!("scioto-lint: {}: {e}", root.display());
+                return ExitCode::from(2);
+            }
+        }
+    }
+    for f in &findings {
+        println!("{f}");
+    }
+    if findings.is_empty() {
+        println!("scioto-lint: clean ({} root(s))", roots.len());
+        ExitCode::SUCCESS
+    } else {
+        println!("scioto-lint: {} finding(s)", findings.len());
+        ExitCode::from(1)
+    }
+}

@@ -1,0 +1,381 @@
+//! `scioto-lint`: a zero-dependency source scanner for the repo's
+//! hermeticity and determinism invariants.
+//!
+//! Rules (each can be waived per-site with `// scioto-lint: allow(<rule>)`
+//! on the offending line or the line immediately above):
+//!
+//! * `std-sync` — `std::sync::{Mutex, RwLock, Condvar}` are banned
+//!   outside `crates/det`; all blocking primitives must come from
+//!   `scioto_det::sync` so lock behaviour stays deterministic and
+//!   poison-free (`.lock()` returns the guard directly).
+//! * `wallclock` — `std::time` and ambient `rand::` are banned
+//!   everywhere; virtual time comes from the simulator clock and
+//!   randomness from the in-tree deterministic RNG.
+//! * `trace-closure` — trace emission sites must pass a deferred
+//!   closure (`ctx.trace(|| TraceEvent::...)`), never a pre-built
+//!   event, so disabled tracing costs one branch and zero construction.
+//! * `lock-unwrap` — `.lock().unwrap()` / `.lock().expect(...)` are
+//!   banned; the in-tree mutex cannot poison and returns the guard
+//!   directly, so an `unwrap` signals a foreign lock sneaking in.
+//!
+//! The scanner is intentionally textual (no syn, no proc-macro): it runs
+//! in milliseconds over the whole tree and its patterns are chosen so
+//! that real violations cannot hide behind formatting (multi-line `use`
+//! groups are joined up to the closing `;` before matching).
+
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// One lint violation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Finding {
+    /// File the violation is in.
+    pub path: PathBuf,
+    /// 1-based line number.
+    pub line: usize,
+    /// Rule slug, e.g. `std-sync`.
+    pub rule: &'static str,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.path.display(),
+            self.line,
+            self.rule,
+            self.message
+        )
+    }
+}
+
+/// True when `lines[idx]` or the line above carries a waiver for `rule`.
+fn waived(lines: &[&str], idx: usize, rule: &str) -> bool {
+    let marker = format!("scioto-lint: allow({rule})");
+    lines[idx].contains(&marker) || (idx > 0 && lines[idx - 1].contains(&marker))
+}
+
+/// Character boundary test: `s[..i]` must not end in an identifier or
+/// path character for a match at `i` to be a standalone path root.
+fn path_root_at(s: &str, i: usize) -> bool {
+    match s[..i].chars().next_back() {
+        None => true,
+        Some(c) => !(c.is_alphanumeric() || c == '_' || c == ':'),
+    }
+}
+
+/// Identifier boundary test: a match at `i` is a whole token, not a
+/// suffix of a longer identifier (path separators are fine here).
+fn ident_at(s: &str, i: usize, len: usize) -> bool {
+    let pre = s[..i].chars().next_back();
+    let post = s[i + len..].chars().next();
+    !matches!(pre, Some(c) if c.is_alphanumeric() || c == '_')
+        && !matches!(post, Some(c) if c.is_alphanumeric() || c == '_')
+}
+
+/// Lint one file's contents. `det_exempt` relaxes the `std-sync` rule
+/// (crates/det is the one place allowed to wrap the ambient primitives).
+pub fn lint_source(path: &Path, src: &str, det_exempt: bool) -> Vec<Finding> {
+    let mut out = Vec::new();
+    let lines: Vec<&str> = src.lines().collect();
+
+    // Patterns are assembled at runtime so this file does not flag itself.
+    let std_sync = format!("std::{}::", "sync");
+    let std_time = format!("std::{}", "time");
+    let rand_root = format!("{}::", "rand");
+    let banned_sync = ["Mutex", "RwLock", "Condvar"];
+    let lock_unwrap = format!(".lock().{}()", "unwrap");
+    let lock_expect = format!(".lock().{}(", "expect");
+    let event_path = format!("{}Event::", "Trace");
+
+    for (idx, line) in lines.iter().enumerate() {
+        let lineno = idx + 1;
+
+        // Pure comment lines are prose, not code — they cannot violate a
+        // hermeticity invariant (and rule docs legitimately name the
+        // banned paths).
+        if line.trim_start().starts_with("//") {
+            continue;
+        }
+
+        // --- std-sync ---------------------------------------------------
+        if !det_exempt {
+            if let Some(pos) = line.find(&std_sync) {
+                if !waived(&lines, idx, "std-sync") {
+                    // Join continuation lines of a multi-line `use` group up
+                    // to the terminating `;` so `use std::sync::{\n Mutex,`
+                    // cannot slip through.
+                    let mut stmt = line[pos..].to_string();
+                    let mut j = idx;
+                    while !stmt.contains(';') && j + 1 < lines.len() && j - idx < 16 {
+                        j += 1;
+                        stmt.push_str(lines[j]);
+                    }
+                    let stmt = stmt.split(';').next().unwrap_or(&stmt);
+                    if let Some(p) = banned_sync.iter().find(|p| {
+                        stmt.match_indices(*p)
+                            .any(|(i, _)| ident_at(stmt, i, p.len()))
+                    }) {
+                        out.push(Finding {
+                            path: path.to_path_buf(),
+                            line: lineno,
+                            rule: "std-sync",
+                            message: format!(
+                                "ambient std::{}::{p} is banned outside crates/det; \
+                                 use scioto_det::sync::{p}",
+                                "sync"
+                            ),
+                        });
+                    }
+                }
+            }
+        }
+
+        // --- wallclock --------------------------------------------------
+        if line.contains(&std_time) && !waived(&lines, idx, "wallclock") {
+            out.push(Finding {
+                path: path.to_path_buf(),
+                line: lineno,
+                rule: "wallclock",
+                message: format!(
+                    "std::{} is banned; use the simulator's virtual clock (Ctx::now_ns)",
+                    "time"
+                ),
+            });
+        }
+        if line
+            .match_indices(&rand_root)
+            .any(|(i, _)| path_root_at(line, i))
+            && !waived(&lines, idx, "wallclock")
+        {
+            out.push(Finding {
+                path: path.to_path_buf(),
+                line: lineno,
+                rule: "wallclock",
+                message: format!(
+                    "ambient {}:: is banned; use the in-tree deterministic RNG \
+                     (scioto_det::rng)",
+                    "rand"
+                ),
+            });
+        }
+
+        // --- trace-closure ----------------------------------------------
+        // Emission must defer construction: `.trace(|| TraceEvent::..)`.
+        // Flag call sites that pass a pre-built event, including the
+        // event spilling to the next line.
+        for call in [".trace(", ".emit("] {
+            for (i, _) in line.match_indices(call) {
+                let after = &line[i + call.len()..];
+                let arg_zone = if let Some(ep) = after.find(&event_path) {
+                    Some((&after[..ep], lineno))
+                } else if after.trim_end().is_empty() {
+                    // Call continues on the next line.
+                    match lines.get(idx + 1) {
+                        Some(next) if next.contains(&event_path) => {
+                            let ep = next.find(&event_path).unwrap_or(0);
+                            Some((&next[..ep], lineno + 1))
+                        }
+                        _ => None,
+                    }
+                } else {
+                    None
+                };
+                if let Some((before_event, at)) = arg_zone {
+                    if !before_event.contains("||") && !waived(&lines, idx, "trace-closure") {
+                        out.push(Finding {
+                            path: path.to_path_buf(),
+                            line: at,
+                            rule: "trace-closure",
+                            message: format!(
+                                "trace emission must defer event construction: \
+                                 pass a closure (`|| {}..`), not a built event",
+                                event_path
+                            ),
+                        });
+                    }
+                }
+            }
+        }
+
+        // --- lock-unwrap ------------------------------------------------
+        if (line.contains(&lock_unwrap) || line.contains(&lock_expect))
+            && !waived(&lines, idx, "lock-unwrap")
+        {
+            out.push(Finding {
+                path: path.to_path_buf(),
+                line: lineno,
+                rule: "lock-unwrap",
+                message: "unwrap/expect on a lock result; scioto_det::sync locks \
+                          cannot poison and return the guard directly"
+                    .to_string(),
+            });
+        }
+    }
+    out
+}
+
+/// Recursively lint every `.rs` file under `root`, skipping `target/`
+/// build directories. Files whose path contains a `crates/det` component
+/// are exempt from the `std-sync` rule.
+pub fn lint_tree(root: &Path) -> std::io::Result<Vec<Finding>> {
+    let mut findings = Vec::new();
+    let mut stack = vec![root.to_path_buf()];
+    let mut files = Vec::new();
+    while let Some(dir) = stack.pop() {
+        for entry in std::fs::read_dir(&dir)? {
+            let entry = entry?;
+            let p = entry.path();
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if p.is_dir() {
+                if name != "target" && !name.starts_with('.') {
+                    stack.push(p);
+                }
+            } else if name.ends_with(".rs") {
+                files.push(p);
+            }
+        }
+    }
+    files.sort();
+    for p in files {
+        let src = std::fs::read_to_string(&p)?;
+        let det_exempt = p
+            .components()
+            .collect::<Vec<_>>()
+            .windows(2)
+            .any(|w| w[0].as_os_str() == "crates" && w[1].as_os_str() == "det");
+        findings.extend(lint_source(&p, &src, det_exempt));
+    }
+    Ok(findings)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lint_str(src: &str) -> Vec<Finding> {
+        lint_source(Path::new("fixture.rs"), src, false)
+    }
+
+    #[test]
+    fn flags_planted_std_sync_mutex() {
+        let src = format!("use std::{}::Mutex;\nfn f() {{}}\n", "sync");
+        let f = lint_str(&src);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, "std-sync");
+        assert_eq!(f[0].line, 1);
+    }
+
+    #[test]
+    fn flags_multiline_use_group() {
+        let src = format!(
+            "use std::{}::{{\n    Arc,\n    RwLock,\n}};\n",
+            "sync"
+        );
+        let f = lint_str(&src);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, "std-sync");
+    }
+
+    #[test]
+    fn arc_and_atomics_are_fine() {
+        let src = format!(
+            "use std::{}::Arc;\nuse std::{}::atomic::AtomicU64;\n",
+            "sync", "sync"
+        );
+        assert!(lint_str(&src).is_empty());
+    }
+
+    #[test]
+    fn det_crate_is_exempt_from_std_sync() {
+        let src = format!("use std::{}::Mutex;\n", "sync");
+        let path = Path::new("crates/det/src/sync.rs");
+        assert!(lint_source(path, &src, true).is_empty());
+    }
+
+    #[test]
+    fn flags_wallclock_and_ambient_rand() {
+        let src = format!(
+            "use std::{}::Instant;\nlet x = {}::random();\n",
+            "time", "rand"
+        );
+        let f = lint_str(&src);
+        assert_eq!(f.len(), 2, "{f:?}");
+        assert!(f.iter().all(|f| f.rule == "wallclock"));
+    }
+
+    #[test]
+    fn in_tree_rng_path_is_not_ambient_rand() {
+        let src = "use scioto_det::rand::Pcg32;\nlet r = det::rand::seed(7);\n";
+        assert!(lint_str(src).is_empty());
+    }
+
+    #[test]
+    fn waiver_comment_suppresses_finding() {
+        let src = format!(
+            "// scioto-lint: allow(wallclock)\nuse std::{}::Instant;\n\
+             use std::{}::SystemTime; // scioto-lint: allow(wallclock)\n",
+            "time", "time"
+        );
+        assert!(lint_str(&src).is_empty());
+    }
+
+    #[test]
+    fn flags_eager_trace_event_construction() {
+        let eager = format!("ctx.trace({}Event::Block);\n", "Trace");
+        let f = lint_str(&eager);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, "trace-closure");
+
+        let spilled = format!("ctx.trace(\n    {}Event::Block,\n);\n", "Trace");
+        let f = lint_str(&spilled);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].line, 2);
+    }
+
+    #[test]
+    fn deferred_closure_emission_is_fine() {
+        let src = format!(
+            "ctx.trace(|| {}Event::Block);\n\
+             self.emit(rank, || {}Event::Steal {{ victim }});\n",
+            "Trace", "Trace"
+        );
+        assert!(lint_str(&src).is_empty());
+    }
+
+    #[test]
+    fn flags_lock_unwrap() {
+        let src = format!("let g = m.lock().{}();\n", "unwrap");
+        let f = lint_str(&src);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, "lock-unwrap");
+    }
+
+    #[test]
+    fn real_tree_is_clean() {
+        // The repo root is two levels up from this crate.
+        let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+            .parent()
+            .and_then(Path::parent)
+            .expect("workspace root");
+        let findings: Vec<Finding> = ["crates", "src"]
+            .iter()
+            .map(|d| root.join(d))
+            .filter(|p| p.is_dir())
+            .flat_map(|p| lint_tree(&p).expect("walk"))
+            .collect();
+        assert!(
+            findings.is_empty(),
+            "lint findings in tree:\n{}",
+            findings
+                .iter()
+                .map(|f| f.to_string())
+                .collect::<Vec<_>>()
+                .join("\n")
+        );
+    }
+}

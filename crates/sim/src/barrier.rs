@@ -60,6 +60,7 @@ impl SimBarrier {
             kernel.advance_to(rank, release);
             kernel.emit(rank, || TraceEvent::BarrierWait {
                 dur_ns: kernel.clock(rank).saturating_sub(arrival),
+                epoch: my_generation,
             });
             return;
         }
@@ -72,6 +73,7 @@ impl SimBarrier {
                 drop(st);
                 kernel.emit(rank, || TraceEvent::BarrierWait {
                     dur_ns: kernel.clock(rank).saturating_sub(arrival),
+                    epoch: my_generation,
                 });
                 return;
             }

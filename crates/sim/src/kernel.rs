@@ -3,7 +3,7 @@
 //! rank panics, and deadlock detection.
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::time::Instant;
+use std::time::Instant; // scioto-lint: allow(wallclock)
 
 use scioto_det::sync::{Condvar, Mutex};
 

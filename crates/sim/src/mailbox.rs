@@ -24,6 +24,9 @@ pub struct Msg {
     pub data: Vec<u8>,
     /// Virtual time at which the message became visible at the destination.
     pub arrival: u64,
+    /// Per-destination delivery sequence number (assigned at send time);
+    /// pairs the trace's `MsgSend` and `MsgRecv` events exactly.
+    pub seq: u64,
 }
 
 /// Source/tag matching for receives, mirroring MPI's
@@ -63,17 +66,27 @@ impl MsgFilter {
     }
 }
 
+/// One destination rank's mailbox: the queued messages plus the
+/// sequence counter stamped onto each delivery.
+#[derive(Default)]
+struct MailboxState {
+    queue: VecDeque<Msg>,
+    next_seq: u64,
+}
+
 /// One mailbox per destination rank. Created collectively (one router per
-/// communicator).
+/// communicator). Delivery sequence numbers are per destination and per
+/// router, so `MsgSend`/`MsgRecv` trace pairing assumes one router per
+/// machine (which `Comm::world` guarantees).
 pub struct MailboxRouter {
-    boxes: Vec<Mutex<VecDeque<Msg>>>,
+    boxes: Vec<Mutex<MailboxState>>,
 }
 
 impl MailboxRouter {
     /// Create a router for `n` ranks.
     pub fn new(n: usize) -> Self {
         MailboxRouter {
-            boxes: (0..n).map(|_| Mutex::new(VecDeque::new())).collect(),
+            boxes: (0..n).map(|_| Mutex::new(MailboxState::default())).collect(),
         }
     }
 
@@ -96,15 +109,24 @@ impl MailboxRouter {
             .events
             .messages
             .fetch_add(1, Ordering::Relaxed);
+        let bytes = data.len() as u32;
+        let seq = {
+            let mut b = self.boxes[dst].lock();
+            let seq = b.next_seq;
+            b.next_seq += 1;
+            b.queue.push_back(Msg {
+                src: ctx.rank(),
+                tag,
+                data,
+                arrival,
+                seq,
+            });
+            seq
+        };
         ctx.trace(|| crate::trace::TraceEvent::MsgSend {
             dst: dst as u32,
-            bytes: data.len() as u32,
-        });
-        self.boxes[dst].lock().push_back(Msg {
-            src: ctx.rank(),
-            tag,
-            data,
-            arrival,
+            bytes,
+            seq,
         });
         ctx.unblock(dst, arrival);
     }
@@ -116,6 +138,7 @@ impl MailboxRouter {
         let now = ctx.now();
         self.boxes[ctx.rank()]
             .lock()
+            .queue
             .iter()
             .any(|m| filter.matches(m) && m.arrival <= now)
     }
@@ -124,11 +147,18 @@ impl MailboxRouter {
     pub fn try_recv(&self, ctx: &Ctx, filter: MsgFilter) -> Option<Msg> {
         ctx.yield_point();
         let now = ctx.now();
-        let mut q = self.boxes[ctx.rank()].lock();
-        let idx = q
+        let mut b = self.boxes[ctx.rank()].lock();
+        let idx = b
+            .queue
             .iter()
             .position(|m| filter.matches(m) && m.arrival <= now)?;
-        q.remove(idx)
+        let m = b.queue.remove(idx)?;
+        drop(b);
+        ctx.trace(|| crate::trace::TraceEvent::MsgRecv {
+            src: m.src as u32,
+            seq: m.seq,
+        });
+        Some(m)
     }
 
     /// Blocking receive: waits for a matching message (visible or still in
@@ -138,18 +168,23 @@ impl MailboxRouter {
         let rank = ctx.rank();
         loop {
             {
-                let mut q = self.boxes[rank].lock();
+                let mut b = self.boxes[rank].lock();
                 // Earliest-arrival matching message, FIFO within ties.
-                let best = q
+                let best = b
+                    .queue
                     .iter()
                     .enumerate()
                     .filter(|(_, m)| filter.matches(m))
                     .min_by_key(|(i, m)| (m.arrival, *i))
                     .map(|(i, _)| i);
                 if let Some(i) = best {
-                    let m = q.remove(i).expect("index valid");
-                    drop(q);
+                    let m = b.queue.remove(i).expect("index valid");
+                    drop(b);
                     ctx.advance_to(m.arrival);
+                    ctx.trace(|| crate::trace::TraceEvent::MsgRecv {
+                        src: m.src as u32,
+                        seq: m.seq,
+                    });
                     return m;
                 }
             }
@@ -159,7 +194,7 @@ impl MailboxRouter {
 
     /// Number of queued (visible or in-flight) messages for `rank`.
     pub fn pending(&self, rank: usize) -> usize {
-        self.boxes[rank].lock().len()
+        self.boxes[rank].lock().queue.len()
     }
 }
 

@@ -68,7 +68,7 @@ impl Default for TraceConfig {
 }
 
 /// Direction of a termination-detection wave event.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum WaveDir {
     /// Wave token propagating down the spanning tree.
     Down,
@@ -100,10 +100,6 @@ pub enum RemoteOpKind {
     Acc,
     /// Atomic read-modify-write.
     Rmw,
-    /// Remote lock acquire.
-    Lock,
-    /// Remote lock release.
-    Unlock,
 }
 
 impl RemoteOpKind {
@@ -114,9 +110,18 @@ impl RemoteOpKind {
             RemoteOpKind::Get => "get",
             RemoteOpKind::Acc => "acc",
             RemoteOpKind::Rmw => "rmw",
-            RemoteOpKind::Lock => "lock",
-            RemoteOpKind::Unlock => "unlock",
         }
+    }
+
+    /// Does this operation write the target memory?
+    pub fn is_write(self) -> bool {
+        !matches!(self, RemoteOpKind::Get)
+    }
+
+    /// Is this operation atomic by nature (acc/rmw execute under the
+    /// target word's hot-word lock)?
+    pub fn is_atomic(self) -> bool {
+        matches!(self, RemoteOpKind::Acc | RemoteOpKind::Rmw)
     }
 }
 
@@ -170,6 +175,10 @@ pub enum TraceEvent {
     BarrierWait {
         /// Release minus this rank's arrival, virtual ns.
         dur_ns: u64,
+        /// Barrier generation: the `epoch`-th barrier episode of the run.
+        /// All ranks participating in one episode carry the same epoch, so
+        /// a happens-before consumer can join their clocks exactly.
+        epoch: u64,
     },
     /// One termination-detection poll (`WaveDetector::progress`-level)
     /// completed, spanning `dur_ns`. Only emitted when `dur_ns > 0`.
@@ -218,15 +227,77 @@ pub enum TraceEvent {
         dst: u32,
         /// Payload bytes.
         bytes: u32,
+        /// Per-destination delivery sequence number: the matching
+        /// [`TraceEvent::MsgRecv`] on `dst` carries the same `seq`, giving
+        /// the race engine an exact send→recv synchronization edge.
+        seq: u64,
     },
-    /// A one-sided remote operation against `target`.
+    /// A two-sided message was received (dequeued) from `src`. Matches
+    /// the [`TraceEvent::MsgSend`] with `dst == rank` and the same `seq`.
+    MsgRecv {
+        /// Source rank.
+        src: u32,
+        /// Delivery sequence number assigned at send time.
+        seq: u64,
+    },
+    /// A one-sided remote operation against global memory at
+    /// `(target, seg, offset)`.
     RemoteOp {
         /// Operation kind.
         kind: RemoteOpKind,
         /// Target rank.
         target: u32,
-        /// Bytes transferred (0 for lock/unlock).
+        /// Global-memory segment id (`Gmem::id`).
+        seg: u32,
+        /// Byte offset of the access within the target's segment slice.
+        offset: u64,
+        /// Bytes transferred.
         bytes: u32,
+        /// Protocol-atomic put/get: a single-word access the runtime
+        /// declares safe against concurrent plain accesses (lock-free
+        /// index publishes of the split-queue protocol). Always true for
+        /// acc/rmw kinds.
+        atomic: bool,
+    },
+    /// An owner-side (local, non-ARMCI) access to global memory: the
+    /// split-queue owner touching its own queue through
+    /// `with_local_range`. Target is the emitting rank itself.
+    LocalAccess {
+        /// Global-memory segment id (`Gmem::id`).
+        seg: u32,
+        /// Byte offset of the access within this rank's segment slice.
+        offset: u64,
+        /// Bytes touched.
+        bytes: u32,
+        /// Write (true) or read (false).
+        write: bool,
+        /// Single-word access the protocol declares atomic.
+        atomic: bool,
+    },
+    /// An ARMCI mutex was acquired (`seq`-th ownership of that mutex).
+    /// Together with [`TraceEvent::LockRel`] this yields release→acquire
+    /// synchronization edges: acquire `seq` is ordered after release
+    /// `seq - 1` of the same `(target, set, idx)` mutex.
+    LockAcq {
+        /// Rank hosting the mutex.
+        target: u32,
+        /// Mutex-set id (creation order within the ARMCI world).
+        set: u32,
+        /// Mutex index within the set.
+        idx: u32,
+        /// Ownership generation of this mutex instance.
+        seq: u64,
+    },
+    /// The matching release of a [`TraceEvent::LockAcq`] (same `seq`).
+    LockRel {
+        /// Rank hosting the mutex.
+        target: u32,
+        /// Mutex-set id (creation order within the ARMCI world).
+        set: u32,
+        /// Mutex index within the set.
+        idx: u32,
+        /// Ownership generation being ended.
+        seq: u64,
     },
 }
 
@@ -247,7 +318,11 @@ impl TraceEvent {
             TraceEvent::Block => "Block",
             TraceEvent::Unblock { .. } => "Unblock",
             TraceEvent::MsgSend { .. } => "MsgSend",
+            TraceEvent::MsgRecv { .. } => "MsgRecv",
             TraceEvent::RemoteOp { .. } => "RemoteOp",
+            TraceEvent::LocalAccess { .. } => "LocalAccess",
+            TraceEvent::LockAcq { .. } => "LockAcq",
+            TraceEvent::LockRel { .. } => "LockRel",
         }
     }
 
@@ -268,7 +343,10 @@ impl TraceEvent {
             TraceEvent::LockWait { target, dur_ns } => {
                 let _ = write!(out, "\"target\":{target},\"dur\":{dur_ns}");
             }
-            TraceEvent::BarrierWait { dur_ns } | TraceEvent::TdProgress { dur_ns } => {
+            TraceEvent::BarrierWait { dur_ns, epoch } => {
+                let _ = write!(out, "\"dur\":{dur_ns},\"epoch\":{epoch}");
+            }
+            TraceEvent::TdProgress { dur_ns } => {
                 let _ = write!(out, "\"dur\":{dur_ns}");
             }
             TraceEvent::SplitRelease { moved } | TraceEvent::SplitReclaim { moved } => {
@@ -288,19 +366,43 @@ impl TraceEvent {
             TraceEvent::Unblock { target } => {
                 let _ = write!(out, "\"target\":{target}");
             }
-            TraceEvent::MsgSend { dst, bytes } => {
-                let _ = write!(out, "\"dst\":{dst},\"bytes\":{bytes}");
+            TraceEvent::MsgSend { dst, bytes, seq } => {
+                let _ = write!(out, "\"dst\":{dst},\"bytes\":{bytes},\"seq\":{seq}");
+            }
+            TraceEvent::MsgRecv { src, seq } => {
+                let _ = write!(out, "\"src\":{src},\"seq\":{seq}");
             }
             TraceEvent::RemoteOp {
                 kind,
                 target,
+                seg,
+                offset,
                 bytes,
+                atomic,
             } => {
                 let _ = write!(
                     out,
-                    "\"kind\":\"{}\",\"target\":{target},\"bytes\":{bytes}",
+                    "\"kind\":\"{}\",\"target\":{target},\"seg\":{seg},\"off\":{offset},\
+                     \"bytes\":{bytes},\"atomic\":{atomic}",
                     kind.name()
                 );
+            }
+            TraceEvent::LocalAccess {
+                seg,
+                offset,
+                bytes,
+                write,
+                atomic,
+            } => {
+                let _ = write!(
+                    out,
+                    "\"seg\":{seg},\"off\":{offset},\"bytes\":{bytes},\
+                     \"write\":{write},\"atomic\":{atomic}"
+                );
+            }
+            TraceEvent::LockAcq { target, set, idx, seq }
+            | TraceEvent::LockRel { target, set, idx, seq } => {
+                let _ = write!(out, "\"target\":{target},\"set\":{set},\"idx\":{idx},\"seq\":{seq}");
             }
         }
     }
@@ -360,7 +462,7 @@ impl RankRing {
 ///
 /// Bucketing is exact and integer-only, so merged histograms and their
 /// summaries are deterministic.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct VtHistogram {
     buckets: [u64; HIST_BUCKETS],
     count: u64,
@@ -485,6 +587,41 @@ impl VtHistogram {
     pub fn buckets(&self) -> &[u64; HIST_BUCKETS] {
         &self.buckets
     }
+
+    /// Non-empty buckets as `(index, count)` pairs flattened into one
+    /// array — the compact form the JSONL exporter writes.
+    pub fn sparse_buckets(&self) -> Vec<u64> {
+        let mut out = Vec::new();
+        for (i, &c) in self.buckets.iter().enumerate() {
+            if c > 0 {
+                out.push(i as u64);
+                out.push(c);
+            }
+        }
+        out
+    }
+
+    /// Rebuild a histogram from its serialized parts: the sparse
+    /// `(index, count)` pair array of [`VtHistogram::sparse_buckets`] plus
+    /// the summary fields. Used by the JSONL re-parser; rejects bucket
+    /// indices out of range or a ragged pair array.
+    pub fn from_parts(sparse: &[u64], count: u64, sum: u64, min: u64, max: u64) -> Option<Self> {
+        if sparse.len() % 2 != 0 {
+            return None;
+        }
+        let mut h = VtHistogram {
+            buckets: [0; HIST_BUCKETS],
+            count,
+            sum,
+            min: if count == 0 { u64::MAX } else { min },
+            max,
+        };
+        for pair in sparse.chunks_exact(2) {
+            let i = usize::try_from(pair[0]).ok().filter(|&i| i < HIST_BUCKETS)?;
+            h.buckets[i] = pair[1];
+        }
+        Some(h)
+    }
 }
 
 /// A sampled gauge: tracks last, max and mean of the sampled values.
@@ -604,8 +741,21 @@ impl TraceSink {
             events,
             dropped,
             final_clock_ns: Vec::new(),
-            hists: b.hists.iter().map(|h| h.lock().clone()).collect(),
-            gauges: b.gauges.iter().map(|g| g.lock().clone()).collect(),
+            hists: b
+                .hists
+                .iter()
+                .map(|h| {
+                    h.lock()
+                        .iter()
+                        .map(|(k, v)| (k.to_string(), v.clone()))
+                        .collect()
+                })
+                .collect(),
+            gauges: b
+                .gauges
+                .iter()
+                .map(|g| g.lock().iter().map(|(k, v)| (k.to_string(), *v)).collect())
+                .collect(),
         })
     }
 }
@@ -625,9 +775,9 @@ pub struct Trace {
     /// [`Trace::elapsed_ns`]).
     pub final_clock_ns: Vec<u64>,
     /// Per-rank virtual-time histograms, keyed by metric name.
-    pub hists: Vec<BTreeMap<&'static str, VtHistogram>>,
+    pub hists: Vec<BTreeMap<String, VtHistogram>>,
     /// Per-rank gauges, keyed by metric name.
-    pub gauges: Vec<BTreeMap<&'static str, Gauge>>,
+    pub gauges: Vec<BTreeMap<String, Gauge>>,
 }
 
 impl Trace {
@@ -707,13 +857,15 @@ impl Trace {
     }
 
     /// Flat JSONL dump: a meta header line (`{"meta":...}` with rank
-    /// count, per-rank drop counts and final clocks) followed by one JSON
-    /// object per event, rank-major then chronological, timestamps in
-    /// exact virtual nanoseconds. The header makes a JSONL file
-    /// self-contained for re-analysis (`scioto-analyze` reads it back).
+    /// count, per-rank drop counts and final clocks), one line per
+    /// histogram and gauge registry entry (rank-major, name order), then
+    /// one JSON object per event, rank-major then chronological,
+    /// timestamps in exact virtual nanoseconds. The header and metric
+    /// lines make a JSONL file self-contained for re-analysis
+    /// (`scioto-analyze` reads all of it back, distributions included).
     pub fn to_jsonl(&self) -> String {
         let mut out = String::with_capacity(64 * self.total_events());
-        let _ = write!(out, "{{\"meta\":\"scioto-trace\",\"version\":2,\"ranks\":{}", self.nranks());
+        let _ = write!(out, "{{\"meta\":\"scioto-trace\",\"version\":3,\"ranks\":{}", self.nranks());
         out.push_str(",\"dropped\":[");
         for (i, d) in self.dropped.iter().enumerate() {
             let _ = write!(out, "{}{d}", if i == 0 { "" } else { "," });
@@ -723,6 +875,33 @@ impl Trace {
             let _ = write!(out, "{}{c}", if i == 0 { "" } else { "," });
         }
         out.push_str("]}\n");
+        for (rank, per_rank) in self.hists.iter().enumerate() {
+            for (name, h) in per_rank {
+                let _ = write!(
+                    out,
+                    "{{\"hist\":\"{name}\",\"rank\":{rank},\"count\":{},\"sum\":{},\
+                     \"min\":{},\"max\":{},\"buckets\":[",
+                    h.count(),
+                    h.sum(),
+                    h.min(),
+                    h.max()
+                );
+                for (i, v) in h.sparse_buckets().iter().enumerate() {
+                    let _ = write!(out, "{}{v}", if i == 0 { "" } else { "," });
+                }
+                out.push_str("]}\n");
+            }
+        }
+        for (rank, per_rank) in self.gauges.iter().enumerate() {
+            for (name, g) in per_rank {
+                let _ = write!(
+                    out,
+                    "{{\"gauge\":\"{name}\",\"rank\":{rank},\"samples\":{},\"sum\":{},\
+                     \"max\":{},\"last\":{}}}\n",
+                    g.samples, g.sum, g.max, g.last
+                );
+            }
+        }
         for (rank, events) in self.events.iter().enumerate() {
             for e in events {
                 let _ = write!(out, "{{\"rank\":{rank},\"t\":{},\"ev\":\"{}\"", e.t_ns, e.event.name());
@@ -773,10 +952,10 @@ impl Trace {
         for (k, c) in &kinds {
             let _ = writeln!(out, "  {k:<16} {c}");
         }
-        let mut hist_names: Vec<&'static str> = Vec::new();
+        let mut hist_names: Vec<&str> = Vec::new();
         for per_rank in &self.hists {
             for k in per_rank.keys() {
-                if !hist_names.contains(k) {
+                if !hist_names.contains(&k.as_str()) {
                     hist_names.push(k);
                 }
             }
@@ -797,10 +976,10 @@ impl Trace {
                 }
             }
         }
-        let mut gauge_names: Vec<&'static str> = Vec::new();
+        let mut gauge_names: Vec<&str> = Vec::new();
         for per_rank in &self.gauges {
             for k in per_rank.keys() {
-                if !gauge_names.contains(k) {
+                if !gauge_names.contains(&k.as_str()) {
                     gauge_names.push(k);
                 }
             }
@@ -851,7 +1030,7 @@ fn chrome_event(out: &mut String, rank: usize, e: &StampedEvent) {
         }
         TraceEvent::StealAttempt { dur_ns, .. }
         | TraceEvent::LockWait { dur_ns, .. }
-        | TraceEvent::BarrierWait { dur_ns }
+        | TraceEvent::BarrierWait { dur_ns, .. }
         | TraceEvent::TdProgress { dur_ns } => {
             // Stamped at completion: render as a complete (X) event whose
             // ts is the span start.
@@ -1224,7 +1403,11 @@ mod tests {
     fn jsonl_export_lines_each_parse() {
         let t = synthetic_trace();
         let jsonl = t.to_jsonl();
-        assert_eq!(jsonl.lines().count(), 6, "meta header + 5 events");
+        assert_eq!(
+            jsonl.lines().count(),
+            8,
+            "meta header + 1 hist + 1 gauge + 5 events"
+        );
         for line in jsonl.lines() {
             validate_json(line).expect("every JSONL line must parse");
         }
@@ -1235,6 +1418,86 @@ mod tests {
         assert!(jsonl.contains("\"ev\":\"TdWave\""));
         assert!(jsonl.contains("\"dir\":\"down\""));
         assert!(jsonl.contains("\"victim\":1,\"got\":2,\"dur\":8"));
+        // Metric registries ride along as their own lines.
+        assert!(jsonl.contains(
+            "{\"hist\":\"task_exec_ns\",\"rank\":0,\"count\":1,\"sum\":40,\
+             \"min\":40,\"max\":40,\"buckets\":[6,1]}"
+        ));
+        assert!(jsonl.contains(
+            "{\"gauge\":\"queue_local\",\"rank\":1,\"samples\":1,\"sum\":3,\
+             \"max\":3,\"last\":3}"
+        ));
+    }
+
+    #[test]
+    fn histogram_from_parts_round_trips() {
+        let mut h = VtHistogram::default();
+        for v in [0, 7, 7, 1_000, u64::MAX] {
+            h.record(v);
+        }
+        let back = VtHistogram::from_parts(
+            &h.sparse_buckets(),
+            h.count(),
+            h.sum(),
+            h.min(),
+            h.max(),
+        )
+        .expect("round trip");
+        assert_eq!(back.buckets(), h.buckets());
+        assert_eq!(back.count(), h.count());
+        assert_eq!(back.sum(), h.sum());
+        assert_eq!(back.min(), h.min());
+        assert_eq!(back.max(), h.max());
+        assert_eq!(back.quantile_upper_bound(0.5), h.quantile_upper_bound(0.5));
+        // Ragged pair arrays and out-of-range indices are rejected.
+        assert!(VtHistogram::from_parts(&[1], 1, 1, 1, 1).is_none());
+        assert!(VtHistogram::from_parts(&[65, 1], 1, 1, 1, 1).is_none());
+    }
+
+    #[test]
+    fn sync_and_access_events_serialize_their_fields() {
+        let sink = TraceSink::new(&TraceConfig::enabled(), 2);
+        sink.emit(0, 10, || TraceEvent::LockAcq { target: 1, set: 0, idx: 3, seq: 2 });
+        sink.emit(0, 20, || TraceEvent::RemoteOp {
+            kind: RemoteOpKind::Put,
+            target: 1,
+            seg: 4,
+            offset: 128,
+            bytes: 8,
+            atomic: true,
+        });
+        sink.emit(0, 30, || TraceEvent::LockRel { target: 1, set: 0, idx: 3, seq: 2 });
+        sink.emit(1, 5, || TraceEvent::LocalAccess {
+            seg: 4,
+            offset: 136,
+            bytes: 16,
+            write: true,
+            atomic: false,
+        });
+        sink.emit(1, 8, || TraceEvent::MsgSend { dst: 0, bytes: 24, seq: 7 });
+        sink.emit(1, 9, || TraceEvent::MsgRecv { src: 0, seq: 7 });
+        sink.emit(1, 12, || TraceEvent::BarrierWait { dur_ns: 4, epoch: 1 });
+        let t = sink.finish().unwrap();
+        let jsonl = t.to_jsonl();
+        for line in jsonl.lines() {
+            validate_json(line).expect("every JSONL line must parse");
+        }
+        assert!(jsonl.contains(
+            "\"ev\":\"LockAcq\",\"target\":1,\"set\":0,\"idx\":3,\"seq\":2"
+        ));
+        assert!(jsonl.contains(
+            "\"ev\":\"RemoteOp\",\"kind\":\"put\",\"target\":1,\"seg\":4,\"off\":128,\
+             \"bytes\":8,\"atomic\":true"
+        ));
+        assert!(jsonl.contains(
+            "\"ev\":\"LocalAccess\",\"seg\":4,\"off\":136,\"bytes\":16,\
+             \"write\":true,\"atomic\":false"
+        ));
+        assert!(jsonl.contains("\"ev\":\"MsgSend\",\"dst\":0,\"bytes\":24,\"seq\":7"));
+        assert!(jsonl.contains("\"ev\":\"MsgRecv\",\"src\":0,\"seq\":7"));
+        assert!(jsonl.contains("\"ev\":\"BarrierWait\",\"dur\":4,\"epoch\":1"));
+        // The chrome exporter must also accept every new variant.
+        validate_json(&t.to_chrome_json()).expect("chrome export must be valid JSON");
     }
 
     #[test]

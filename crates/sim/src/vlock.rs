@@ -14,6 +14,14 @@ use crate::ctx::Ctx;
 
 struct LState {
     holder: Option<usize>,
+    /// True between a releaser handing the lock to a waiter and that
+    /// waiter waking to claim it — distinguishes the hand-off path from a
+    /// re-entrant acquire by the current holder (which is an error).
+    handed: bool,
+    /// Ownership generation of the current/most recent holder. The n-th
+    /// successful acquire of this lock observes `gen == n` (1-based), so
+    /// acquire `n` is ordered after release `n - 1` in a trace.
+    gen: u64,
     waiters: VecDeque<usize>,
     /// Virtual time of the last release (lower bound for the next acquire).
     free_at: u64,
@@ -37,6 +45,8 @@ impl VLock {
         VLock {
             state: Mutex::new(LState {
                 holder: None,
+                handed: false,
+                gen: 0,
                 waiters: VecDeque::new(),
                 free_at: 0,
             }),
@@ -45,24 +55,38 @@ impl VLock {
 
     /// Acquire the lock, charging `cost` ns (one remote RMW) on success.
     /// Blocks (in virtual time) while another rank holds the lock.
-    pub fn acquire(&self, ctx: &Ctx, cost: u64) {
+    /// Returns the ownership generation (1-based): acquire `n` is ordered
+    /// after release `n - 1` of the same lock.
+    ///
+    /// # Panics
+    /// Panics if the calling rank already holds the lock (`VLock` is not
+    /// re-entrant; a real ARMCI mutex would deadlock here).
+    pub fn acquire(&self, ctx: &Ctx, cost: u64) -> u64 {
         ctx.yield_point();
         let rank = ctx.rank();
         let mut enqueued = false;
-        loop {
+        let seq = loop {
             let mut st = self.state.lock();
             match st.holder {
-                // Hand-off from a releaser already made us the holder.
                 Some(h) if h == rank => {
+                    assert!(
+                        st.handed,
+                        "VLock acquired re-entrantly by rank {rank} which already holds it"
+                    );
+                    // Hand-off from a releaser already made us the holder.
+                    st.handed = false;
+                    let seq = st.gen;
                     drop(st);
-                    break;
+                    break seq;
                 }
                 None => {
                     st.holder = Some(rank);
+                    st.gen += 1;
+                    let seq = st.gen;
                     let free_at = st.free_at;
                     drop(st);
                     ctx.advance_to(free_at);
-                    break;
+                    break seq;
                 }
                 Some(_) => {
                     if !enqueued {
@@ -73,34 +97,48 @@ impl VLock {
                     ctx.block();
                 }
             }
-        }
+        };
         ctx.charge_net(cost);
+        seq
     }
 
     /// Try to acquire without blocking. Charges `cost` ns whether or not
     /// the attempt succeeds (the RMW round-trip happens either way).
-    pub fn try_acquire(&self, ctx: &Ctx, cost: u64) -> bool {
+    /// Returns the ownership generation on success, `None` when another
+    /// rank holds the lock.
+    ///
+    /// # Panics
+    /// Panics if the calling rank already holds the lock.
+    pub fn try_acquire(&self, ctx: &Ctx, cost: u64) -> Option<u64> {
         ctx.yield_point();
         let rank = ctx.rank();
         let mut st = self.state.lock();
-        let ok = match st.holder {
+        let got = match st.holder {
             None => {
                 st.holder = Some(rank);
-                true
+                st.gen += 1;
+                Some(st.gen)
             }
-            Some(h) => h == rank,
+            Some(h) => {
+                assert!(
+                    h != rank,
+                    "VLock try-acquired re-entrantly by rank {rank} which already holds it"
+                );
+                None
+            }
         };
         drop(st);
         ctx.charge_net(cost);
-        ok
+        got
     }
 
     /// Release the lock, charging `cost` ns, and hand it to the first
-    /// waiter (FIFO) if any.
+    /// waiter (FIFO) if any. Returns the ownership generation being ended
+    /// (the value the matching acquire returned).
     ///
     /// # Panics
     /// Panics if the calling rank does not hold the lock.
-    pub fn release(&self, ctx: &Ctx, cost: u64) {
+    pub fn release(&self, ctx: &Ctx, cost: u64) -> u64 {
         ctx.charge_net(cost);
         let rank = ctx.rank();
         let now = ctx.now();
@@ -111,14 +149,18 @@ impl VLock {
             "VLock released by rank {} which does not hold it",
             rank
         );
+        let seq = st.gen;
         st.free_at = now;
         if let Some(next) = st.waiters.pop_front() {
             st.holder = Some(next);
+            st.handed = true;
+            st.gen += 1;
             drop(st);
             ctx.unblock(next, now);
         } else {
             st.holder = None;
         }
+        seq
     }
 
     /// Whether some rank currently holds the lock (racy in concurrent mode;
@@ -190,12 +232,60 @@ mod tests {
                 true
             } else {
                 ctx.barrier_with_cost(0);
-                let got = lock.try_acquire(ctx, 0);
+                let got = lock.try_acquire(ctx, 0).is_some();
                 ctx.barrier_with_cost(0);
                 got
             }
         });
         assert_eq!(out.results, vec![true, false]);
+    }
+
+    #[test]
+    fn acquire_returns_monotonic_generations() {
+        let out = Machine::run(MachineConfig::virtual_time(3), |ctx| {
+            let lock = ctx.collective(VLock::new);
+            ctx.compute(ctx.rank() as u64 * 10);
+            let acq = lock.acquire(ctx, 0);
+            ctx.compute(100);
+            let rel = lock.release(ctx, 0);
+            (acq, rel)
+        });
+        // The n-th ownership (FIFO by arrival = rank order here) is
+        // generation n, and release reports the same generation.
+        assert_eq!(out.results, vec![(1, 1), (2, 2), (3, 3)]);
+    }
+
+    #[test]
+    fn try_acquire_generation_continues_the_sequence() {
+        let out = Machine::run(MachineConfig::virtual_time(1), |ctx| {
+            let lock = ctx.collective(VLock::new);
+            let a = lock.acquire(ctx, 0);
+            let ra = lock.release(ctx, 0);
+            let b = lock.try_acquire(ctx, 0).expect("free lock");
+            let rb = lock.release(ctx, 0);
+            (a, ra, b, rb)
+        });
+        assert_eq!(out.results, vec![(1, 1, 2, 2)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "re-entrantly")]
+    fn reentrant_acquire_panics() {
+        Machine::run(MachineConfig::virtual_time(1), |ctx| {
+            let lock = ctx.collective(VLock::new);
+            lock.acquire(ctx, 0);
+            lock.acquire(ctx, 0);
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "try-acquired re-entrantly")]
+    fn reentrant_try_acquire_panics() {
+        Machine::run(MachineConfig::virtual_time(1), |ctx| {
+            let lock = ctx.collective(VLock::new);
+            lock.acquire(ctx, 0);
+            lock.try_acquire(ctx, 0);
+        });
     }
 
     #[test]

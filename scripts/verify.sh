@@ -2,9 +2,21 @@
 # Tier-1 verification, fully offline — proves the hermetic-build claim:
 # a clean checkout builds and tests with no registry access, and the
 # dependency graph contains nothing but workspace crates.
+#
+# Usage: verify.sh [--bless]
+#   --bless  regenerate results/baselines/ from this tree's runs instead
+#            of diffing against them (commit the refreshed files).
 set -eu
 
 cd "$(dirname "$0")/.."
+
+BLESS=0
+for arg in "$@"; do
+    case "$arg" in
+        --bless) BLESS=1 ;;
+        *) echo "usage: verify.sh [--bless]" >&2; exit 2 ;;
+    esac
+done
 
 echo "== cargo tree: auditing for external dependencies =="
 # Every node in the default-feature dependency graph must be a local
@@ -26,6 +38,9 @@ cargo build --release --offline
 
 echo "== cargo test -q --offline (tier-1) =="
 cargo test -q --offline
+
+echo "== scioto-lint: source invariant scan (hard gate) =="
+cargo run --release --offline -q -p scioto-race --bin scioto-lint
 
 echo "== trace smoke: table1 --trace-out round-trips through trace_check =="
 trace_tmp=$(mktemp /tmp/scioto-trace.XXXXXX.json)
@@ -51,16 +66,43 @@ cargo run --release --offline -q -p scioto-bench --bin analyze -- \
 cmp "$work/table1_analysis.json" "$work/table1_analysis_offline.json"
 echo "ok: offline analyzer matches in-memory analysis"
 
-echo "== bench_diff: table1 + fig7 vs committed baselines =="
+echo "== bench runs: fig7 / fig4 / ablation =="
 cargo run --release --offline -q -p scioto-bench --bin fig7_uts_cluster -- \
-    --max-ranks 8 --tree small --json-out "$work/BENCH_fig7.json" > /dev/null
-# Generous tolerance: the diff exists to catch real regressions from
-# code changes, and virtual-time results only move when the code does.
-cargo run --release --offline -q -p scioto-bench --bin bench_diff -- \
-    --baseline results/baselines/BENCH_table1.json \
-    --new "$work/BENCH_table1.json" --rel-tol 0.5
-cargo run --release --offline -q -p scioto-bench --bin bench_diff -- \
-    --baseline results/baselines/BENCH_fig7.json \
-    --new "$work/BENCH_fig7.json" --rel-tol 0.5
+    --max-ranks 8 --tree small --trace-out "$work/fig7.jsonl" \
+    --json-out "$work/BENCH_fig7.json" > /dev/null
+cargo run --release --offline -q -p scioto-bench --bin fig4_termination -- \
+    --json-out "$work/BENCH_fig4.json" > /dev/null
+cargo run --release --offline -q -p scioto-bench --bin ablation -- \
+    --json-out "$work/BENCH_ablation.json" > /dev/null
+
+echo "== race check: happens-before replay of table1 + fig7 traces (hard gate) =="
+race_t0=$(date +%s)
+cargo run --release --offline -q -p scioto-race --bin race_check -- \
+    "$work/table1.jsonl" "$work/fig7.jsonl"
+race_t1=$(date +%s)
+race_secs=$((race_t1 - race_t0))
+echo "ok: race check finished in ${race_secs}s"
+if [ "$race_secs" -ge 30 ]; then
+    echo "FAIL: race check took ${race_secs}s (budget: <30s)" >&2
+    exit 1
+fi
+
+if [ "$BLESS" = 1 ]; then
+    echo "== bless: refreshing results/baselines/ =="
+    mkdir -p results/baselines
+    for f in BENCH_table1 BENCH_fig7 BENCH_fig4 BENCH_ablation; do
+        cp "$work/$f.json" "results/baselines/$f.json"
+        echo "blessed results/baselines/$f.json"
+    done
+else
+    echo "== bench_diff: table1 + fig7 + fig4 + ablation vs committed baselines =="
+    # Generous tolerance: the diff exists to catch real regressions from
+    # code changes, and virtual-time results only move when the code does.
+    for f in BENCH_table1 BENCH_fig7 BENCH_fig4 BENCH_ablation; do
+        cargo run --release --offline -q -p scioto-bench --bin bench_diff -- \
+            --baseline "results/baselines/$f.json" \
+            --new "$work/$f.json" --rel-tol 0.5
+    done
+fi
 
 echo "verify.sh: all checks passed"
