@@ -62,7 +62,44 @@ impl Provenance {
             self.migrated_execs as f64 / self.total_execs as f64
         }
     }
+
+    /// Mean ring distance over successful steals (0.0 when none) — the
+    /// headline locality figure: a distance-biased victim policy should
+    /// pull this towards 1 while uniform selection sits near the ring's
+    /// average distance (~n/4).
+    pub fn mean_ring_distance(&self) -> f64 {
+        let total: u64 = self.distance_hist.iter().sum();
+        if total == 0 {
+            return 0.0;
+        }
+        let weighted: u64 = self
+            .distance_hist
+            .iter()
+            .enumerate()
+            .map(|(d, c)| d as u64 * c)
+            .sum();
+        weighted as f64 / total as f64
+    }
+
+    /// Fraction of successful steals landing within ring distance
+    /// `radius` (0.0 when none succeeded).
+    pub fn near_share(&self, radius: usize) -> f64 {
+        let total: u64 = self.distance_hist.iter().sum();
+        if total == 0 {
+            return 0.0;
+        }
+        let near: u64 = self
+            .distance_hist
+            .iter()
+            .take(radius + 1)
+            .sum();
+        near as f64 / total as f64
+    }
 }
+
+/// Ring radius used for the report's "near-steal share" summary: steals
+/// within two hops of the thief count as local traffic.
+pub const NEAR_RADIUS: usize = 2;
 
 /// Build the provenance profile of `trace`.
 pub fn analyze(trace: &Trace) -> Provenance {
@@ -217,11 +254,34 @@ mod tests {
     }
 
     #[test]
+    fn locality_summary_from_distance_hist() {
+        // 8 ranks; thief 1 steals from 0 (d=1) twice, thief 4 steals from
+        // 0 (d=4) once → mean (1+1+4)/3 = 2.0, near share (radius 2) 2/3.
+        let t = trace_of(vec![
+            vec![],
+            vec![steal(10, 0, 1), steal(30, 0, 1)],
+            vec![],
+            vec![],
+            vec![steal(20, 0, 1)],
+            vec![],
+            vec![],
+            vec![],
+        ]);
+        let p = analyze(&t);
+        assert_eq!(p.distance_hist, vec![0, 2, 0, 0, 1]);
+        assert!((p.mean_ring_distance() - 2.0).abs() < 1e-12);
+        assert!((p.near_share(NEAR_RADIUS) - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(p.near_share(4), 1.0);
+    }
+
+    #[test]
     fn empty_trace_is_benign() {
         let p = analyze(&trace_of(vec![vec![], vec![]]));
         assert_eq!(p.total_successes(), 0);
         assert_eq!(p.chain_depth_max, 0);
         assert_eq!(p.chain_depth_mean, 0.0);
         assert_eq!(p.migration_ratio(), 0.0);
+        assert_eq!(p.mean_ring_distance(), 0.0);
+        assert_eq!(p.near_share(NEAR_RADIUS), 0.0);
     }
 }

@@ -124,12 +124,15 @@ impl AnalysisReport {
         let _ = write!(
             out,
             "],\"chain_depth_max\":{},\"chain_depth_mean\":{:.6},\"migrated_execs\":{},\
-             \"total_execs\":{},\"migration_ratio\":{:.6}}},\n",
+             \"total_execs\":{},\"migration_ratio\":{:.6},\
+             \"mean_ring_distance\":{:.6},\"near_steal_share\":{:.6}}},\n",
             self.provenance.chain_depth_max,
             self.provenance.chain_depth_mean,
             self.provenance.migrated_execs,
             self.provenance.total_execs,
-            self.provenance.migration_ratio()
+            self.provenance.migration_ratio(),
+            self.provenance.mean_ring_distance(),
+            self.provenance.near_share(provenance::NEAR_RADIUS)
         );
         let cp = &self.critical_path;
         let _ = write!(
@@ -255,6 +258,15 @@ impl AnalysisReport {
             }
             let _ = writeln!(out);
         }
+        if p.total_successes() > 0 {
+            let _ = writeln!(
+                out,
+                "locality: mean ring distance {:.2}, {:.1}% of steals within d<={}",
+                p.mean_ring_distance(),
+                100.0 * p.near_share(provenance::NEAR_RADIUS),
+                provenance::NEAR_RADIUS
+            );
+        }
 
         let cp = &self.critical_path;
         let _ = writeln!(out, "\n-- critical path --");
@@ -365,7 +377,17 @@ mod tests {
         assert!(json.contains("\"blame\""));
         assert!(json.contains("\"critical_path\""));
         assert!(json.contains("\"provenance\""));
+        assert!(json.contains("\"mean_ring_distance\":1.000000"));
+        assert!(json.contains("\"near_steal_share\":1.000000"));
         assert!(json.contains("\"warnings\":[]"));
+    }
+
+    #[test]
+    fn locality_summary_renders_in_text() {
+        let report = AnalysisReport::from_trace(&sample_trace());
+        let text = report.to_text();
+        assert!(text.contains("locality: mean ring distance 1.00"));
+        assert!(text.contains("100.0% of steals within d<=2"));
     }
 
     #[test]

@@ -70,6 +70,8 @@ impl Armci {
     /// for protocol words ordered by the enclosing algorithm rather than a
     /// lock (same cost as `put_i64s`).
     pub fn put_i64s_atomic(&self, ctx: &Ctx, g: Gmem, rank: usize, offset: usize, src: &[i64]) {
+        // protocol: typed passthrough — the caller's site names the
+        // ordering protocol for the words it writes.
         self.put_atomic(ctx, g, rank, offset, &i64s_to_bytes(src));
     }
 
@@ -83,6 +85,8 @@ impl Armci {
         count: usize,
     ) -> Vec<i64> {
         let mut buf = vec![0u8; count * 8];
+        // protocol: typed passthrough — the caller's site names the
+        // ordering protocol for the words it reads.
         self.get_atomic(ctx, g, rank, offset, &mut buf);
         bytes_to_i64s(&buf)
     }

@@ -8,27 +8,33 @@
 //!   §5.3 rule, and its effect on termination cost.
 //!
 //! Run: `cargo run --release -p scioto-bench --bin ablation`
+//! Options: the policy flags `--victim`, `--barrier`, `--td-batch`,
+//! `--old-policy` shared with the other bench binaries.
 
 use std::sync::Arc;
 
 use scioto::{StatsSummary, Task, TaskCollection, TcConfig, AFFINITY_HIGH};
 use scioto_armci::Armci;
 use scioto_bench::{
-    dump_analysis, dump_trace, obs_requested, run_race_check, render_table, trace_config, us, Args, BenchOut,
+    dump_analysis, dump_trace, obs_requested, run_race_check, render_table, trace_config, us, Args,
+    BenchOut, PolicyFlags,
 };
 use scioto_sim::{LatencyModel, Machine, MachineConfig, SpeedModel};
 use scioto_uts::scioto_driver::{run_scioto_uts, SciotoUtsConfig};
 use scioto_uts::{presets, TreeStats};
 
-fn uts_rate(p: usize, chunk: usize) -> (f64, u64) {
+fn uts_rate(p: usize, chunk: usize, policy: PolicyFlags) -> (f64, u64) {
     let params = presets::small();
     let out = Machine::run(
         MachineConfig::virtual_time(p)
             .with_latency(LatencyModel::cluster())
-            .with_speed(SpeedModel::hetero_cluster(p)),
+            .with_speed(SpeedModel::hetero_cluster(p))
+            .with_barrier(policy.barrier),
         move |ctx| {
             let cfg = SciotoUtsConfig {
                 chunk,
+                victim: Some(policy.victim),
+                td_batch: Some(policy.td_batch),
                 ..SciotoUtsConfig::new(params)
             };
             run_scioto_uts(ctx, &cfg)
@@ -46,10 +52,10 @@ fn uts_rate(p: usize, chunk: usize) -> (f64, u64) {
     )
 }
 
-fn chunk_sweep(bench: &mut BenchOut) {
+fn chunk_sweep(bench: &mut BenchOut, policy: PolicyFlags) {
     let mut rows = Vec::new();
     for chunk in [1usize, 2, 5, 10, 20, 50] {
-        let (rate, steals) = uts_rate(16, chunk);
+        let (rate, steals) = uts_rate(16, chunk, policy);
         bench.metric(&format!("chunk{chunk:02}_mnodes"), rate);
         bench.metric(&format!("chunk{chunk:02}_steals"), steals as f64);
         rows.push(vec![
@@ -68,18 +74,21 @@ fn chunk_sweep(bench: &mut BenchOut) {
     );
 }
 
-fn release_sweep(bench: &mut BenchOut) {
+fn release_sweep(bench: &mut BenchOut, policy: PolicyFlags) {
     let params = presets::small();
     let mut rows = Vec::new();
     for (threshold, fraction) in [(1usize, 0.25f64), (10, 0.5), (10, 0.9), (64, 0.5)] {
         let out = Machine::run(
             MachineConfig::virtual_time(16)
                 .with_latency(LatencyModel::cluster())
-                .with_speed(SpeedModel::hetero_cluster(16)),
+                .with_speed(SpeedModel::hetero_cluster(16))
+                .with_barrier(policy.barrier),
             move |ctx| {
                 let cfg = SciotoUtsConfig {
                     release_threshold: Some(threshold),
                     release_fraction: Some(fraction),
+                    victim: Some(policy.victim),
+                    td_batch: Some(policy.td_batch),
                     ..SciotoUtsConfig::new(params)
                 };
                 run_scioto_uts(ctx, &cfg).0
@@ -101,14 +110,19 @@ fn release_sweep(bench: &mut BenchOut) {
     );
 }
 
-fn votes_before(bench: &mut BenchOut) {
+fn votes_before(bench: &mut BenchOut, policy: PolicyFlags) {
     let mut rows = Vec::new();
     for opt in [true, false] {
         let out = Machine::run(
-            MachineConfig::virtual_time(16).with_latency(LatencyModel::cluster()),
+            MachineConfig::virtual_time(16)
+                .with_latency(LatencyModel::cluster())
+                .with_barrier(policy.barrier),
             move |ctx| {
                 let armci = Armci::init(ctx);
-                let cfg = TcConfig::new(8, 2, 4096).with_votes_before_opt(opt);
+                let cfg = TcConfig::new(8, 2, 4096)
+                    .with_votes_before_opt(opt)
+                    .with_victim(policy.victim)
+                    .with_td_batch(policy.td_batch);
                 let tc = TaskCollection::create(ctx, &armci, cfg);
                 let h = tc.register(ctx, Arc::new(|t| t.ctx.compute(5_000)));
                 if ctx.rank() == 0 {
@@ -154,16 +168,21 @@ fn votes_before(bench: &mut BenchOut) {
 
 fn main() {
     let args = Args::parse();
+    let policy = PolicyFlags::from_args(&args);
     if obs_requested(&args) {
         // Dedicated traced votes-before run at 8 ranks; the ablation
         // tables below stay untraced.
         let out = Machine::run(
             MachineConfig::virtual_time(8)
                 .with_latency(LatencyModel::cluster())
-                .with_trace(trace_config(&args)),
-            |ctx| {
+                .with_trace(trace_config(&args))
+                .with_barrier(policy.barrier),
+            move |ctx| {
                 let armci = Armci::init(ctx);
-                let cfg = TcConfig::new(8, 2, 4096).with_votes_before_opt(true);
+                let cfg = TcConfig::new(8, 2, 4096)
+                    .with_votes_before_opt(true)
+                    .with_victim(policy.victim)
+                    .with_td_batch(policy.td_batch);
                 let tc = TaskCollection::create(ctx, &armci, cfg);
                 let h = tc.register(ctx, Arc::new(|t| t.ctx.compute(5_000)));
                 if ctx.rank() == 0 {
@@ -180,8 +199,11 @@ fn main() {
     }
     let mut bench = BenchOut::new("ablation");
     bench.param("ranks", 16);
-    chunk_sweep(&mut bench);
-    release_sweep(&mut bench);
-    votes_before(&mut bench);
+    for (k, v) in policy.params() {
+        bench.param(k, v);
+    }
+    chunk_sweep(&mut bench, policy);
+    release_sweep(&mut bench, policy);
+    votes_before(&mut bench, policy);
     bench.write_if_requested(&args);
 }

@@ -13,6 +13,11 @@
 //! 2 usage error, unreadable/invalid file, or benchmark/params mismatch
 //! (comparing runs with different parameters is a harness bug, not a
 //! regression).
+//!
+//! `--ignore-params victim,barrier,td_batch` drops the named params from
+//! both documents before the equality gate — for deliberate cross-policy
+//! comparisons (e.g. the old-vs-new hot-path ablation), where the runs
+//! differ *only* in those recorded knobs.
 
 use scioto_bench::{benchjson, Args};
 
@@ -32,14 +37,20 @@ fn main() {
     let (Some(base_path), Some(new_path)) = (args.get_opt("baseline"), args.get_opt("new")) else {
         eprintln!(
             "usage: bench_diff --baseline <base.json> --new <new.json> \
-             [--rel-tol 0.05] [--abs-tol 1e-9]"
+             [--rel-tol 0.05] [--abs-tol 1e-9] [--ignore-params a,b,c]"
         );
         std::process::exit(2);
     };
     let rel_tol: f64 = args.get("rel-tol", 0.05);
     let abs_tol: f64 = args.get("abs-tol", 1e-9);
-    let base = load(&base_path);
-    let new = load(&new_path);
+    let mut base = load(&base_path);
+    let mut new = load(&new_path);
+    if let Some(spec) = args.get_opt("ignore-params") {
+        for key in spec.split(',').map(str::trim).filter(|k| !k.is_empty()) {
+            base.params.remove(key);
+            new.params.remove(key);
+        }
+    }
 
     if base.name != new.name {
         eprintln!(

@@ -6,13 +6,16 @@
 //! twice the time of a barrier, with log(p) scaling.
 //!
 //! Run: `cargo run --release -p scioto-bench --bin fig4_termination`
+//! Options: `--max-ranks N` plus the policy flags `--victim`,
+//! `--barrier`, `--td-batch`, `--old-policy` shared with the other
+//! bench binaries.
 
 use std::sync::Arc;
 
 use scioto::{Task, TaskCollection, TcConfig, AFFINITY_HIGH};
 use scioto_armci::Armci;
 use scioto_bench::{
-    dump_analysis, dump_trace, obs_requested, run_race_check, render_table, trace_config, us, Args, BenchOut,
+    dump_analysis, dump_trace, obs_requested, run_race_check, render_table, trace_config, us, Args, BenchOut, PolicyFlags,
 };
 use scioto_mpi::Comm;
 use scioto_sim::{LatencyModel, Machine, MachineConfig, Report, TraceConfig};
@@ -22,14 +25,18 @@ fn max_ns(results: Vec<u64>) -> u64 {
     results.into_iter().max().unwrap_or(0)
 }
 
-fn termination_time(p: usize, trace: TraceConfig) -> (u64, Report) {
+fn termination_time(p: usize, trace: TraceConfig, policy: PolicyFlags) -> (u64, Report) {
     let out = Machine::run(
         MachineConfig::virtual_time(p)
             .with_latency(LatencyModel::cluster())
-            .with_trace(trace),
-        |ctx| {
+            .with_trace(trace)
+            .with_barrier(policy.barrier),
+        move |ctx| {
             let armci = Armci::init(ctx);
-            let tc = TaskCollection::create(ctx, &armci, TcConfig::new(8, 10, 64));
+            let cfg = TcConfig::new(8, 10, 64)
+                .with_victim(policy.victim)
+                .with_td_batch(policy.td_batch);
+            let tc = TaskCollection::create(ctx, &armci, cfg);
             let h = tc.register(ctx, Arc::new(|_| {}));
             armci.barrier(ctx);
             let t0 = ctx.now();
@@ -43,10 +50,12 @@ fn termination_time(p: usize, trace: TraceConfig) -> (u64, Report) {
     (max_ns(out.results), out.report)
 }
 
-fn armci_barrier_time(p: usize) -> u64 {
+fn armci_barrier_time(p: usize, policy: PolicyFlags) -> u64 {
     const REPS: u64 = 20;
     let out = Machine::run(
-        MachineConfig::virtual_time(p).with_latency(LatencyModel::cluster()),
+        MachineConfig::virtual_time(p)
+            .with_latency(LatencyModel::cluster())
+            .with_barrier(policy.barrier),
         |ctx| {
             let armci = Armci::init(ctx);
             armci.barrier(ctx);
@@ -60,10 +69,12 @@ fn armci_barrier_time(p: usize) -> u64 {
     max_ns(out.results)
 }
 
-fn mpi_barrier_time(p: usize) -> u64 {
+fn mpi_barrier_time(p: usize, policy: PolicyFlags) -> u64 {
     const REPS: u64 = 20;
     let out = Machine::run(
-        MachineConfig::virtual_time(p).with_latency(LatencyModel::cluster()),
+        MachineConfig::virtual_time(p)
+            .with_latency(LatencyModel::cluster())
+            .with_barrier(policy.barrier),
         |ctx| {
             let comm = Comm::world(ctx);
             comm.barrier(ctx);
@@ -80,22 +91,27 @@ fn mpi_barrier_time(p: usize) -> u64 {
 fn main() {
     let args = Args::parse();
     let max_p: usize = args.get("max-ranks", 64);
+    let policy = PolicyFlags::from_args(&args);
     if obs_requested(&args) {
         // Dedicated traced detection run (`--trace-ranks N`, default 8);
         // the sweep stays untraced so the published table is unaffected.
-        let (_, report) = termination_time(args.get("trace-ranks", 8), trace_config(&args));
+        let (_, report) =
+            termination_time(args.get("trace-ranks", 8), trace_config(&args), policy);
         dump_trace(&args, &report);
         dump_analysis(&args, &report);
         run_race_check(&args, &report);
     }
     let mut bench = BenchOut::new("fig4_termination");
     bench.param("max_ranks", max_p);
+    for (k, v) in policy.params() {
+        bench.param(k, v);
+    }
     let mut rows = Vec::new();
     let mut p = 1;
     while p <= max_p {
-        let (td, _) = termination_time(p, TraceConfig::disabled());
-        let ab = armci_barrier_time(p);
-        let mb = mpi_barrier_time(p);
+        let (td, _) = termination_time(p, TraceConfig::disabled(), policy);
+        let ab = armci_barrier_time(p, policy);
+        let mb = mpi_barrier_time(p, policy);
         let ratio = td as f64 / ab.max(1) as f64;
         bench.metric(&format!("td_ns_p{p:03}"), td as f64);
         bench.metric(&format!("armci_barrier_ns_p{p:03}"), ab as f64);

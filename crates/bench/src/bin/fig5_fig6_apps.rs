@@ -9,29 +9,34 @@
 //!
 //! Run: `cargo run --release -p scioto-bench --bin fig5_fig6_apps`
 //! Options: `--max-ranks N` (default 64), `--atoms N` (default 10),
-//! `--tiles N` (default 12).
+//! `--tiles N` (default 12), plus the policy flags `--victim`,
+//! `--barrier`, `--td-batch`, `--old-policy` shared with the other
+//! bench binaries.
 
 use scioto_bench::{
     cluster_rank_sweep, dump_analysis, dump_trace, obs_requested, run_race_check, render_table, secs,
-    trace_config, Args, BenchOut,
+    trace_config, Args, BenchOut, PolicyFlags,
 };
 use scioto_scf::{run_scf_parallel, BasisSet, LoadBalance, Molecule, ParallelScfConfig};
 use scioto_sim::{LatencyModel, Machine, MachineConfig, SpeedModel};
 use scioto_tce::{run_contraction, ContractionConfig, SparsityPattern, TceLoadBalance};
 
-fn machine(p: usize) -> MachineConfig {
+fn machine(p: usize, policy: PolicyFlags) -> MachineConfig {
     MachineConfig::virtual_time(p)
         .with_latency(LatencyModel::cluster())
         .with_speed(SpeedModel::hetero_cluster(p))
+        .with_barrier(policy.barrier)
 }
 
-fn scf_run(p: usize, atoms: usize, lb: LoadBalance) -> u64 {
+fn scf_run(p: usize, atoms: usize, lb: LoadBalance, policy: PolicyFlags) -> u64 {
     let basis = BasisSet::even_tempered(Molecule::h_chain(atoms), 2, 0.4, 3.5);
-    let out = Machine::run(machine(p), move |ctx| {
+    let out = Machine::run(machine(p, policy), move |ctx| {
         let mut cfg = ParallelScfConfig {
             lb,
             block: 4,
             chunk: 4,
+            victim: Some(policy.victim),
+            td_batch: Some(policy.td_batch),
             ..Default::default()
         };
         // Fixed-work benchmark: 8 Roothaan iterations (the figure compares
@@ -43,8 +48,8 @@ fn scf_run(p: usize, atoms: usize, lb: LoadBalance) -> u64 {
     out.report.makespan_ns
 }
 
-fn tce_run(p: usize, tiles: usize, lb: TceLoadBalance) -> u64 {
-    let out = Machine::run(machine(p), move |ctx| {
+fn tce_run(p: usize, tiles: usize, lb: TceLoadBalance, policy: PolicyFlags) -> u64 {
+    let out = Machine::run(machine(p, policy), move |ctx| {
         let cfg = ContractionConfig {
             nbr: tiles,
             nbk: tiles,
@@ -55,6 +60,8 @@ fn tce_run(p: usize, tiles: usize, lb: TceLoadBalance) -> u64 {
             lb,
             chunk: 2,
             iterations: 1,
+            victim: Some(policy.victim),
+            td_batch: Some(policy.td_batch),
         };
         run_contraction(ctx, &cfg).0.contract_ns
     });
@@ -68,17 +75,20 @@ fn main() {
     let max_p: usize = args.get("max-ranks", 64);
     let atoms: usize = args.get("atoms", 16);
     let tiles: usize = args.get("tiles", 48);
+    let policy = PolicyFlags::from_args(&args);
 
     if obs_requested(&args) {
         // Dedicated traced 4-rank SCF run (2 Roothaan iterations, small
         // basis); the figure sweep below stays untraced.
         let basis = BasisSet::even_tempered(Molecule::h_chain(6), 2, 0.4, 3.5);
         let trace = trace_config(&args);
-        let out = Machine::run(machine(4).with_trace(trace), move |ctx| {
+        let out = Machine::run(machine(4, policy).with_trace(trace), move |ctx| {
             let mut cfg = ParallelScfConfig {
                 lb: LoadBalance::Scioto,
                 block: 4,
                 chunk: 4,
+                victim: Some(policy.victim),
+                td_batch: Some(policy.td_batch),
                 ..Default::default()
             };
             cfg.scf.max_iters = 2;
@@ -97,14 +107,17 @@ fn main() {
     bench.param("max_ranks", max_p);
     bench.param("atoms", atoms);
     bench.param("tiles", tiles);
+    for (k, v) in policy.params() {
+        bench.param(k, v);
+    }
     let mut results: Vec<(usize, [u64; 4])> = Vec::new();
     for &p in &ps {
         eprintln!("running P = {p} ...");
         let row = [
-            scf_run(p, atoms, LoadBalance::Scioto),
-            scf_run(p, atoms, LoadBalance::GlobalCounter),
-            tce_run(p, tiles, TceLoadBalance::Scioto),
-            tce_run(p, tiles, TceLoadBalance::GlobalCounter),
+            scf_run(p, atoms, LoadBalance::Scioto, policy),
+            scf_run(p, atoms, LoadBalance::GlobalCounter, policy),
+            tce_run(p, tiles, TceLoadBalance::Scioto, policy),
+            tce_run(p, tiles, TceLoadBalance::GlobalCounter, policy),
         ];
         for (name, ns) in ["scf", "scf_orig", "tce", "tce_orig"].iter().zip(row) {
             bench.metric(&format!("{name}_ns_p{p:03}"), ns as f64);

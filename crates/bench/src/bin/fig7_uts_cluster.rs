@@ -9,21 +9,33 @@
 //! absorbed transparently.
 //!
 //! Run: `cargo run --release -p scioto-bench --bin fig7_uts_cluster`
-//! Options: `--max-ranks N` (default 64), `--tree small|medium|large`.
+//! Options: `--max-ranks N` (default 64), `--tree small|medium|large`,
+//! plus the hot-path policy flags `--victim uniform|locality`,
+//! `--barrier flat|tree`, `--td-batch on|off` and the `--old-policy`
+//! shorthand for the pre-locality baseline triple.
 
 use scioto_bench::{
     cluster_rank_sweep, dump_analysis, dump_trace, obs_requested, run_race_check, render_table, trace_config,
-    Args, BenchOut,
+    Args, BenchOut, PolicyFlags,
 };
 use scioto_sim::{LatencyModel, Machine, MachineConfig, SpeedModel};
 use scioto_uts::mpi_ws::{run_mpi_uts, MpiUtsConfig};
 use scioto_uts::scioto_driver::{run_scioto_uts, SciotoUtsConfig};
 use scioto_uts::{presets, TreeParams, TreeStats};
 
-fn machine(p: usize) -> MachineConfig {
+fn machine(p: usize, policy: PolicyFlags) -> MachineConfig {
     MachineConfig::virtual_time(p)
         .with_latency(LatencyModel::cluster())
         .with_speed(SpeedModel::hetero_cluster(p))
+        .with_barrier(policy.barrier)
+}
+
+fn uts_config(params: TreeParams, policy: PolicyFlags) -> SciotoUtsConfig {
+    SciotoUtsConfig {
+        victim: Some(policy.victim),
+        td_batch: Some(policy.td_batch),
+        ..SciotoUtsConfig::new(params)
+    }
 }
 
 /// (total nodes, makespan ns) → Mnodes/s.
@@ -31,11 +43,11 @@ fn rate(nodes: u64, ns: u64) -> f64 {
     nodes as f64 / (ns as f64 / 1e9) / 1e6
 }
 
-fn scioto_rate(p: usize, params: TreeParams, queue: scioto::QueueKind) -> f64 {
-    let out = Machine::run(machine(p), move |ctx| {
+fn scioto_rate(p: usize, params: TreeParams, queue: scioto::QueueKind, policy: PolicyFlags) -> f64 {
+    let out = Machine::run(machine(p, policy), move |ctx| {
         let cfg = SciotoUtsConfig {
             queue,
-            ..SciotoUtsConfig::new(params)
+            ..uts_config(params, policy)
         };
         run_scioto_uts(ctx, &cfg).0
     });
@@ -46,8 +58,8 @@ fn scioto_rate(p: usize, params: TreeParams, queue: scioto::QueueKind) -> f64 {
     rate(total.nodes, out.report.makespan_ns)
 }
 
-fn mpi_rate(p: usize, params: TreeParams) -> f64 {
-    let out = Machine::run(machine(p), move |ctx| {
+fn mpi_rate(p: usize, params: TreeParams, policy: PolicyFlags) -> f64 {
+    let out = Machine::run(machine(p, policy), move |ctx| {
         run_mpi_uts(ctx, &MpiUtsConfig::new(params)).0
     });
     let mut total = TreeStats::default();
@@ -61,6 +73,7 @@ fn main() {
     let args = Args::parse();
     let max_p: usize = args.get("max-ranks", 64);
     let tree: String = args.get("tree", "medium".to_string());
+    let policy = PolicyFlags::from_args(&args);
     let params = match tree.as_str() {
         "small" => presets::small(),
         "medium" => presets::medium(),
@@ -68,13 +81,23 @@ fn main() {
         other => panic!("unknown tree preset {other}"),
     };
     if obs_requested(&args) {
-        // Dedicated traced UTS run on a tiny tree (`--trace-ranks N`,
-        // default 8); the throughput sweep below stays untraced.
+        // Dedicated traced UTS run (`--trace-ranks N`, default 8, on the
+        // tiny tree unless `--trace-tree` picks another preset); the
+        // throughput sweep below stays untraced.
         let trace_ranks: usize = args.get("trace-ranks", 8);
+        let trace_tree: String = args.get("trace-tree", "tiny".to_string());
+        let trace_params = match trace_tree.as_str() {
+            "tiny" => presets::tiny(),
+            "small" => presets::small(),
+            "medium" => presets::medium(),
+            "large" => presets::large(),
+            other => panic!("unknown tree preset {other}"),
+        };
         let trace = trace_config(&args);
-        let out = Machine::run(machine(trace_ranks).with_trace(trace), move |ctx| {
-            run_scioto_uts(ctx, &SciotoUtsConfig::new(presets::tiny())).0
-        });
+        let out = Machine::run(
+            machine(trace_ranks, policy).with_trace(trace),
+            move |ctx| run_scioto_uts(ctx, &uts_config(trace_params, policy)).0,
+        );
         dump_trace(&args, &out.report);
         dump_analysis(&args, &out.report);
         run_race_check(&args, &out.report);
@@ -82,12 +105,15 @@ fn main() {
     let mut bench = BenchOut::new("fig7_uts_cluster");
     bench.param("max_ranks", max_p);
     bench.param("tree", &tree);
+    for (k, v) in policy.params() {
+        bench.param(k, v);
+    }
     let mut rows = Vec::new();
     for p in cluster_rank_sweep(max_p) {
         eprintln!("running P = {p} ...");
-        let split = scioto_rate(p, params, scioto::QueueKind::Split);
-        let mpi = mpi_rate(p, params);
-        let nosplit = scioto_rate(p, params, scioto::QueueKind::Locked);
+        let split = scioto_rate(p, params, scioto::QueueKind::Split, policy);
+        let mpi = mpi_rate(p, params, policy);
+        let nosplit = scioto_rate(p, params, scioto::QueueKind::Locked, policy);
         bench.metric(&format!("split_mnodes_p{p:03}"), split);
         bench.metric(&format!("mpi_ws_mnodes_p{p:03}"), mpi);
         bench.metric(&format!("nosplit_mnodes_p{p:03}"), nosplit);

@@ -8,10 +8,12 @@
 //! throughout.
 //!
 //! Run: `cargo run --release -p scioto-bench --bin fig8_uts_xt4`
-//! Options: `--max-ranks N` (default 512), `--tree small|medium|large`.
+//! Options: `--max-ranks N` (default 512), `--tree small|medium|large`,
+//! plus the policy flags `--victim`, `--barrier`, `--td-batch`,
+//! `--old-policy` shared with the other bench binaries.
 
 use scioto_bench::{
-    dump_analysis, dump_trace, obs_requested, run_race_check, render_table, trace_config, Args, BenchOut,
+    dump_analysis, dump_trace, obs_requested, run_race_check, render_table, trace_config, Args, BenchOut, PolicyFlags,
 };
 use scioto_sim::{LatencyModel, Machine, MachineConfig, SpeedModel};
 use scioto_uts::mpi_ws::{run_mpi_uts, MpiUtsConfig};
@@ -21,19 +23,28 @@ use scioto_uts::{presets, TreeParams, TreeStats};
 /// XT4 Opteron 285: 0.5681 µs per node vs. the 0.3158 µs reference.
 const XT4_FACTOR: f64 = 0.5681 / 0.3158;
 
-fn machine(p: usize) -> MachineConfig {
+fn machine(p: usize, policy: PolicyFlags) -> MachineConfig {
     MachineConfig::virtual_time(p)
         .with_latency(LatencyModel::xt4())
         .with_speed(SpeedModel::from_factors(vec![XT4_FACTOR; p]))
+        .with_barrier(policy.barrier)
+}
+
+fn uts_config(params: TreeParams, policy: PolicyFlags) -> SciotoUtsConfig {
+    SciotoUtsConfig {
+        victim: Some(policy.victim),
+        td_batch: Some(policy.td_batch),
+        ..SciotoUtsConfig::new(params)
+    }
 }
 
 fn rate(nodes: u64, ns: u64) -> f64 {
     nodes as f64 / (ns as f64 / 1e9) / 1e6
 }
 
-fn scioto_rate(p: usize, params: TreeParams) -> f64 {
-    let out = Machine::run(machine(p), move |ctx| {
-        run_scioto_uts(ctx, &SciotoUtsConfig::new(params)).0
+fn scioto_rate(p: usize, params: TreeParams, policy: PolicyFlags) -> f64 {
+    let out = Machine::run(machine(p, policy), move |ctx| {
+        run_scioto_uts(ctx, &uts_config(params, policy)).0
     });
     let mut total = TreeStats::default();
     for s in &out.results {
@@ -42,8 +53,8 @@ fn scioto_rate(p: usize, params: TreeParams) -> f64 {
     rate(total.nodes, out.report.makespan_ns)
 }
 
-fn mpi_rate(p: usize, params: TreeParams) -> f64 {
-    let out = Machine::run(machine(p), move |ctx| {
+fn mpi_rate(p: usize, params: TreeParams, policy: PolicyFlags) -> f64 {
+    let out = Machine::run(machine(p, policy), move |ctx| {
         run_mpi_uts(ctx, &MpiUtsConfig::new(params)).0
     });
     let mut total = TreeStats::default();
@@ -57,6 +68,7 @@ fn main() {
     let args = Args::parse();
     let max_p: usize = args.get("max-ranks", 512);
     let tree: String = args.get("tree", "medium".to_string());
+    let policy = PolicyFlags::from_args(&args);
     let params = match tree.as_str() {
         "small" => presets::small(),
         "medium" => presets::medium(),
@@ -68,9 +80,10 @@ fn main() {
         // default 8); the sweep below stays untraced.
         let trace_ranks: usize = args.get("trace-ranks", 8);
         let trace = trace_config(&args);
-        let out = Machine::run(machine(trace_ranks).with_trace(trace), move |ctx| {
-            run_scioto_uts(ctx, &SciotoUtsConfig::new(presets::tiny())).0
-        });
+        let out = Machine::run(
+            machine(trace_ranks, policy).with_trace(trace),
+            move |ctx| run_scioto_uts(ctx, &uts_config(presets::tiny(), policy)).0,
+        );
         dump_trace(&args, &out.report);
         dump_analysis(&args, &out.report);
         run_race_check(&args, &out.report);
@@ -78,14 +91,17 @@ fn main() {
     let mut bench = BenchOut::new("fig8_uts_xt4");
     bench.param("max_ranks", max_p);
     bench.param("tree", &tree);
+    for (k, v) in policy.params() {
+        bench.param(k, v);
+    }
     let mut rows = Vec::new();
     for p in [8usize, 16, 32, 64, 128, 256, 512] {
         if p > max_p {
             break;
         }
         eprintln!("running P = {p} ...");
-        let scioto = scioto_rate(p, params);
-        let mpi = mpi_rate(p, params);
+        let scioto = scioto_rate(p, params, policy);
+        let mpi = mpi_rate(p, params, policy);
         bench.metric(&format!("scioto_mnodes_p{p:03}"), scioto);
         bench.metric(&format!("mpi_mnodes_p{p:03}"), mpi);
         rows.push(vec![

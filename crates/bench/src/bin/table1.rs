@@ -6,11 +6,14 @@
 //! paper's measured values are printed alongside for comparison.
 //!
 //! Run: `cargo run --release -p scioto-bench --bin table1`
+//! Options: the policy flags `--victim`, `--barrier`, `--td-batch`,
+//! `--old-policy` shared with the other bench binaries.
 
 use scioto::{Task, TaskCollection, TcConfig};
 use scioto_armci::Armci;
 use scioto_bench::{
-    dump_analysis, dump_trace, obs_requested, run_race_check, render_table, trace_config, us, Args, BenchOut,
+    dump_analysis, dump_trace, obs_requested, run_race_check, render_table, trace_config, us, Args,
+    BenchOut, PolicyFlags,
 };
 use scioto_sim::{LatencyModel, Machine, MachineConfig, Report, TraceConfig};
 
@@ -25,20 +28,24 @@ struct OpTimes {
     remote_steal: u64,
 }
 
-fn measure(latency: LatencyModel, trace: TraceConfig) -> (OpTimes, Report) {
+fn measure(latency: LatencyModel, trace: TraceConfig, policy: PolicyFlags) -> (OpTimes, Report) {
     let out = Machine::run(
         MachineConfig::virtual_time(2)
             .with_latency(latency)
-            .with_trace(trace),
-        |ctx| {
+            .with_trace(trace)
+            .with_barrier(policy.barrier),
+        move |ctx| {
             let armci = Armci::init(ctx);
             // Local-op collection with default split policy.
-            let tc = TaskCollection::create(ctx, &armci, TcConfig::new(BODY, CHUNK, 8192));
+            let base_cfg = TcConfig::new(BODY, CHUNK, 8192)
+                .with_victim(policy.victim)
+                .with_td_batch(policy.td_batch);
+            let tc = TaskCollection::create(ctx, &armci, base_cfg);
             // Steal-target collection with an eager release policy so the
             // shared portion always has chunks available.
             let steal_cfg = TcConfig {
                 release_threshold: 1 << 20,
-                ..TcConfig::new(BODY, CHUNK, 8192)
+                ..base_cfg
             };
             let tc2 = TaskCollection::create(ctx, &armci, steal_cfg);
             let h = tc.register(ctx, std::sync::Arc::new(|_| {}));
@@ -98,14 +105,15 @@ fn measure(latency: LatencyModel, trace: TraceConfig) -> (OpTimes, Report) {
 
 fn main() {
     let args = Args::parse();
+    let policy = PolicyFlags::from_args(&args);
     // The cluster measurement doubles as the traced run when asked for.
     let trace = if obs_requested(&args) {
         trace_config(&args)
     } else {
         TraceConfig::disabled()
     };
-    let (cluster, cluster_report) = measure(LatencyModel::cluster(), trace);
-    let (xt4, _) = measure(LatencyModel::xt4(), TraceConfig::disabled());
+    let (cluster, cluster_report) = measure(LatencyModel::cluster(), trace, policy);
+    let (xt4, _) = measure(LatencyModel::xt4(), TraceConfig::disabled(), policy);
     dump_trace(&args, &cluster_report);
     dump_analysis(&args, &cluster_report);
     run_race_check(&args, &cluster_report);
@@ -114,6 +122,9 @@ fn main() {
     bench.param("body_bytes", BODY);
     bench.param("chunk", CHUNK);
     bench.param("ranks", 2);
+    for (k, v) in policy.params() {
+        bench.param(k, v);
+    }
     for (model, t) in [("cluster", &cluster), ("xt4", &xt4)] {
         bench.metric(&format!("{model}_local_insert_ns"), t.local_insert as f64);
         bench.metric(&format!("{model}_local_get_ns"), t.local_get as f64);

@@ -106,6 +106,95 @@ pub fn cluster_rank_sweep(max: usize) -> Vec<usize> {
         .collect()
 }
 
+/// The hot-path policy knobs shared by every bench binary:
+/// `--victim uniform|locality`, `--barrier flat|tree`,
+/// `--td-batch on|off`. Defaults are the new policies; the `old` triple
+/// (`uniform`/`flat`/`off`) reproduces the pre-locality baselines
+/// byte-for-byte.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PolicyFlags {
+    /// Steal victim-selection policy.
+    pub victim: scioto::VictimPolicy,
+    /// Machine barrier release model.
+    pub barrier: scioto_sim::BarrierKind,
+    /// Batched termination detection.
+    pub td_batch: bool,
+}
+
+impl PolicyFlags {
+    /// The new-policy defaults (locality victims, tree barrier, batched
+    /// TD).
+    pub fn new_policy() -> Self {
+        PolicyFlags {
+            victim: scioto::VictimPolicy::Locality,
+            barrier: scioto_sim::BarrierKind::Tree,
+            td_batch: true,
+        }
+    }
+
+    /// The pre-locality baseline (uniform victims, flat barrier, per-slot
+    /// TD) — the ablation reference.
+    pub fn old_policy() -> Self {
+        PolicyFlags {
+            victim: scioto::VictimPolicy::Uniform,
+            barrier: scioto_sim::BarrierKind::Flat,
+            td_batch: false,
+        }
+    }
+
+    /// Parse the policy flags, starting from the new-policy defaults.
+    /// `--old-policy` selects the full baseline triple in one flag;
+    /// individual flags override on top.
+    pub fn from_args(args: &Args) -> Self {
+        let mut p = if args.has("old-policy") {
+            PolicyFlags::old_policy()
+        } else {
+            PolicyFlags::new_policy()
+        };
+        match args.get_opt("victim").as_deref() {
+            Some("uniform") => p.victim = scioto::VictimPolicy::Uniform,
+            Some("locality") => p.victim = scioto::VictimPolicy::Locality,
+            Some(other) => panic!("--victim must be uniform|locality, got {other}"),
+            None => {}
+        }
+        match args.get_opt("barrier").as_deref() {
+            Some("flat") => p.barrier = scioto_sim::BarrierKind::Flat,
+            Some("tree") => p.barrier = scioto_sim::BarrierKind::Tree,
+            Some(other) => panic!("--barrier must be flat|tree, got {other}"),
+            None => {}
+        }
+        match args.get_opt("td-batch").as_deref() {
+            Some("on") => p.td_batch = true,
+            Some("off") => p.td_batch = false,
+            Some(other) => panic!("--td-batch must be on|off, got {other}"),
+            None => {}
+        }
+        p
+    }
+
+    /// The `(key, value)` params every bench records so `bench_diff` can
+    /// tell policy configurations apart.
+    pub fn params(&self) -> [(&'static str, String); 3] {
+        [
+            (
+                "victim",
+                match self.victim {
+                    scioto::VictimPolicy::Uniform => "uniform".to_string(),
+                    scioto::VictimPolicy::Locality => "locality".to_string(),
+                },
+            ),
+            (
+                "barrier",
+                match self.barrier {
+                    scioto_sim::BarrierKind::Flat => "flat".to_string(),
+                    scioto_sim::BarrierKind::Tree => "tree".to_string(),
+                },
+            ),
+            ("td_batch", if self.td_batch { "on" } else { "off" }.to_string()),
+        ]
+    }
+}
+
 /// Did the user ask for a trace dump (`--trace-out <path>`)?
 pub fn trace_requested(args: &Args) -> bool {
     args.get_opt("trace-out").is_some()

@@ -14,6 +14,8 @@ use crate::registry::{Registry, TaskHandle};
 use crate::stats::{ProcessStats, RankCounters};
 use crate::task::{Task, TaskFn, TaskHeader, TaskRecord};
 use crate::termination::{Poll, WaveDetector};
+use crate::config::VictimPolicy;
+use crate::victim::VictimSelector;
 
 /// A global-view collection of task objects, distributed as one queue per
 /// process in ARMCI shared space.
@@ -76,7 +78,7 @@ impl TaskCollection {
         }
         let n = ctx.nranks();
         let queue = PatchQueue::new(ctx, armci, &cfg);
-        let detector = WaveDetector::new(ctx, armci, cfg.td_votes_before_opt);
+        let detector = WaveDetector::new(ctx, armci, cfg.td_votes_before_opt, cfg.td_batch);
         let armci2 = Arc::clone(armci);
         let tc = ctx.collective(move || TaskCollection {
             armci: armci2,
@@ -179,6 +181,8 @@ impl TaskCollection {
         // the idle loop instead of lock round-trips to empty victims.
         let mut failed_steals = 0u32;
         let mut backoff = 0u32;
+        let mut idle_iter = 0u32;
+        let mut victims = VictimSelector::new(self.cfg.victim);
         loop {
             // Drain local (private) work.
             while let Some(rec) = self.queue.pop_local(ctx, &self.armci, &self.counters[me]) {
@@ -198,8 +202,20 @@ impl TaskCollection {
             {
                 continue;
             }
-            // Passive: detect termination, then hunt for work.
-            if self.detector.progress(ctx, &self.armci, true) == Poll::Terminated {
+            // Passive: detect termination, then hunt for work. Under
+            // batched TD the detector poll (whose snapshot read is the
+            // dominant idle-loop cost at scale) runs on every 4th
+            // idle-loop iteration while actively hunting, and only on
+            // every 16th while napping in backoff — a napping rank has
+            // published nothing new, so its polls exist purely to observe
+            // TERM/wave progress and can be sparse. Every iteration still
+            // advances the clock (a steal attempt, a nap tick, or the
+            // no-lb spin below), so the deferral is bounded and a TERM
+            // announcement is never missed for more than 15 iterations.
+            idle_iter = idle_iter.wrapping_add(1);
+            let poll_mask = if backoff > 0 { 15 } else { 3 };
+            let defer_poll = self.cfg.td_batch && idle_iter & poll_mask != 0;
+            if !defer_poll && self.detector.progress(ctx, &self.armci, true) == Poll::Terminated {
                 break;
             }
             // Every idle iteration costs at least a poll's worth of CPU,
@@ -214,18 +230,24 @@ impl TaskCollection {
                 }
                 let victim = {
                     let mut rng = ctx.rng();
-                    let mut v = rng.gen_range(0..n - 1);
-                    if v >= me {
-                        v += 1;
-                    }
-                    v
+                    victims.next(&mut rng, me, n)
                 };
                 self.counters[me]
                     .steals_attempted
                     .fetch_add(1, Ordering::Relaxed);
                 let traced = ctx.trace_enabled();
                 let steal_start = if traced { ctx.now() } else { 0 };
-                let stolen = self.queue.steal(ctx, &self.armci, victim);
+                // Locality policy probes availability lock-free before
+                // paying the locked steal's two lock round-trips — most
+                // hunt attempts land on empty victims, so the probe is
+                // the common-case cost of a failed attempt.
+                let stolen = if self.cfg.victim == VictimPolicy::Locality
+                    && !self.queue.steal_peek(ctx, &self.armci, victim)
+                {
+                    Vec::new()
+                } else {
+                    self.queue.steal(ctx, &self.armci, victim)
+                };
                 if traced {
                     let rtt = ctx.now().saturating_sub(steal_start);
                     ctx.trace(|| TraceEvent::StealAttempt {
@@ -235,6 +257,7 @@ impl TaskCollection {
                     });
                     ctx.trace_hist(crate::trace::HIST_STEAL_RTT, rtt);
                 }
+                victims.note_result(victim, !stolen.is_empty());
                 if !stolen.is_empty() {
                     self.counters[me]
                         .steals_succeeded
@@ -244,9 +267,29 @@ impl TaskCollection {
                         .fetch_add(stolen.len() as u64, Ordering::Relaxed);
                     let marked = self.detector.note_transfer(ctx, &self.armci, victim);
                     self.count_mark(me, marked);
-                    for rec in &stolen {
-                        self.queue
-                            .push_local(ctx, &self.armci, rec, &self.counters[me]);
+                    if self.cfg.victim == VictimPolicy::Locality {
+                        // Progress guarantee for the retry cache: two thieves
+                        // caching each other can otherwise phase-lock into a
+                        // steal-back cycle where the same task bounces
+                        // between their queues forever without executing
+                        // (each success re-arms both caches, so neither ever
+                        // draws a different victim). Executing one stolen
+                        // task before the rest become re-stealable retires
+                        // at least one task per successful steal, which
+                        // bounds total steals and makes the cycle impossible.
+                        let mut rest = stolen.into_iter();
+                        let first = rest.next().expect("steal was non-empty");
+                        for rec in rest {
+                            self.queue
+                                .push_local(ctx, &self.armci, &rec, &self.counters[me]);
+                        }
+                        self.execute(ctx, first);
+                        since_td += 1;
+                    } else {
+                        for rec in &stolen {
+                            self.queue
+                                .push_local(ctx, &self.armci, rec, &self.counters[me]);
+                        }
                     }
                     failed_steals = 0;
                 } else {
@@ -254,8 +297,17 @@ impl TaskCollection {
                     // Cap the nap at ~16 detector polls (~10 µs): long
                     // enough to keep failed-steal lock traffic off the
                     // critical path, short enough to react when a busy
-                    // owner releases a burst of work mid-phase.
-                    backoff = 4 << failed_steals.min(3);
+                    // owner releases a burst of work mid-phase. Under the
+                    // locality policy the probe made each failed attempt
+                    // ~3x cheaper, which lets the loop fire ~3x more
+                    // probes against a machine that is simply dry — the
+                    // waiting is set by the workload, not the probe cost.
+                    // A deeper cap (~38 µs) spends that waiting napping
+                    // instead of re-probing, cutting steal-loop network
+                    // traffic without delaying reaction to a refill more
+                    // than a few task granularities.
+                    let cap = if self.cfg.victim == VictimPolicy::Locality { 5 } else { 3 };
+                    backoff = 4 << failed_steals.min(cap);
                 }
             } else {
                 // No load balancing: just poll the detector.

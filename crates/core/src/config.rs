@@ -33,6 +33,22 @@ pub enum LbKind {
     Disabled,
 }
 
+/// Victim-selection policy for the steal loop of `tc_process`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum VictimPolicy {
+    /// Uniform random victim over the other `n - 1` ranks — the policy the
+    /// paper describes and the ablation baseline. Draws exactly one RNG
+    /// value per attempt, so a run under this policy is byte-identical to
+    /// the pre-locality steal loop.
+    Uniform,
+    /// Locality-aware selection: retry the last successful victim first
+    /// (work sources stay productive across consecutive steals), otherwise
+    /// draw a ring distance from a truncated geometric distribution so near
+    /// neighbours are preferred, with a small uniform escape probability
+    /// that keeps distant single-source workloads reachable.
+    Locality,
+}
+
 /// Configuration for [`crate::TaskCollection::create`], mirroring
 /// `tc_create(task_sz, chunk_sz, max_sz)`.
 #[derive(Clone, Copy, Debug)]
@@ -57,6 +73,12 @@ pub struct TcConfig {
     /// Enable the §5.3 votes-before optimization that elides unnecessary
     /// dirty marks during termination detection (disable for ablation).
     pub td_votes_before_opt: bool,
+    /// Victim-selection policy for work stealing.
+    pub victim: VictimPolicy,
+    /// Batched termination detection: coalesce the detector's slot reads
+    /// into one snapshot per poll and defer polls during steal-backoff
+    /// naps (disable for the flat per-slot ablation baseline).
+    pub td_batch: bool,
 }
 
 impl TcConfig {
@@ -76,6 +98,8 @@ impl TcConfig {
             release_threshold: 1,
             release_fraction: 0.5,
             td_votes_before_opt: true,
+            victim: VictimPolicy::Locality,
+            td_batch: true,
         };
         if let Err(e) = cfg.validate() {
             panic!("invalid TcConfig: {e}");
@@ -134,6 +158,18 @@ impl TcConfig {
         self.ldbal = ldbal;
         self
     }
+
+    /// Switch the victim-selection policy.
+    pub fn with_victim(mut self, victim: VictimPolicy) -> Self {
+        self.victim = victim;
+        self
+    }
+
+    /// Toggle batched termination detection.
+    pub fn with_td_batch(mut self, on: bool) -> Self {
+        self.td_batch = on;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -150,6 +186,16 @@ mod tests {
         assert_eq!(c.max_tasks, 1000);
         assert_eq!(c.queue, QueueKind::Locked);
         assert_eq!(c.ldbal, LbKind::Disabled);
+    }
+
+    #[test]
+    fn policy_defaults_and_builders() {
+        let c = TcConfig::new(8, 1, 16);
+        assert_eq!(c.victim, VictimPolicy::Locality);
+        assert!(c.td_batch);
+        let old = c.with_victim(VictimPolicy::Uniform).with_td_batch(false);
+        assert_eq!(old.victim, VictimPolicy::Uniform);
+        assert!(!old.td_batch);
     }
 
     #[test]

@@ -67,11 +67,12 @@ mod stats;
 mod task;
 pub mod termination;
 pub mod trace;
+pub mod victim;
 pub mod wire;
 
 pub use clo::CloHandle;
 pub use collection::{TaskCollection, TaskCtx};
-pub use config::{LbKind, QueueKind, TcConfig, AFFINITY_HIGH, AFFINITY_LOW};
+pub use config::{LbKind, QueueKind, TcConfig, VictimPolicy, AFFINITY_HIGH, AFFINITY_LOW};
 pub use registry::TaskHandle;
 pub use stats::{ProcessStats, StatsSummary};
 pub use task::{Task, TaskFn};

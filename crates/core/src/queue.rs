@@ -79,14 +79,15 @@ impl PatchQueue {
     // * `HEAD` is written lock-free by the owner while thieves read it in
     //   `insert_tail`'s composite index get — both sides are marked atomic
     //   (single-word discipline the protocol declares safe);
-    // * `SPLIT` is only ever written under the queue lock, so plain
-    //   accesses are happens-before ordered by the lock;
+    // * `SPLIT` is written only under the queue lock, but `steal_peek`
+    //   reads it lock-free, so the owner's single-word stores are marked
+    //   atomic as well (a stale peek only mis-predicts availability);
     // * `TAIL` is written by thieves under the lock but read lock-free by
-    //   the owner's reclaim/release pre-checks, so those reads and the
-    //   thieves' puts are marked atomic.
+    //   the owner's reclaim/release pre-checks and by `steal_peek`, so
+    //   those reads and the thieves' puts are marked atomic.
 
     fn write_meta_local(&self, ctx: &Ctx, armci: &Armci, off: usize, v: i64) {
-        armci.with_local_range_mut(ctx, self.meta, off, 8, off == HEAD, |b| {
+        armci.with_local_range_mut(ctx, self.meta, off, 8, off == HEAD || off == SPLIT, |b| {
             b.copy_from_slice(&v.to_le_bytes())
         });
     }
@@ -304,10 +305,32 @@ impl PatchQueue {
         let mut buf = vec![0u8; self.slot_sz];
         rec.encode_into(&mut buf);
         armci.put(ctx, self.slots, target, pos, &buf);
-        // Atomic: the owner's reclaim/release pre-checks read `tail`
-        // without taking the lock.
+        // protocol: single-word tail store under the queue lock; the
+        // owner's reclaim/release pre-checks read `tail` lock-free.
         armci.put_i64s_atomic(ctx, self.meta, target, TAIL, &[t]);
         armci.unlock(ctx, self.locks, 0, target);
+    }
+
+    /// Lock-free availability probe of `victim`'s shared portion: one
+    /// composite atomic read of `(split, tail)`, no lock traffic. The
+    /// locality steal path probes before locking so the common case — an
+    /// empty victim — costs one one-sided get instead of two lock
+    /// round-trips plus a get. Staleness is benign in both directions: a
+    /// stale "empty" just retries on the next hunt iteration, a stale
+    /// "available" falls through to the locked steal, which re-reads the
+    /// indices under the lock.
+    pub(crate) fn steal_peek(&self, ctx: &Ctx, armci: &Armci, victim: usize) -> bool {
+        // Split queues only: the locked-queue ablation exists to measure
+        // the cost of taking the lock for every operation, and a
+        // lock-free probe would sidestep exactly the cost it measures.
+        if self.kind != QueueKind::Split {
+            return true;
+        }
+        // protocol: heuristic lock-free read of the lock-guarded
+        // `split`/`tail` words; a stale view only mis-predicts
+        // availability, it never derives state that is written back.
+        let idx = armci.get_i64s_atomic(ctx, self.meta, victim, SPLIT, 2);
+        idx[0] - idx[1] > 0
     }
 
     /// Steal up to `chunk` tasks from the tail of `victim`'s shared
@@ -344,6 +367,8 @@ impl PatchQueue {
                 &mut buf[run1 as usize * self.slot_sz..],
             );
         }
+        // protocol: single-word tail store under the victim's queue lock;
+        // the owner reads `tail` lock-free in its release pre-check.
         armci.put_i64s_atomic(ctx, self.meta, victim, TAIL, &[tail + k]);
         armci.unlock(ctx, self.locks, 0, victim);
         buf.chunks_exact(self.slot_sz)

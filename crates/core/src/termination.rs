@@ -105,6 +105,13 @@ pub struct WaveDetector {
     local: Vec<TdLocal>,
     /// Enable the §5.3 votes-before optimization (disable for ablation).
     pub(crate) votes_before_opt: bool,
+    /// Batched polling: coalesce the per-poll slot reads (TERM, DOWN and
+    /// both child tokens) into one snapshot read instead of up to four
+    /// separate slot reads. Slots are single-writer and monotone, so a
+    /// slightly stale snapshot only defers a vote to the next poll — it
+    /// can never fabricate one (the dirty flag is still read-and-cleared
+    /// at vote time, not from the snapshot).
+    pub(crate) batch: bool,
 }
 
 /// Outcome of one detector poll.
@@ -117,13 +124,14 @@ pub(crate) enum Poll {
 }
 
 impl WaveDetector {
-    pub(crate) fn new(ctx: &Ctx, armci: &Armci, votes_before_opt: bool) -> Self {
+    pub(crate) fn new(ctx: &Ctx, armci: &Armci, votes_before_opt: bool, batch: bool) -> Self {
         let td = armci.malloc(ctx, TD_BYTES);
         let n = ctx.nranks();
         WaveDetector {
             td,
             local: (0..n).map(|_| TdLocal::default()).collect(),
             votes_before_opt,
+            batch,
         }
     }
 
@@ -141,13 +149,40 @@ impl WaveDetector {
     /// recorded atomic (no RMW service queue is needed, only single-word
     /// discipline).
     fn put_slot(&self, ctx: &Ctx, armci: &Armci, rank: usize, off: usize, v: i64) {
+        // protocol: single-writer i64 token slot, polled lock-free by the
+        // destination rank.
         armci.put_atomic(ctx, self.td, rank, off, &v.to_le_bytes());
     }
 
     fn read_slot(&self, ctx: &Ctx, armci: &Armci, off: usize) -> i64 {
+        // protocol: single-writer i64 slot polled lock-free by the owner.
         armci.with_local_range(ctx, self.td, off, 8, true, |b| {
             i64::from_le_bytes(b.try_into().expect("8 bytes"))
         })
+    }
+
+    /// Batched poll: all five detector slots decoded from one coalesced
+    /// atomic read (same multi-word discipline as the split queue's
+    /// composite meta reads).
+    fn snapshot(&self, ctx: &Ctx, armci: &Armci) -> [i64; 5] {
+        // protocol: single-writer i64 slots polled lock-free, read as one
+        // atomic multi-word snapshot.
+        armci.with_local_range(ctx, self.td, 0, TD_BYTES, true, |b| {
+            let mut s = [0i64; 5];
+            for (i, w) in b.chunks_exact(8).enumerate() {
+                s[i] = i64::from_le_bytes(w.try_into().expect("8 bytes"));
+            }
+            s
+        })
+    }
+
+    /// Slot value from the poll's snapshot when batching, or a direct
+    /// per-slot read otherwise.
+    fn slot_of(&self, ctx: &Ctx, armci: &Armci, snap: Option<&[i64; 5]>, off: usize) -> i64 {
+        match snap {
+            Some(s) => s[off / 8],
+            None => self.read_slot(ctx, armci, off),
+        }
     }
 
     /// Atomically read and clear the local dirty flag (a thief may be
@@ -189,8 +224,18 @@ impl WaveDetector {
         ctx.yield_point();
         ctx.charge_cpu(ctx.latency().local_get);
 
+        // Batched polling takes one snapshot of every slot up front;
+        // stale values are safe (slots are single-writer and monotone, so
+        // a missed update is simply picked up by the next poll).
+        let snap = if self.batch {
+            Some(self.snapshot(ctx, armci))
+        } else {
+            None
+        };
+        let snap = snap.as_ref();
+
         // Termination announcement.
-        if self.read_slot(ctx, armci, TERM) == 1 {
+        if self.slot_of(ctx, armci, snap, TERM) == 1 {
             if !st.term_propagated.swap(true, Ordering::Relaxed) {
                 ctx.trace(|| TraceEvent::TdWave {
                     wave: st.last_down.load(Ordering::Relaxed) as u32,
@@ -219,7 +264,7 @@ impl WaveDetector {
                 }
             }
         } else {
-            let w = self.read_slot(ctx, armci, DOWN);
+            let w = self.slot_of(ctx, armci, snap, DOWN);
             if w > st.last_down.load(Ordering::Relaxed) {
                 st.last_down.store(w, Ordering::Relaxed);
                 st.waves.fetch_add(1, Ordering::Relaxed);
@@ -240,7 +285,7 @@ impl WaveDetector {
             let mut color = WHITE;
             let mut ready = true;
             for (i, _c) in children(me, n).enumerate() {
-                let tok = self.read_slot(ctx, armci, if i == 0 { UP0 } else { UP1 });
+                let tok = self.slot_of(ctx, armci, snap, if i == 0 { UP0 } else { UP1 });
                 if tok / 4 == w {
                     if tok % 4 == BLACK {
                         color = BLACK;
@@ -363,7 +408,7 @@ mod tests {
         for n in [1, 2, 3, 5, 8, 16, 33] {
             let out = Machine::run(MachineConfig::virtual_time(n), move |ctx| {
                 let armci = Armci::init(ctx);
-                let det = WaveDetector::new(ctx, &armci, true);
+                let det = WaveDetector::new(ctx, &armci, true, false);
                 armci.barrier(ctx);
                 let mut polls = 0u64;
                 loop {
@@ -381,12 +426,121 @@ mod tests {
     }
 
     #[test]
+    fn batched_detector_terminates_everywhere() {
+        for n in [1, 2, 3, 5, 8, 16, 33] {
+            let out = Machine::run(MachineConfig::virtual_time(n), move |ctx| {
+                let armci = Armci::init(ctx);
+                let det = WaveDetector::new(ctx, &armci, true, true);
+                armci.barrier(ctx);
+                let mut polls = 0u64;
+                loop {
+                    if det.progress(ctx, &armci, true) == Poll::Terminated {
+                        break;
+                    }
+                    ctx.compute(100);
+                    polls += 1;
+                    assert!(polls < 1_000_000, "termination never detected (n={n})");
+                }
+                polls
+            });
+            assert_eq!(out.results.len(), n);
+        }
+    }
+
+    #[test]
+    fn batched_transfer_blackens_the_first_wave() {
+        // The dirty flag is cleared at vote time, not from the snapshot:
+        // a transfer noted before the vote must still blacken it.
+        let out = Machine::run(MachineConfig::virtual_time(4), |ctx| {
+            let armci = Armci::init(ctx);
+            let det = WaveDetector::new(ctx, &armci, true, true);
+            armci.barrier(ctx);
+            if ctx.rank() == 1 {
+                det.note_transfer(ctx, &armci, 2);
+            }
+            loop {
+                if det.progress(ctx, &armci, true) == Poll::Terminated {
+                    break;
+                }
+                ctx.compute(100);
+            }
+            det.waves(ctx.rank())
+        });
+        assert!(
+            out.results[0] >= 2,
+            "root must run at least two waves, ran {}",
+            out.results[0]
+        );
+    }
+
+    #[test]
+    fn no_premature_termination_under_seeded_steal_storm() {
+        // Tasks fan work out to random ranks for several generations; the
+        // detector (batched and unbatched) must only declare termination
+        // once every spawned task has executed. `process` additionally
+        // asserts the local queue is empty at termination, so a premature
+        // TERM would panic there or strand tasks and break the totals.
+        use crate::{Task, TaskCollection, TcConfig, AFFINITY_HIGH};
+        use scioto_sim::LatencyModel;
+        use std::sync::Arc;
+
+        const GENERATIONS: u8 = 6;
+        const ROOTS: u64 = 4;
+        for batch in [true, false] {
+            let out = Machine::run(
+                MachineConfig::virtual_time(8).with_latency(LatencyModel::cluster()),
+                move |ctx| {
+                    let armci = Armci::init(ctx);
+                    let cfg = TcConfig::new(16, 2, 1 << 12).with_td_batch(batch);
+                    let tc = TaskCollection::create(ctx, &armci, cfg);
+                    let handle_cell = Arc::new(std::sync::OnceLock::new());
+                    let hr = handle_cell.clone();
+                    let h = tc.register(
+                        ctx,
+                        Arc::new(move |t| {
+                            let gen = t.body()[0];
+                            if gen > 0 {
+                                let h = *hr.get().expect("handle registered");
+                                let n = t.ctx.nranks();
+                                for _ in 0..2 {
+                                    let target =
+                                        t.ctx.rng().gen_below(n as u64) as usize;
+                                    t.tc.add(
+                                        t.ctx,
+                                        target,
+                                        AFFINITY_HIGH,
+                                        &Task::new(h, vec![gen - 1]),
+                                    );
+                                }
+                            }
+                            t.ctx.compute(500);
+                        }),
+                    );
+                    handle_cell.set(h).expect("set once");
+                    if ctx.rank() == 0 {
+                        for _ in 0..ROOTS {
+                            tc.add(ctx, 0, AFFINITY_HIGH, &Task::new(h, vec![GENERATIONS]));
+                        }
+                    }
+                    tc.process(ctx)
+                },
+            );
+            let spawned: u64 = out.results.iter().map(|s| s.tasks_spawned).sum();
+            let executed: u64 = out.results.iter().map(|s| s.tasks_executed).sum();
+            // Each root grows a full binary tree of depth GENERATIONS.
+            let expect = ROOTS * (2u64.pow(GENERATIONS as u32 + 1) - 1);
+            assert_eq!(executed, spawned, "batch={batch}");
+            assert_eq!(executed, expect, "batch={batch}");
+        }
+    }
+
+    #[test]
     fn transfer_blackens_the_first_wave() {
         // Rank 1 "transfers work" before going passive; the first wave must
         // come back black and termination needs at least a second wave.
         let out = Machine::run(MachineConfig::virtual_time(4), |ctx| {
             let armci = Armci::init(ctx);
-            let det = WaveDetector::new(ctx, &armci, true);
+            let det = WaveDetector::new(ctx, &armci, true, false);
             armci.barrier(ctx);
             if ctx.rank() == 1 {
                 det.note_transfer(ctx, &armci, 2);
@@ -410,7 +564,7 @@ mod tests {
     fn votes_before_optimization_elides_descendant_marks() {
         let out = Machine::run(MachineConfig::virtual_time(8), |ctx| {
             let armci = Armci::init(ctx);
-            let det = WaveDetector::new(ctx, &armci, true);
+            let det = WaveDetector::new(ctx, &armci, true, false);
             armci.barrier(ctx);
             if ctx.rank() == 1 {
                 // Rank 3 is a descendant of rank 1: no mark needed even
@@ -431,7 +585,7 @@ mod tests {
     fn unvoted_thief_never_marks() {
         let out = Machine::run(MachineConfig::virtual_time(4), |ctx| {
             let armci = Armci::init(ctx);
-            let det = WaveDetector::new(ctx, &armci, true);
+            let det = WaveDetector::new(ctx, &armci, true, false);
             armci.barrier(ctx);
             if ctx.rank() == 2 {
                 det.note_transfer(ctx, &armci, 1)
@@ -446,7 +600,7 @@ mod tests {
     fn disabled_optimization_always_marks() {
         let out = Machine::run(MachineConfig::virtual_time(4), |ctx| {
             let armci = Armci::init(ctx);
-            let det = WaveDetector::new(ctx, &armci, false);
+            let det = WaveDetector::new(ctx, &armci, false, false);
             armci.barrier(ctx);
             if ctx.rank() == 1 {
                 det.note_transfer(ctx, &armci, 3)

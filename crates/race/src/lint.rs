@@ -17,11 +17,20 @@
 //! * `lock-unwrap` — `.lock().unwrap()` / `.lock().expect(...)` are
 //!   banned; the in-tree mutex cannot poison and returns the guard
 //!   directly, so an `unwrap` signals a foreign lock sneaking in.
+//! * `atomic-protocol` — every `put_atomic` / `get_atomic` /
+//!   `put_i64s_atomic` / `get_i64s_atomic` call site must name the
+//!   ordering protocol that makes the unfenced access safe, in a comment
+//!   on the same line or within three lines above containing the word
+//!   `protocol`. The atomic markers exempt accesses from the race
+//!   checker, so an unexplained one is an unexplained suppression.
 //!
 //! The scanner is intentionally textual (no syn, no proc-macro): it runs
 //! in milliseconds over the whole tree and its patterns are chosen so
 //! that real violations cannot hide behind formatting (multi-line `use`
-//! groups are joined up to the closing `;` before matching).
+//! groups are joined up to the closing `;` before matching, and `/* */`
+//! block-comment interiors — including nested and multi-line ones — are
+//! blanked out before any rule runs, so commented-out code neither
+//! triggers nor hides findings).
 
 use std::fmt;
 use std::path::{Path, PathBuf};
@@ -76,11 +85,53 @@ fn ident_at(s: &str, i: usize, len: usize) -> bool {
         && !matches!(post, Some(c) if c.is_alphanumeric() || c == '_')
 }
 
+/// Blank the interiors of `/* ... */` block comments — which nest and
+/// span lines in Rust — returning one scrubbed string per input line.
+/// Delimiters and interiors become spaces (line lengths and column
+/// positions are preserved); `//` line comments are kept verbatim, and a
+/// `/*` behind one does not open a block. Purely textual: a `/*` inside
+/// a string literal is treated as a real opener, the same trade the rest
+/// of the scanner makes.
+fn scrub_block_comments(lines: &[&str]) -> Vec<String> {
+    let mut depth = 0usize;
+    let mut out = Vec::with_capacity(lines.len());
+    for line in lines {
+        let mut scrubbed = String::with_capacity(line.len());
+        let mut i = 0;
+        while i < line.len() {
+            let rest = &line[i..];
+            if depth == 0 && rest.starts_with("//") {
+                scrubbed.push_str(rest);
+                break;
+            }
+            if rest.starts_with("/*") {
+                depth += 1;
+                scrubbed.push_str("  ");
+                i += 2;
+                continue;
+            }
+            if depth > 0 && rest.starts_with("*/") {
+                depth -= 1;
+                scrubbed.push_str("  ");
+                i += 2;
+                continue;
+            }
+            let c = rest.chars().next().expect("non-empty rest");
+            scrubbed.push(if depth == 0 || c.is_whitespace() { c } else { ' ' });
+            i += c.len_utf8();
+        }
+        out.push(scrubbed);
+    }
+    out
+}
+
 /// Lint one file's contents. `det_exempt` relaxes the `std-sync` rule
 /// (crates/det is the one place allowed to wrap the ambient primitives).
 pub fn lint_source(path: &Path, src: &str, det_exempt: bool) -> Vec<Finding> {
     let mut out = Vec::new();
-    let lines: Vec<&str> = src.lines().collect();
+    let raw: Vec<&str> = src.lines().collect();
+    let scrubbed = scrub_block_comments(&raw);
+    let lines: Vec<&str> = scrubbed.iter().map(String::as_str).collect();
 
     // Patterns are assembled at runtime so this file does not flag itself.
     let std_sync = format!("std::{}::", "sync");
@@ -90,6 +141,10 @@ pub fn lint_source(path: &Path, src: &str, det_exempt: bool) -> Vec<Finding> {
     let lock_unwrap = format!(".lock().{}()", "unwrap");
     let lock_expect = format!(".lock().{}(", "expect");
     let event_path = format!("{}Event::", "Trace");
+    let atomic_calls: Vec<String> = ["put", "get"]
+        .iter()
+        .flat_map(|op| [format!(".{op}_{}(", "atomic"), format!(".{op}_i64s_{}(", "atomic")])
+        .collect();
 
     for (idx, line) in lines.iter().enumerate() {
         let lineno = idx + 1;
@@ -213,6 +268,30 @@ pub fn lint_source(path: &Path, src: &str, det_exempt: bool) -> Vec<Finding> {
                           cannot poison and return the guard directly"
                     .to_string(),
             });
+        }
+
+        // --- atomic-protocol --------------------------------------------
+        // A protocol-atomic access is a race-checker exemption; the call
+        // site must say which ordering protocol justifies it. The word is
+        // looked for in the *raw* line text (the justification usually
+        // lives in a comment).
+        for call in &atomic_calls {
+            if line.contains(call.as_str()) && !waived(&lines, idx, "atomic-protocol") {
+                let documented = (idx.saturating_sub(3)..=idx).any(|j| raw[j].contains("protocol"));
+                if !documented {
+                    out.push(Finding {
+                        path: path.to_path_buf(),
+                        line: lineno,
+                        rule: "atomic-protocol",
+                        message: format!(
+                            "`{}...)` call site must name its ordering protocol in a \
+                             comment containing \"protocol\" on this line or within \
+                             3 lines above",
+                            call
+                        ),
+                    });
+                }
+            }
         }
     }
     out
@@ -353,6 +432,77 @@ mod tests {
         let f = lint_str(&src);
         assert_eq!(f.len(), 1);
         assert_eq!(f[0].rule, "lock-unwrap");
+    }
+
+    #[test]
+    fn block_comments_hide_banned_code() {
+        // Commented-out code must not trigger findings, whether the block
+        // is single-line, multi-line, or nested.
+        let src = format!(
+            "/* use std::{}::Mutex; */\nfn f() {{}}\n/*\nuse std::{}::Instant;\n/* let g = m.lock().{}(); */\nstill commented\n*/\nfn g() {{}}\n",
+            "sync", "time", "unwrap"
+        );
+        assert!(lint_str(&src).is_empty(), "{:?}", lint_str(&src));
+    }
+
+    #[test]
+    fn code_after_block_comment_close_is_still_linted() {
+        let src = format!("/* prose */ use std::{}::Instant;\n", "time");
+        let f = lint_str(&src);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, "wallclock");
+    }
+
+    #[test]
+    fn block_comment_does_not_hide_following_lines() {
+        // The scrubber must close state correctly: a finding *after* a
+        // multi-line block comment is still reported at the right line.
+        let src = format!("/*\nprose\n*/\nuse std::{}::Mutex;\n", "sync");
+        let f = lint_str(&src);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].line, 4);
+    }
+
+    #[test]
+    fn flags_undocumented_atomic_call() {
+        let src = format!("armci.{}_{}(ctx, g, rank, off, &buf);\n", "put", "atomic");
+        let f = lint_str(&src);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, "atomic-protocol");
+        assert_eq!(f[0].line, 1);
+    }
+
+    #[test]
+    fn protocol_comment_satisfies_atomic_rule() {
+        // Same line, 1 above, and exactly 3 above all count; 4 above does
+        // not.
+        let same = format!(
+            "armci.{}_{}(ctx, g, r, o, &mut b); // protocol: single-writer slot\n",
+            "get", "atomic"
+        );
+        assert!(lint_str(&same).is_empty());
+        let above = format!(
+            "// protocol: owner-only tail word\nlet x = 1;\nlet y = 2;\narmci.{}_i64s_{}(ctx, g, r, o, &[t]);\n",
+            "put", "atomic"
+        );
+        assert!(lint_str(&above).is_empty());
+        let too_far = format!(
+            "// protocol: owner-only tail word\nlet x = 1;\nlet y = 2;\nlet z = 3;\narmci.{}_i64s_{}(ctx, g, r, o, &[t]);\n",
+            "put", "atomic"
+        );
+        let f = lint_str(&too_far);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, "atomic-protocol");
+        assert_eq!(f[0].line, 5);
+    }
+
+    #[test]
+    fn atomic_rule_waiver_works() {
+        let src = format!(
+            "// scioto-lint: allow(atomic-protocol)\narmci.{}_i64s_{}(ctx, g, r, o, 3);\n",
+            "get", "atomic"
+        );
+        assert!(lint_str(&src).is_empty());
     }
 
     #[test]

@@ -48,6 +48,12 @@ pub struct ParallelScfConfig {
     pub lb: LoadBalance,
     /// Steal chunk size (Scioto scheme).
     pub chunk: usize,
+    /// Steal victim-selection override; `None` keeps the
+    /// [`TcConfig`] default.
+    pub victim: Option<scioto::VictimPolicy>,
+    /// Batched termination-detection override; `None` keeps the
+    /// [`TcConfig`] default.
+    pub td_batch: Option<bool>,
 }
 
 impl Default for ParallelScfConfig {
@@ -57,6 +63,8 @@ impl Default for ParallelScfConfig {
             block: 4,
             lb: LoadBalance::Scioto,
             chunk: 2,
+            victim: None,
+            td_batch: None,
         }
     }
 }
@@ -237,7 +245,14 @@ pub fn run_scf_parallel(ctx: &Ctx, basis: &BasisSet, cfg: &ParallelScfConfig) ->
 
     // Scioto machinery (created even for the counter scheme: cheap).
     let armci = ga.armci().clone();
-    let tc = TaskCollection::create(ctx, &armci, TcConfig::new(16, cfg.chunk, 1 << 14));
+    let mut tc_cfg = TcConfig::new(16, cfg.chunk, 1 << 14);
+    if let Some(v) = cfg.victim {
+        tc_cfg = tc_cfg.with_victim(v);
+    }
+    if let Some(b) = cfg.td_batch {
+        tc_cfg = tc_cfg.with_td_batch(b);
+    }
+    let tc = TaskCollection::create(ctx, &armci, tc_cfg);
     let ga_for_cb = ga.clone();
     let fctx_cb = fctx.clone();
     let h = tc.register(

@@ -2,6 +2,7 @@
 
 use scioto_det::sync::Mutex;
 
+use crate::config::{ceil_log2, BarrierKind};
 use crate::kernel::Kernel;
 use crate::trace::TraceEvent;
 
@@ -9,27 +10,77 @@ struct BState {
     generation: u64,
     arrived: usize,
     max_arrival: u64,
+    /// Per-rank arrival clocks for the current episode (consulted by the
+    /// dissemination schedule; sized lazily on first wait).
+    arrivals: Vec<u64>,
     waiters: Vec<usize>,
 }
 
 /// A reusable machine-wide barrier.
 ///
-/// In virtual-time mode the collective release time is
-/// `max(arrival clocks) + cost`, so a barrier correctly charges every rank
-/// for waiting on the slowest participant. One instance services all
-/// episodes of a machine; SPMD discipline (every rank calls collectives in
-/// the same order) is the caller's responsibility, as on a real machine.
+/// Two release models, selected by [`BarrierKind`]:
+///
+/// * **Flat** — the collective release time is `max(arrival clocks) +
+///   cost`, so a barrier charges every rank for waiting on the slowest
+///   participant plus the full synchronous cost. The historical model.
+/// * **Tree** — a dissemination barrier: `K = ceil(log2 n)` rounds, in
+///   round `k` rank `r` signals rank `(r + 2^k) mod n` and waits on the
+///   signal from `(r - 2^k) mod n`, each delivery costing one hop
+///   (`cost / 2K`). A rank's release is its arrival pushed through that
+///   schedule, so release times are per-rank: stragglers' lateness reaches
+///   distant ranks only attenuated by hop delays, and with equal arrivals
+///   every rank pays `K` hops — half the flat model's up-and-down `2K`.
+///
+/// One instance services all episodes of a machine; SPMD discipline (every
+/// rank calls collectives in the same order) is the caller's
+/// responsibility, as on a real machine.
 pub struct SimBarrier {
+    kind: BarrierKind,
     state: Mutex<BState>,
 }
 
+/// Per-rank release clocks for one barrier episode under `kind`.
+///
+/// `arrivals` holds each rank's arrival clock; `cost` is the full modelled
+/// barrier cost (`2K * hop` when produced by
+/// [`crate::LatencyModel::barrier_cost`]).
+fn release_times(kind: BarrierKind, arrivals: &[u64], cost: u64) -> Vec<u64> {
+    let n = arrivals.len();
+    let max_arrival = arrivals.iter().copied().max().unwrap_or(0);
+    match kind {
+        BarrierKind::Flat => vec![max_arrival + cost; n],
+        BarrierKind::Tree => {
+            if n <= 1 {
+                return arrivals.iter().map(|a| a + cost).collect();
+            }
+            let k = ceil_log2(n);
+            // Integer division truncates; a cost below 2K degenerates to
+            // hop 0, i.e. a pure max-arrival synchronization.
+            let hop = cost / (2 * k);
+            let mut t = arrivals.to_vec();
+            let mut step = 1usize;
+            for _ in 0..k {
+                let prev = t.clone();
+                for (r, tr) in t.iter_mut().enumerate() {
+                    let peer = (r + n - step) % n;
+                    *tr = (*tr).max(prev[peer] + hop);
+                }
+                step <<= 1;
+            }
+            t
+        }
+    }
+}
+
 impl SimBarrier {
-    pub(crate) fn new() -> Self {
+    pub(crate) fn new(kind: BarrierKind) -> Self {
         SimBarrier {
+            kind,
             state: Mutex::new(BState {
                 generation: 0,
                 arrived: 0,
                 max_arrival: 0,
+                arrivals: Vec::new(),
                 waiters: Vec::new(),
             }),
         }
@@ -45,19 +96,25 @@ impl SimBarrier {
         let n = kernel.nranks();
         let mut st = self.state.lock();
         let my_generation = st.generation;
+        if st.arrivals.len() != n {
+            st.arrivals.resize(n, 0);
+        }
+        st.arrivals[rank] = kernel.now(rank);
         st.max_arrival = st.max_arrival.max(kernel.now(rank));
         st.arrived += 1;
         if st.arrived == n {
-            let release = st.max_arrival + cost;
+            let releases = release_times(self.kind, &st.arrivals, cost);
+            let my_release = releases[rank];
             st.generation = st.generation.wrapping_add(1);
             st.arrived = 0;
             st.max_arrival = 0;
+            st.arrivals.fill(0);
             let waiters = std::mem::take(&mut st.waiters);
             drop(st);
             for w in waiters {
-                kernel.unblock(w, release);
+                kernel.unblock(w, releases[w]);
             }
-            kernel.advance_to(rank, release);
+            kernel.advance_to(rank, my_release);
             kernel.emit(rank, || TraceEvent::BarrierWait {
                 dur_ns: kernel.clock(rank).saturating_sub(arrival),
                 epoch: my_generation,
@@ -88,6 +145,7 @@ impl SimBarrier {
 
 #[cfg(test)]
 mod tests {
+    use super::*;
     use crate::{Machine, MachineConfig};
 
     #[test]
@@ -125,5 +183,72 @@ mod tests {
             ctx.now()
         });
         assert_eq!(out.results, vec![7]);
+    }
+
+    #[test]
+    fn tree_release_schedule_is_per_rank() {
+        // Hand-computed dissemination schedule, n = 4, K = 2, hop = 10:
+        // arrivals [100, 200, 300, 400];
+        // round 1 (step 1): [410, 200, 300, 400]
+        // round 2 (step 2): [410, 410, 420, 400]
+        let t = release_times(BarrierKind::Tree, &[100, 200, 300, 400], 40);
+        assert_eq!(t, vec![410, 410, 420, 400]);
+        // Flat charges everyone max + full cost.
+        let f = release_times(BarrierKind::Flat, &[100, 200, 300, 400], 40);
+        assert_eq!(f, vec![440; 4]);
+    }
+
+    #[test]
+    fn tree_equal_arrivals_pay_half_the_flat_cost() {
+        // All arrive together: K hops = cost/2 instead of flat's full cost.
+        let t = release_times(BarrierKind::Tree, &[0; 8], 60);
+        assert_eq!(t, vec![30; 8]);
+        let f = release_times(BarrierKind::Flat, &[0; 8], 60);
+        assert_eq!(f, vec![60; 8]);
+    }
+
+    #[test]
+    fn tree_zero_hop_degenerates_to_max_arrival() {
+        // cost < 2K truncates the hop to zero: the schedule still
+        // synchronizes on the global max (dissemination reaches every rank
+        // within K rounds) but charges nothing extra.
+        let t = release_times(BarrierKind::Tree, &[5, 90, 20, 40, 7], 3);
+        assert_eq!(t, vec![90; 5]);
+    }
+
+    #[test]
+    fn tree_single_rank_charges_full_cost() {
+        assert_eq!(release_times(BarrierKind::Tree, &[12], 7), vec![19]);
+    }
+
+    #[test]
+    fn tree_machine_barrier_end_to_end() {
+        let out = Machine::run(
+            MachineConfig::virtual_time(4).with_barrier(BarrierKind::Tree),
+            |ctx| {
+                ctx.compute((ctx.rank() as u64 + 1) * 100);
+                ctx.barrier_with_cost(40);
+                ctx.now()
+            },
+        );
+        assert_eq!(out.results, vec![410, 410, 420, 400]);
+    }
+
+    #[test]
+    fn tree_machine_barrier_is_reusable() {
+        let out = Machine::run(
+            MachineConfig::virtual_time(3).with_barrier(BarrierKind::Tree),
+            |ctx| {
+                for _ in 0..5 {
+                    ctx.compute(10);
+                    ctx.barrier_with_cost(0);
+                }
+                ctx.now()
+            },
+        );
+        // Zero cost, equal arrivals: pure synchronization, 5 * 10 ns.
+        for t in out.results {
+            assert_eq!(t, 50);
+        }
     }
 }

@@ -171,6 +171,22 @@ impl SpeedModel {
     }
 }
 
+/// How the machine-wide barrier charges its participants.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BarrierKind {
+    /// Flat release: every rank leaves at `max(arrival) + cost` — the full
+    /// synchronous cost is charged on top of the slowest arrival. The
+    /// historical model and the ablation baseline.
+    Flat,
+    /// Dissemination barrier: `ceil(log2 n)` rounds, each costing one hop
+    /// (`cost / (2 * ceil(log2 n))`, i.e. `barrier_hop` when `cost` is a
+    /// [`LatencyModel::barrier_cost`]). A rank's release time is its own
+    /// arrival pushed through the round schedule, so ranks far from the
+    /// stragglers leave earlier and equal arrivals pay only half the flat
+    /// cost (K hops instead of the up-and-down 2K).
+    Tree,
+}
+
 /// Full configuration for [`crate::Machine::run`].
 #[derive(Clone, Debug)]
 pub struct MachineConfig {
@@ -188,6 +204,9 @@ pub struct MachineConfig {
     pub stack_size: usize,
     /// Event tracing and metrics collection (off by default).
     pub trace: TraceConfig,
+    /// Barrier release model ([`BarrierKind::Flat`] by default, so existing
+    /// pinned virtual-time results are unchanged unless a config opts in).
+    pub barrier: BarrierKind,
 }
 
 impl MachineConfig {
@@ -202,6 +221,7 @@ impl MachineConfig {
             seed: 0x005C_1070,
             stack_size: 1 << 20,
             trace: TraceConfig::disabled(),
+            barrier: BarrierKind::Flat,
         }
     }
 
@@ -236,6 +256,12 @@ impl MachineConfig {
     /// [`crate::Trace`] to the run's [`crate::Report`].
     pub fn with_trace(mut self, trace: TraceConfig) -> Self {
         self.trace = trace;
+        self
+    }
+
+    /// Replace the barrier release model.
+    pub fn with_barrier(mut self, barrier: BarrierKind) -> Self {
+        self.barrier = barrier;
         self
     }
 }

@@ -45,7 +45,7 @@ mod trace;
 mod vlock;
 
 pub use barrier::SimBarrier;
-pub use config::{ExecMode, LatencyModel, MachineConfig, SpeedModel};
+pub use config::{BarrierKind, ExecMode, LatencyModel, MachineConfig, SpeedModel};
 pub use ctx::Ctx;
 pub use machine::{Machine, RunOutput};
 pub use mailbox::{MailboxRouter, Msg, MsgFilter};

@@ -55,7 +55,7 @@ impl Machine {
         let shared = Arc::new(Shared {
             latency: cfg.latency,
             slot: Mutex::new(None),
-            barrier: SimBarrier::new(),
+            barrier: SimBarrier::new(cfg.barrier),
         });
         let results: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
         let panic_payload: Mutex<Option<Box<dyn Any + Send>>> = Mutex::new(None);

@@ -43,6 +43,12 @@ pub struct ContractionConfig {
     /// Number of times the contraction is repeated (a CC solver reruns
     /// the same contraction every residual iteration).
     pub iterations: usize,
+    /// Steal victim-selection override; `None` keeps the
+    /// [`TcConfig`] default.
+    pub victim: Option<scioto::VictimPolicy>,
+    /// Batched termination-detection override; `None` keeps the
+    /// [`TcConfig`] default.
+    pub td_batch: Option<bool>,
 }
 
 impl ContractionConfig {
@@ -58,6 +64,8 @@ impl ContractionConfig {
             lb,
             chunk: 2,
             iterations: 1,
+            victim: None,
+            td_batch: None,
         }
     }
 }
@@ -185,7 +193,14 @@ pub fn run_contraction(ctx: &Ctx, cfg: &ContractionConfig) -> (ContractionReport
         }
         TceLoadBalance::Scioto => {
             let armci = ga.armci().clone();
-            let tc = TaskCollection::create(ctx, &armci, TcConfig::new(8, cfg.chunk, 1 << 14));
+            let mut tc_cfg = TcConfig::new(8, cfg.chunk, 1 << 14);
+            if let Some(v) = cfg.victim {
+                tc_cfg = tc_cfg.with_victim(v);
+            }
+            if let Some(b) = cfg.td_batch {
+                tc_cfg = tc_cfg.with_td_batch(b);
+            }
+            let tc = TaskCollection::create(ctx, &armci, tc_cfg);
             let (ga2, a2, b2, c2) = (ga.clone(), a.clone(), b.clone(), c.clone());
             let mult_counter = Arc::new(std::sync::atomic::AtomicU64::new(0));
             let mult_clo = tc.register_clo(ctx, mult_counter.clone());

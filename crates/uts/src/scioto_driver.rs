@@ -31,6 +31,10 @@ pub struct SciotoUtsConfig {
     pub release_threshold: Option<usize>,
     /// Split release fraction, or `None` for the collection default.
     pub release_fraction: Option<f64>,
+    /// Steal victim-selection policy, or `None` for the collection default.
+    pub victim: Option<scioto::VictimPolicy>,
+    /// Batched termination detection, or `None` for the collection default.
+    pub td_batch: Option<bool>,
 }
 
 impl SciotoUtsConfig {
@@ -44,6 +48,8 @@ impl SciotoUtsConfig {
             queue: scioto::QueueKind::Split,
             release_threshold: None,
             release_fraction: None,
+            victim: None,
+            td_batch: None,
         }
     }
 }
@@ -58,6 +64,12 @@ pub fn run_scioto_uts(ctx: &Ctx, cfg: &SciotoUtsConfig) -> (TreeStats, scioto::P
     }
     if let Some(f) = cfg.release_fraction {
         tc_cfg.release_fraction = f;
+    }
+    if let Some(v) = cfg.victim {
+        tc_cfg = tc_cfg.with_victim(v);
+    }
+    if let Some(b) = cfg.td_batch {
+        tc_cfg = tc_cfg.with_td_batch(b);
     }
     let tc = TaskCollection::create(ctx, &armci, tc_cfg);
 
@@ -133,8 +145,14 @@ pub fn run_scioto_uts_chunked(
 ) -> (TreeStats, scioto::ProcessStats) {
     let armci = Armci::init(ctx);
     let body_cap = 4 + cfg.nodes_per_task * NODE_BYTES;
-    let tc_cfg = TcConfig::new(body_cap, cfg.base.chunk, cfg.base.max_tasks)
+    let mut tc_cfg = TcConfig::new(body_cap, cfg.base.chunk, cfg.base.max_tasks)
         .with_queue(cfg.base.queue);
+    if let Some(v) = cfg.base.victim {
+        tc_cfg = tc_cfg.with_victim(v);
+    }
+    if let Some(b) = cfg.base.td_batch {
+        tc_cfg = tc_cfg.with_td_batch(b);
+    }
     let tc = TaskCollection::create(ctx, &armci, tc_cfg);
 
     let stats = Arc::new(Mutex::new(TreeStats::default()));

@@ -57,6 +57,7 @@ echo "== analyze: traced table1 -> blame/critical-path report =="
 cargo run --release --offline -q -p scioto-bench --bin table1 -- \
     --trace-out "$work/table1.jsonl" \
     --analysis-out "$work/table1_analysis.json" \
+    --race-check \
     --json-out "$work/BENCH_table1.json" > /dev/null
 # The offline analyzer re-parses the JSONL dump; its report must match
 # the in-memory analysis byte for byte.
@@ -66,14 +67,41 @@ cargo run --release --offline -q -p scioto-bench --bin analyze -- \
 cmp "$work/table1_analysis.json" "$work/table1_analysis_offline.json"
 echo "ok: offline analyzer matches in-memory analysis"
 
-echo "== bench runs: fig7 / fig4 / ablation =="
+echo "== bench runs: fig7 / fig4 / ablation / fig8 (new default policy) =="
+# Every bin runs with `--race-check`: the traced run replays through the
+# happens-before checker in-process, so all six bins are race-gated under
+# the new default policy (locality victims + tree barrier + batched TD).
 cargo run --release --offline -q -p scioto-bench --bin fig7_uts_cluster -- \
     --max-ranks 8 --tree small --trace-out "$work/fig7.jsonl" \
-    --json-out "$work/BENCH_fig7.json" > /dev/null
+    --race-check --json-out "$work/BENCH_fig7.json" > /dev/null
 cargo run --release --offline -q -p scioto-bench --bin fig4_termination -- \
-    --json-out "$work/BENCH_fig4.json" > /dev/null
+    --race-check --json-out "$work/BENCH_fig4.json" > /dev/null
 cargo run --release --offline -q -p scioto-bench --bin ablation -- \
-    --json-out "$work/BENCH_ablation.json" > /dev/null
+    --race-check --json-out "$work/BENCH_ablation.json" > /dev/null
+cargo run --release --offline -q -p scioto-bench --bin fig8_uts_xt4 -- \
+    --max-ranks 8 --tree small --race-check \
+    --json-out "$work/BENCH_fig8.json" > /dev/null
+cargo run --release --offline -q -p scioto-bench --bin fig5_fig6_apps -- \
+    --max-ranks 1 --race-check > /dev/null
+
+echo "== policy ablation: old knobs still reproduce the pinned baseline =="
+# The ablation baseline (uniform victims, flat barrier, per-slot TD) must
+# stay byte-identical: rel-tol 0 against its own pinned results file.
+cargo run --release --offline -q -p scioto-bench --bin fig7_uts_cluster -- \
+    --max-ranks 8 --tree small --old-policy \
+    --json-out "$work/BENCH_fig7_oldpolicy.json" > /dev/null
+if [ "$BLESS" = 0 ]; then
+    cargo run --release --offline -q -p scioto-bench --bin bench_diff -- \
+        --baseline "results/baselines/BENCH_fig7_oldpolicy.json" \
+        --new "$work/BENCH_fig7_oldpolicy.json" --rel-tol 0
+fi
+# New policy vs old policy on the same workload: the knobs are expected to
+# move throughput (that is the point), but never catastrophically — the
+# params differ by construction, so they are excluded from the gate.
+cargo run --release --offline -q -p scioto-bench --bin bench_diff -- \
+    --baseline "$work/BENCH_fig7_oldpolicy.json" \
+    --new "$work/BENCH_fig7.json" \
+    --ignore-params victim,barrier,td_batch --rel-tol 0.5
 
 echo "== race check: happens-before replay of table1 + fig7 traces (hard gate) =="
 race_t0=$(date +%s)
@@ -90,15 +118,16 @@ fi
 if [ "$BLESS" = 1 ]; then
     echo "== bless: refreshing results/baselines/ =="
     mkdir -p results/baselines
-    for f in BENCH_table1 BENCH_fig7 BENCH_fig4 BENCH_ablation; do
+    for f in BENCH_table1 BENCH_fig7 BENCH_fig4 BENCH_ablation BENCH_fig8 \
+             BENCH_fig7_oldpolicy; do
         cp "$work/$f.json" "results/baselines/$f.json"
         echo "blessed results/baselines/$f.json"
     done
 else
-    echo "== bench_diff: table1 + fig7 + fig4 + ablation vs committed baselines =="
+    echo "== bench_diff: table1 + fig7 + fig4 + ablation + fig8 vs committed baselines =="
     # Generous tolerance: the diff exists to catch real regressions from
     # code changes, and virtual-time results only move when the code does.
-    for f in BENCH_table1 BENCH_fig7 BENCH_fig4 BENCH_ablation; do
+    for f in BENCH_table1 BENCH_fig7 BENCH_fig4 BENCH_ablation BENCH_fig8; do
         cargo run --release --offline -q -p scioto-bench --bin bench_diff -- \
             --baseline "results/baselines/$f.json" \
             --new "$work/$f.json" --rel-tol 0.5
