@@ -98,8 +98,10 @@ impl Provenance {
 }
 
 /// Ring radius used for the report's "near-steal share" summary: steals
-/// within two hops of the thief count as local traffic.
-pub const NEAR_RADIUS: usize = 2;
+/// within this many hops of the thief count as local traffic. Derived
+/// from the sim's near/far latency preset so "near" means the same thing
+/// to the analyzer and to [`scioto_sim::LatencyTiers::nearfar`] pricing.
+pub const NEAR_RADIUS: usize = scioto_sim::LatencyTiers::nearfar().near_radius;
 
 /// Build the provenance profile of `trace`.
 pub fn analyze(trace: &Trace) -> Provenance {

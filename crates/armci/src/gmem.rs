@@ -100,7 +100,7 @@ impl Armci {
         if target == ctx.rank() {
             ctx.latency().local_get + (ctx.latency().per_byte * len as f64 * 0.125) as u64
         } else {
-            ctx.latency().xfer(len)
+            ctx.latency().xfer_to(ctx.rank(), target, self.nranks, len)
         }
     }
 

@@ -60,7 +60,7 @@ impl Armci {
         if rank == ctx.rank() {
             ctx.latency().local_get
         } else {
-            ctx.latency().lock
+            ctx.latency().lock_to(ctx.rank(), rank, self.nranks)
         }
     }
 

@@ -11,7 +11,7 @@ impl Armci {
         if rank == ctx.rank() {
             ctx.latency().local_get
         } else {
-            ctx.latency().remote_op
+            ctx.latency().remote_op_to(ctx.rank(), rank, self.nranks)
         }
     }
 

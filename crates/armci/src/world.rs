@@ -44,7 +44,7 @@ impl Armci {
         let cost = if target == ctx.rank() {
             ctx.latency().local_get
         } else {
-            ctx.latency().remote_op
+            ctx.latency().remote_op_to(ctx.rank(), target, self.nranks)
         };
         ctx.charge_net(cost);
     }

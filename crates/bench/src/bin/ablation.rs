@@ -8,7 +8,8 @@
 //!   §5.3 rule, and its effect on termination cost.
 //!
 //! Run: `cargo run --release -p scioto-bench --bin ablation`
-//! Options: the policy flags `--victim`, `--barrier`, `--td-batch`,
+//! Options: `--engine auto|threads|events`, `--latency flat|nearfar`,
+//! plus the policy flags `--victim`, `--barrier`, `--td-batch`,
 //! `--old-policy` shared with the other bench binaries.
 
 use std::sync::Arc;
@@ -16,20 +17,30 @@ use std::sync::Arc;
 use scioto::{StatsSummary, Task, TaskCollection, TcConfig, AFFINITY_HIGH};
 use scioto_armci::Armci;
 use scioto_bench::{
-    dump_analysis, dump_trace, obs_requested, run_race_check, render_table, trace_config, us, Args,
-    BenchOut, PolicyFlags,
+    dump_analysis, dump_trace, engine_from_args, obs_requested, run_race_check, render_table,
+    trace_config, us, Args, BenchOut, LatencyPreset, PolicyFlags,
 };
-use scioto_sim::{LatencyModel, Machine, MachineConfig, SpeedModel};
+use scioto_sim::{Engine, LatencyModel, Machine, MachineConfig, SpeedModel};
+
+#[derive(Clone, Copy)]
+struct SimOpts {
+    engine: Engine,
+    latency: LatencyPreset,
+}
+
+fn cluster_machine(p: usize, policy: PolicyFlags, sim: SimOpts) -> MachineConfig {
+    MachineConfig::virtual_time(p)
+        .with_latency(sim.latency.apply(LatencyModel::cluster()))
+        .with_barrier(policy.barrier)
+        .with_engine(sim.engine)
+}
 use scioto_uts::scioto_driver::{run_scioto_uts, SciotoUtsConfig};
 use scioto_uts::{presets, TreeStats};
 
-fn uts_rate(p: usize, chunk: usize, policy: PolicyFlags) -> (f64, u64) {
+fn uts_rate(p: usize, chunk: usize, policy: PolicyFlags, sim: SimOpts) -> (f64, u64) {
     let params = presets::small();
     let out = Machine::run(
-        MachineConfig::virtual_time(p)
-            .with_latency(LatencyModel::cluster())
-            .with_speed(SpeedModel::hetero_cluster(p))
-            .with_barrier(policy.barrier),
+        cluster_machine(p, policy, sim).with_speed(SpeedModel::hetero_cluster(p)),
         move |ctx| {
             let cfg = SciotoUtsConfig {
                 chunk,
@@ -52,10 +63,10 @@ fn uts_rate(p: usize, chunk: usize, policy: PolicyFlags) -> (f64, u64) {
     )
 }
 
-fn chunk_sweep(bench: &mut BenchOut, policy: PolicyFlags) {
+fn chunk_sweep(bench: &mut BenchOut, policy: PolicyFlags, sim: SimOpts) {
     let mut rows = Vec::new();
     for chunk in [1usize, 2, 5, 10, 20, 50] {
-        let (rate, steals) = uts_rate(16, chunk, policy);
+        let (rate, steals) = uts_rate(16, chunk, policy, sim);
         bench.metric(&format!("chunk{chunk:02}_mnodes"), rate);
         bench.metric(&format!("chunk{chunk:02}_steals"), steals as f64);
         rows.push(vec![
@@ -74,15 +85,12 @@ fn chunk_sweep(bench: &mut BenchOut, policy: PolicyFlags) {
     );
 }
 
-fn release_sweep(bench: &mut BenchOut, policy: PolicyFlags) {
+fn release_sweep(bench: &mut BenchOut, policy: PolicyFlags, sim: SimOpts) {
     let params = presets::small();
     let mut rows = Vec::new();
     for (threshold, fraction) in [(1usize, 0.25f64), (10, 0.5), (10, 0.9), (64, 0.5)] {
         let out = Machine::run(
-            MachineConfig::virtual_time(16)
-                .with_latency(LatencyModel::cluster())
-                .with_speed(SpeedModel::hetero_cluster(16))
-                .with_barrier(policy.barrier),
+            cluster_machine(16, policy, sim).with_speed(SpeedModel::hetero_cluster(16)),
             move |ctx| {
                 let cfg = SciotoUtsConfig {
                     release_threshold: Some(threshold),
@@ -110,13 +118,11 @@ fn release_sweep(bench: &mut BenchOut, policy: PolicyFlags) {
     );
 }
 
-fn votes_before(bench: &mut BenchOut, policy: PolicyFlags) {
+fn votes_before(bench: &mut BenchOut, policy: PolicyFlags, sim: SimOpts) {
     let mut rows = Vec::new();
     for opt in [true, false] {
         let out = Machine::run(
-            MachineConfig::virtual_time(16)
-                .with_latency(LatencyModel::cluster())
-                .with_barrier(policy.barrier),
+            cluster_machine(16, policy, sim),
             move |ctx| {
                 let armci = Armci::init(ctx);
                 let cfg = TcConfig::new(8, 2, 4096)
@@ -169,14 +175,15 @@ fn votes_before(bench: &mut BenchOut, policy: PolicyFlags) {
 fn main() {
     let args = Args::parse();
     let policy = PolicyFlags::from_args(&args);
+    let sim = SimOpts {
+        engine: engine_from_args(&args),
+        latency: LatencyPreset::from_args(&args),
+    };
     if obs_requested(&args) {
         // Dedicated traced votes-before run at 8 ranks; the ablation
         // tables below stay untraced.
         let out = Machine::run(
-            MachineConfig::virtual_time(8)
-                .with_latency(LatencyModel::cluster())
-                .with_trace(trace_config(&args))
-                .with_barrier(policy.barrier),
+            cluster_machine(8, policy, sim).with_trace(trace_config(&args)),
             move |ctx| {
                 let armci = Armci::init(ctx);
                 let cfg = TcConfig::new(8, 2, 4096)
@@ -202,8 +209,11 @@ fn main() {
     for (k, v) in policy.params() {
         bench.param(k, v);
     }
-    chunk_sweep(&mut bench, policy);
-    release_sweep(&mut bench, policy);
-    votes_before(&mut bench, policy);
+    if let Some((k, v)) = sim.latency.param() {
+        bench.param(k, v);
+    }
+    chunk_sweep(&mut bench, policy, sim);
+    release_sweep(&mut bench, policy, sim);
+    votes_before(&mut bench, policy, sim);
     bench.write_if_requested(&args);
 }

@@ -6,32 +6,47 @@
 //! twice the time of a barrier, with log(p) scaling.
 //!
 //! Run: `cargo run --release -p scioto-bench --bin fig4_termination`
-//! Options: `--max-ranks N` plus the policy flags `--victim`,
-//! `--barrier`, `--td-batch`, `--old-policy` shared with the other
-//! bench binaries.
+//! Options: `--max-ranks N`, `--only-ranks N` (single sweep point),
+//! `--engine auto|threads|events`, `--latency flat|nearfar`, plus the
+//! policy flags `--victim`, `--barrier`, `--td-batch`, `--old-policy`
+//! shared with the other bench binaries.
 
 use std::sync::Arc;
 
 use scioto::{Task, TaskCollection, TcConfig, AFFINITY_HIGH};
 use scioto_armci::Armci;
 use scioto_bench::{
-    dump_analysis, dump_trace, obs_requested, run_race_check, render_table, trace_config, us, Args, BenchOut, PolicyFlags,
+    dump_analysis, dump_trace, engine_from_args, obs_requested, only_ranks, render_table,
+    run_race_check, trace_config, us, Args, BenchOut, LatencyPreset, PolicyFlags,
 };
 use scioto_mpi::Comm;
-use scioto_sim::{LatencyModel, Machine, MachineConfig, Report, TraceConfig};
+use scioto_sim::{Engine, LatencyModel, Machine, MachineConfig, Report, TraceConfig};
+
+#[derive(Clone, Copy)]
+struct SimOpts {
+    engine: Engine,
+    latency: LatencyPreset,
+}
+
+fn machine(p: usize, policy: PolicyFlags, sim: SimOpts) -> MachineConfig {
+    MachineConfig::virtual_time(p)
+        .with_latency(sim.latency.apply(LatencyModel::cluster()))
+        .with_barrier(policy.barrier)
+        .with_engine(sim.engine)
+}
 
 /// Max over ranks of a per-rank duration measurement.
 fn max_ns(results: Vec<u64>) -> u64 {
     results.into_iter().max().unwrap_or(0)
 }
 
-fn termination_time(p: usize, trace: TraceConfig, policy: PolicyFlags) -> (u64, Report) {
-    let out = Machine::run(
-        MachineConfig::virtual_time(p)
-            .with_latency(LatencyModel::cluster())
-            .with_trace(trace)
-            .with_barrier(policy.barrier),
-        move |ctx| {
+fn termination_time(
+    p: usize,
+    trace: TraceConfig,
+    policy: PolicyFlags,
+    sim: SimOpts,
+) -> (u64, Report) {
+    let out = Machine::run(machine(p, policy, sim).with_trace(trace), move |ctx| {
             let armci = Armci::init(ctx);
             let cfg = TcConfig::new(8, 10, 64)
                 .with_victim(policy.victim)
@@ -50,13 +65,9 @@ fn termination_time(p: usize, trace: TraceConfig, policy: PolicyFlags) -> (u64, 
     (max_ns(out.results), out.report)
 }
 
-fn armci_barrier_time(p: usize, policy: PolicyFlags) -> u64 {
+fn armci_barrier_time(p: usize, policy: PolicyFlags, sim: SimOpts) -> u64 {
     const REPS: u64 = 20;
-    let out = Machine::run(
-        MachineConfig::virtual_time(p)
-            .with_latency(LatencyModel::cluster())
-            .with_barrier(policy.barrier),
-        |ctx| {
+    let out = Machine::run(machine(p, policy, sim), |ctx| {
             let armci = Armci::init(ctx);
             armci.barrier(ctx);
             let t0 = ctx.now();
@@ -69,13 +80,9 @@ fn armci_barrier_time(p: usize, policy: PolicyFlags) -> u64 {
     max_ns(out.results)
 }
 
-fn mpi_barrier_time(p: usize, policy: PolicyFlags) -> u64 {
+fn mpi_barrier_time(p: usize, policy: PolicyFlags, sim: SimOpts) -> u64 {
     const REPS: u64 = 20;
-    let out = Machine::run(
-        MachineConfig::virtual_time(p)
-            .with_latency(LatencyModel::cluster())
-            .with_barrier(policy.barrier),
-        |ctx| {
+    let out = Machine::run(machine(p, policy, sim), |ctx| {
             let comm = Comm::world(ctx);
             comm.barrier(ctx);
             let t0 = ctx.now();
@@ -92,11 +99,16 @@ fn main() {
     let args = Args::parse();
     let max_p: usize = args.get("max-ranks", 64);
     let policy = PolicyFlags::from_args(&args);
+    let sim = SimOpts {
+        engine: engine_from_args(&args),
+        latency: LatencyPreset::from_args(&args),
+    };
+    let only = only_ranks(&args);
     if obs_requested(&args) {
         // Dedicated traced detection run (`--trace-ranks N`, default 8);
         // the sweep stays untraced so the published table is unaffected.
         let (_, report) =
-            termination_time(args.get("trace-ranks", 8), trace_config(&args), policy);
+            termination_time(args.get("trace-ranks", 8), trace_config(&args), policy, sim);
         dump_trace(&args, &report);
         dump_analysis(&args, &report);
         run_race_check(&args, &report);
@@ -106,12 +118,22 @@ fn main() {
     for (k, v) in policy.params() {
         bench.param(k, v);
     }
+    if let Some((k, v)) = sim.latency.param() {
+        bench.param(k, v);
+    }
+    if let Some(o) = only {
+        bench.param("only_ranks", o);
+    }
     let mut rows = Vec::new();
     let mut p = 1;
     while p <= max_p {
-        let (td, _) = termination_time(p, TraceConfig::disabled(), policy);
-        let ab = armci_barrier_time(p, policy);
-        let mb = mpi_barrier_time(p, policy);
+        if only.is_some_and(|o| o != p) {
+            p *= 2;
+            continue;
+        }
+        let (td, _) = termination_time(p, TraceConfig::disabled(), policy, sim);
+        let ab = armci_barrier_time(p, policy, sim);
+        let mb = mpi_barrier_time(p, policy, sim);
         let ratio = td as f64 / ab.max(1) as f64;
         bench.metric(&format!("td_ns_p{p:03}"), td as f64);
         bench.metric(&format!("armci_barrier_ns_p{p:03}"), ab as f64);

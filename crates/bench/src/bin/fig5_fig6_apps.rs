@@ -9,28 +9,36 @@
 //!
 //! Run: `cargo run --release -p scioto-bench --bin fig5_fig6_apps`
 //! Options: `--max-ranks N` (default 64), `--atoms N` (default 10),
-//! `--tiles N` (default 12), plus the policy flags `--victim`,
-//! `--barrier`, `--td-batch`, `--old-policy` shared with the other
-//! bench binaries.
+//! `--tiles N` (default 12), `--engine auto|threads|events`,
+//! `--latency flat|nearfar`, `--only-ranks N`, plus the policy flags
+//! `--victim`, `--barrier`, `--td-batch`, `--old-policy` shared with
+//! the other bench binaries.
 
 use scioto_bench::{
-    cluster_rank_sweep, dump_analysis, dump_trace, obs_requested, run_race_check, render_table, secs,
-    trace_config, Args, BenchOut, PolicyFlags,
+    cluster_rank_sweep, dump_analysis, dump_trace, engine_from_args, obs_requested, only_ranks,
+    render_table, run_race_check, secs, trace_config, Args, BenchOut, LatencyPreset, PolicyFlags,
 };
 use scioto_scf::{run_scf_parallel, BasisSet, LoadBalance, Molecule, ParallelScfConfig};
-use scioto_sim::{LatencyModel, Machine, MachineConfig, SpeedModel};
+use scioto_sim::{Engine, LatencyModel, Machine, MachineConfig, SpeedModel};
 use scioto_tce::{run_contraction, ContractionConfig, SparsityPattern, TceLoadBalance};
 
-fn machine(p: usize, policy: PolicyFlags) -> MachineConfig {
-    MachineConfig::virtual_time(p)
-        .with_latency(LatencyModel::cluster())
-        .with_speed(SpeedModel::hetero_cluster(p))
-        .with_barrier(policy.barrier)
+#[derive(Clone, Copy)]
+struct SimOpts {
+    engine: Engine,
+    latency: LatencyPreset,
 }
 
-fn scf_run(p: usize, atoms: usize, lb: LoadBalance, policy: PolicyFlags) -> u64 {
+fn machine(p: usize, policy: PolicyFlags, sim: SimOpts) -> MachineConfig {
+    MachineConfig::virtual_time(p)
+        .with_latency(sim.latency.apply(LatencyModel::cluster()))
+        .with_speed(SpeedModel::hetero_cluster(p))
+        .with_barrier(policy.barrier)
+        .with_engine(sim.engine)
+}
+
+fn scf_run(p: usize, atoms: usize, lb: LoadBalance, policy: PolicyFlags, sim: SimOpts) -> u64 {
     let basis = BasisSet::even_tempered(Molecule::h_chain(atoms), 2, 0.4, 3.5);
-    let out = Machine::run(machine(p, policy), move |ctx| {
+    let out = Machine::run(machine(p, policy, sim), move |ctx| {
         let mut cfg = ParallelScfConfig {
             lb,
             block: 4,
@@ -48,8 +56,8 @@ fn scf_run(p: usize, atoms: usize, lb: LoadBalance, policy: PolicyFlags) -> u64 
     out.report.makespan_ns
 }
 
-fn tce_run(p: usize, tiles: usize, lb: TceLoadBalance, policy: PolicyFlags) -> u64 {
-    let out = Machine::run(machine(p, policy), move |ctx| {
+fn tce_run(p: usize, tiles: usize, lb: TceLoadBalance, policy: PolicyFlags, sim: SimOpts) -> u64 {
+    let out = Machine::run(machine(p, policy, sim), move |ctx| {
         let cfg = ContractionConfig {
             nbr: tiles,
             nbk: tiles,
@@ -76,13 +84,18 @@ fn main() {
     let atoms: usize = args.get("atoms", 16);
     let tiles: usize = args.get("tiles", 48);
     let policy = PolicyFlags::from_args(&args);
+    let sim = SimOpts {
+        engine: engine_from_args(&args),
+        latency: LatencyPreset::from_args(&args),
+    };
+    let only = only_ranks(&args);
 
     if obs_requested(&args) {
         // Dedicated traced 4-rank SCF run (2 Roothaan iterations, small
         // basis); the figure sweep below stays untraced.
         let basis = BasisSet::even_tempered(Molecule::h_chain(6), 2, 0.4, 3.5);
         let trace = trace_config(&args);
-        let out = Machine::run(machine(4, policy).with_trace(trace), move |ctx| {
+        let out = Machine::run(machine(4, policy, sim).with_trace(trace), move |ctx| {
             let mut cfg = ParallelScfConfig {
                 lb: LoadBalance::Scioto,
                 block: 4,
@@ -110,14 +123,23 @@ fn main() {
     for (k, v) in policy.params() {
         bench.param(k, v);
     }
+    if let Some((k, v)) = sim.latency.param() {
+        bench.param(k, v);
+    }
+    if let Some(o) = only {
+        bench.param("only_ranks", o);
+    }
     let mut results: Vec<(usize, [u64; 4])> = Vec::new();
     for &p in &ps {
+        if only.is_some_and(|o| o != p) {
+            continue;
+        }
         eprintln!("running P = {p} ...");
         let row = [
-            scf_run(p, atoms, LoadBalance::Scioto, policy),
-            scf_run(p, atoms, LoadBalance::GlobalCounter, policy),
-            tce_run(p, tiles, TceLoadBalance::Scioto, policy),
-            tce_run(p, tiles, TceLoadBalance::GlobalCounter, policy),
+            scf_run(p, atoms, LoadBalance::Scioto, policy, sim),
+            scf_run(p, atoms, LoadBalance::GlobalCounter, policy, sim),
+            tce_run(p, tiles, TceLoadBalance::Scioto, policy, sim),
+            tce_run(p, tiles, TceLoadBalance::GlobalCounter, policy, sim),
         ];
         for (name, ns) in ["scf", "scf_orig", "tce", "tce_orig"].iter().zip(row) {
             bench.metric(&format!("{name}_ns_p{p:03}"), ns as f64);

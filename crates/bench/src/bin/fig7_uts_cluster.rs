@@ -9,25 +9,35 @@
 //! absorbed transparently.
 //!
 //! Run: `cargo run --release -p scioto-bench --bin fig7_uts_cluster`
-//! Options: `--max-ranks N` (default 64), `--tree small|medium|large`,
-//! plus the hot-path policy flags `--victim uniform|locality`,
-//! `--barrier flat|tree`, `--td-batch on|off` and the `--old-policy`
-//! shorthand for the pre-locality baseline triple.
+//! Options: `--max-ranks N` (default 64; the event engine sweeps to 1024
+//! and beyond), `--only-ranks N` (single sweep point), `--tree
+//! small|medium|large`, `--engine auto|threads|events`, `--latency
+//! flat|nearfar` (near/far distance tiers), plus the hot-path policy
+//! flags `--victim uniform|locality`, `--barrier flat|tree`,
+//! `--td-batch on|off` and the `--old-policy` shorthand for the
+//! pre-locality baseline triple.
 
 use scioto_bench::{
-    cluster_rank_sweep, dump_analysis, dump_trace, obs_requested, run_race_check, render_table, trace_config,
-    Args, BenchOut, PolicyFlags,
+    cluster_rank_sweep, dump_analysis, dump_trace, engine_from_args, obs_requested, only_ranks,
+    render_table, run_race_check, trace_config, Args, BenchOut, LatencyPreset, PolicyFlags,
 };
-use scioto_sim::{LatencyModel, Machine, MachineConfig, SpeedModel};
+use scioto_sim::{Engine, LatencyModel, Machine, MachineConfig, SpeedModel};
 use scioto_uts::mpi_ws::{run_mpi_uts, MpiUtsConfig};
 use scioto_uts::scioto_driver::{run_scioto_uts, SciotoUtsConfig};
 use scioto_uts::{presets, TreeParams, TreeStats};
 
-fn machine(p: usize, policy: PolicyFlags) -> MachineConfig {
+#[derive(Clone, Copy)]
+struct SimOpts {
+    engine: Engine,
+    latency: LatencyPreset,
+}
+
+fn machine(p: usize, policy: PolicyFlags, sim: SimOpts) -> MachineConfig {
     MachineConfig::virtual_time(p)
-        .with_latency(LatencyModel::cluster())
+        .with_latency(sim.latency.apply(LatencyModel::cluster()))
         .with_speed(SpeedModel::hetero_cluster(p))
         .with_barrier(policy.barrier)
+        .with_engine(sim.engine)
 }
 
 fn uts_config(params: TreeParams, policy: PolicyFlags) -> SciotoUtsConfig {
@@ -43,8 +53,14 @@ fn rate(nodes: u64, ns: u64) -> f64 {
     nodes as f64 / (ns as f64 / 1e9) / 1e6
 }
 
-fn scioto_rate(p: usize, params: TreeParams, queue: scioto::QueueKind, policy: PolicyFlags) -> f64 {
-    let out = Machine::run(machine(p, policy), move |ctx| {
+fn scioto_rate(
+    p: usize,
+    params: TreeParams,
+    queue: scioto::QueueKind,
+    policy: PolicyFlags,
+    sim: SimOpts,
+) -> f64 {
+    let out = Machine::run(machine(p, policy, sim), move |ctx| {
         let cfg = SciotoUtsConfig {
             queue,
             ..uts_config(params, policy)
@@ -58,8 +74,8 @@ fn scioto_rate(p: usize, params: TreeParams, queue: scioto::QueueKind, policy: P
     rate(total.nodes, out.report.makespan_ns)
 }
 
-fn mpi_rate(p: usize, params: TreeParams, policy: PolicyFlags) -> f64 {
-    let out = Machine::run(machine(p, policy), move |ctx| {
+fn mpi_rate(p: usize, params: TreeParams, policy: PolicyFlags, sim: SimOpts) -> f64 {
+    let out = Machine::run(machine(p, policy, sim), move |ctx| {
         run_mpi_uts(ctx, &MpiUtsConfig::new(params)).0
     });
     let mut total = TreeStats::default();
@@ -74,6 +90,11 @@ fn main() {
     let max_p: usize = args.get("max-ranks", 64);
     let tree: String = args.get("tree", "medium".to_string());
     let policy = PolicyFlags::from_args(&args);
+    let sim = SimOpts {
+        engine: engine_from_args(&args),
+        latency: LatencyPreset::from_args(&args),
+    };
+    let only = only_ranks(&args);
     let params = match tree.as_str() {
         "small" => presets::small(),
         "medium" => presets::medium(),
@@ -95,7 +116,7 @@ fn main() {
         };
         let trace = trace_config(&args);
         let out = Machine::run(
-            machine(trace_ranks, policy).with_trace(trace),
+            machine(trace_ranks, policy, sim).with_trace(trace),
             move |ctx| run_scioto_uts(ctx, &uts_config(trace_params, policy)).0,
         );
         dump_trace(&args, &out.report);
@@ -108,12 +129,21 @@ fn main() {
     for (k, v) in policy.params() {
         bench.param(k, v);
     }
+    if let Some((k, v)) = sim.latency.param() {
+        bench.param(k, v);
+    }
+    if let Some(o) = only {
+        bench.param("only_ranks", o);
+    }
     let mut rows = Vec::new();
     for p in cluster_rank_sweep(max_p) {
+        if only.is_some_and(|o| o != p) {
+            continue;
+        }
         eprintln!("running P = {p} ...");
-        let split = scioto_rate(p, params, scioto::QueueKind::Split, policy);
-        let mpi = mpi_rate(p, params, policy);
-        let nosplit = scioto_rate(p, params, scioto::QueueKind::Locked, policy);
+        let split = scioto_rate(p, params, scioto::QueueKind::Split, policy, sim);
+        let mpi = mpi_rate(p, params, policy, sim);
+        let nosplit = scioto_rate(p, params, scioto::QueueKind::Locked, policy, sim);
         bench.metric(&format!("split_mnodes_p{p:03}"), split);
         bench.metric(&format!("mpi_ws_mnodes_p{p:03}"), mpi);
         bench.metric(&format!("nosplit_mnodes_p{p:03}"), nosplit);

@@ -8,14 +8,17 @@
 //! throughout.
 //!
 //! Run: `cargo run --release -p scioto-bench --bin fig8_uts_xt4`
-//! Options: `--max-ranks N` (default 512), `--tree small|medium|large`,
-//! plus the policy flags `--victim`, `--barrier`, `--td-batch`,
-//! `--old-policy` shared with the other bench binaries.
+//! Options: `--max-ranks N` (default 512), `--only-ranks N` (single sweep
+//! point), `--tree small|medium|large`, `--engine auto|threads|events`,
+//! `--latency flat|nearfar`, plus the policy flags `--victim`,
+//! `--barrier`, `--td-batch`, `--old-policy` shared with the other bench
+//! binaries.
 
 use scioto_bench::{
-    dump_analysis, dump_trace, obs_requested, run_race_check, render_table, trace_config, Args, BenchOut, PolicyFlags,
+    dump_analysis, dump_trace, engine_from_args, obs_requested, only_ranks, render_table,
+    run_race_check, trace_config, Args, BenchOut, LatencyPreset, PolicyFlags,
 };
-use scioto_sim::{LatencyModel, Machine, MachineConfig, SpeedModel};
+use scioto_sim::{Engine, LatencyModel, Machine, MachineConfig, SpeedModel};
 use scioto_uts::mpi_ws::{run_mpi_uts, MpiUtsConfig};
 use scioto_uts::scioto_driver::{run_scioto_uts, SciotoUtsConfig};
 use scioto_uts::{presets, TreeParams, TreeStats};
@@ -23,11 +26,18 @@ use scioto_uts::{presets, TreeParams, TreeStats};
 /// XT4 Opteron 285: 0.5681 µs per node vs. the 0.3158 µs reference.
 const XT4_FACTOR: f64 = 0.5681 / 0.3158;
 
-fn machine(p: usize, policy: PolicyFlags) -> MachineConfig {
+#[derive(Clone, Copy)]
+struct SimOpts {
+    engine: Engine,
+    latency: LatencyPreset,
+}
+
+fn machine(p: usize, policy: PolicyFlags, sim: SimOpts) -> MachineConfig {
     MachineConfig::virtual_time(p)
-        .with_latency(LatencyModel::xt4())
+        .with_latency(sim.latency.apply(LatencyModel::xt4()))
         .with_speed(SpeedModel::from_factors(vec![XT4_FACTOR; p]))
         .with_barrier(policy.barrier)
+        .with_engine(sim.engine)
 }
 
 fn uts_config(params: TreeParams, policy: PolicyFlags) -> SciotoUtsConfig {
@@ -42,8 +52,8 @@ fn rate(nodes: u64, ns: u64) -> f64 {
     nodes as f64 / (ns as f64 / 1e9) / 1e6
 }
 
-fn scioto_rate(p: usize, params: TreeParams, policy: PolicyFlags) -> f64 {
-    let out = Machine::run(machine(p, policy), move |ctx| {
+fn scioto_rate(p: usize, params: TreeParams, policy: PolicyFlags, sim: SimOpts) -> f64 {
+    let out = Machine::run(machine(p, policy, sim), move |ctx| {
         run_scioto_uts(ctx, &uts_config(params, policy)).0
     });
     let mut total = TreeStats::default();
@@ -53,8 +63,8 @@ fn scioto_rate(p: usize, params: TreeParams, policy: PolicyFlags) -> f64 {
     rate(total.nodes, out.report.makespan_ns)
 }
 
-fn mpi_rate(p: usize, params: TreeParams, policy: PolicyFlags) -> f64 {
-    let out = Machine::run(machine(p, policy), move |ctx| {
+fn mpi_rate(p: usize, params: TreeParams, policy: PolicyFlags, sim: SimOpts) -> f64 {
+    let out = Machine::run(machine(p, policy, sim), move |ctx| {
         run_mpi_uts(ctx, &MpiUtsConfig::new(params)).0
     });
     let mut total = TreeStats::default();
@@ -69,6 +79,11 @@ fn main() {
     let max_p: usize = args.get("max-ranks", 512);
     let tree: String = args.get("tree", "medium".to_string());
     let policy = PolicyFlags::from_args(&args);
+    let sim = SimOpts {
+        engine: engine_from_args(&args),
+        latency: LatencyPreset::from_args(&args),
+    };
+    let only = only_ranks(&args);
     let params = match tree.as_str() {
         "small" => presets::small(),
         "medium" => presets::medium(),
@@ -81,7 +96,7 @@ fn main() {
         let trace_ranks: usize = args.get("trace-ranks", 8);
         let trace = trace_config(&args);
         let out = Machine::run(
-            machine(trace_ranks, policy).with_trace(trace),
+            machine(trace_ranks, policy, sim).with_trace(trace),
             move |ctx| run_scioto_uts(ctx, &uts_config(presets::tiny(), policy)).0,
         );
         dump_trace(&args, &out.report);
@@ -94,14 +109,29 @@ fn main() {
     for (k, v) in policy.params() {
         bench.param(k, v);
     }
+    if let Some((k, v)) = sim.latency.param() {
+        bench.param(k, v);
+    }
+    if let Some(o) = only {
+        bench.param("only_ranks", o);
+    }
     let mut rows = Vec::new();
-    for p in [8usize, 16, 32, 64, 128, 256, 512] {
+    let mut sweep = vec![8usize, 16, 32, 64, 128, 256, 512];
+    let mut next = 1024usize;
+    while next <= max_p {
+        sweep.push(next);
+        next *= 2;
+    }
+    for p in sweep {
         if p > max_p {
             break;
         }
+        if only.is_some_and(|o| o != p) {
+            continue;
+        }
         eprintln!("running P = {p} ...");
-        let scioto = scioto_rate(p, params, policy);
-        let mpi = mpi_rate(p, params, policy);
+        let scioto = scioto_rate(p, params, policy, sim);
+        let mpi = mpi_rate(p, params, policy, sim);
         bench.metric(&format!("scioto_mnodes_p{p:03}"), scioto);
         bench.metric(&format!("mpi_mnodes_p{p:03}"), mpi);
         rows.push(vec![

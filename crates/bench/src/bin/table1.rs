@@ -6,16 +6,17 @@
 //! paper's measured values are printed alongside for comparison.
 //!
 //! Run: `cargo run --release -p scioto-bench --bin table1`
-//! Options: the policy flags `--victim`, `--barrier`, `--td-batch`,
+//! Options: `--engine auto|threads|events`, `--latency flat|nearfar`,
+//! plus the policy flags `--victim`, `--barrier`, `--td-batch`,
 //! `--old-policy` shared with the other bench binaries.
 
 use scioto::{Task, TaskCollection, TcConfig};
 use scioto_armci::Armci;
 use scioto_bench::{
-    dump_analysis, dump_trace, obs_requested, run_race_check, render_table, trace_config, us, Args,
-    BenchOut, PolicyFlags,
+    dump_analysis, dump_trace, engine_from_args, obs_requested, run_race_check, render_table,
+    trace_config, us, Args, BenchOut, LatencyPreset, PolicyFlags,
 };
-use scioto_sim::{LatencyModel, Machine, MachineConfig, Report, TraceConfig};
+use scioto_sim::{Engine, LatencyModel, Machine, MachineConfig, Report, TraceConfig};
 
 const BODY: usize = 1024;
 const CHUNK: usize = 10;
@@ -28,12 +29,18 @@ struct OpTimes {
     remote_steal: u64,
 }
 
-fn measure(latency: LatencyModel, trace: TraceConfig, policy: PolicyFlags) -> (OpTimes, Report) {
+fn measure(
+    latency: LatencyModel,
+    trace: TraceConfig,
+    policy: PolicyFlags,
+    engine: Engine,
+) -> (OpTimes, Report) {
     let out = Machine::run(
         MachineConfig::virtual_time(2)
             .with_latency(latency)
             .with_trace(trace)
-            .with_barrier(policy.barrier),
+            .with_barrier(policy.barrier)
+            .with_engine(engine),
         move |ctx| {
             let armci = Armci::init(ctx);
             // Local-op collection with default split policy.
@@ -106,14 +113,22 @@ fn measure(latency: LatencyModel, trace: TraceConfig, policy: PolicyFlags) -> (O
 fn main() {
     let args = Args::parse();
     let policy = PolicyFlags::from_args(&args);
+    let engine = engine_from_args(&args);
+    let latency = LatencyPreset::from_args(&args);
     // The cluster measurement doubles as the traced run when asked for.
     let trace = if obs_requested(&args) {
         trace_config(&args)
     } else {
         TraceConfig::disabled()
     };
-    let (cluster, cluster_report) = measure(LatencyModel::cluster(), trace, policy);
-    let (xt4, _) = measure(LatencyModel::xt4(), TraceConfig::disabled(), policy);
+    let (cluster, cluster_report) =
+        measure(latency.apply(LatencyModel::cluster()), trace, policy, engine);
+    let (xt4, _) = measure(
+        latency.apply(LatencyModel::xt4()),
+        TraceConfig::disabled(),
+        policy,
+        engine,
+    );
     dump_trace(&args, &cluster_report);
     dump_analysis(&args, &cluster_report);
     run_race_check(&args, &cluster_report);
@@ -123,6 +138,9 @@ fn main() {
     bench.param("chunk", CHUNK);
     bench.param("ranks", 2);
     for (k, v) in policy.params() {
+        bench.param(k, v);
+    }
+    if let Some((k, v)) = latency.param() {
         bench.param(k, v);
     }
     for (model, t) in [("cluster", &cluster), ("xt4", &xt4)] {

@@ -98,12 +98,78 @@ pub fn secs(ns: u64) -> String {
     format!("{:.3}", ns as f64 / 1e9)
 }
 
-/// The rank counts used by the paper's cluster figures.
+/// The rank counts used by the paper's cluster figures, extended past the
+/// paper's 64-rank ceiling by continuing the powers of two up to `max`
+/// (the event engine sweeps to 1024+ ranks on one core).
 pub fn cluster_rank_sweep(max: usize) -> Vec<usize> {
-    [2usize, 4, 8, 16, 32, 64]
-        .into_iter()
-        .filter(|&p| p <= max)
-        .collect()
+    let mut ps = Vec::new();
+    let mut p = 2usize;
+    while p <= max {
+        ps.push(p);
+        p *= 2;
+    }
+    ps
+}
+
+/// `--only-ranks N`: restrict a sweep to the single rank count `N`
+/// (used to bless large-scale baseline points without re-running the
+/// whole ladder). Recorded as a bench param by the bins that honor it.
+pub fn only_ranks(args: &Args) -> Option<usize> {
+    args.get_opt("only-ranks").map(|v| {
+        v.parse()
+            .unwrap_or_else(|_| panic!("--only-ranks expects a rank count, got {v}"))
+    })
+}
+
+/// Parse `--engine auto|threads|events` into a sim [`scioto_sim::Engine`].
+/// Both engines produce byte-identical results by construction (verify.sh
+/// enforces it at rel-tol 0), so the engine is deliberately *not* recorded
+/// as a bench param — baselines blessed under one engine gate the other.
+pub fn engine_from_args(args: &Args) -> scioto_sim::Engine {
+    match args.get_opt("engine").as_deref() {
+        None | Some("auto") => scioto_sim::Engine::Auto,
+        Some("threads") => scioto_sim::Engine::Threads,
+        Some("events") => scioto_sim::Engine::Events,
+        Some(v) => panic!("--engine expects auto|threads|events, got {v}"),
+    }
+}
+
+/// `--latency flat|nearfar`: whether to attach the near/far distance
+/// tiers to a figure's base latency model. `flat` (the default) is the
+/// historical distance-blind model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LatencyPreset {
+    /// Distance-blind base model (default; matches all old baselines).
+    Flat,
+    /// Base model with [`scioto_sim::LatencyTiers::nearfar`] attached.
+    NearFar,
+}
+
+impl LatencyPreset {
+    pub fn from_args(args: &Args) -> Self {
+        match args.get_opt("latency").as_deref() {
+            None | Some("flat") => LatencyPreset::Flat,
+            Some("nearfar") => LatencyPreset::NearFar,
+            Some(v) => panic!("--latency expects flat|nearfar, got {v}"),
+        }
+    }
+
+    /// Apply the preset to a figure's base latency model.
+    pub fn apply(self, base: scioto_sim::LatencyModel) -> scioto_sim::LatencyModel {
+        match self {
+            LatencyPreset::Flat => base,
+            LatencyPreset::NearFar => base.with_tiers(scioto_sim::LatencyTiers::nearfar()),
+        }
+    }
+
+    /// The `latency` bench param, recorded only when non-default so the
+    /// params of pre-existing baselines (which lack the key) stay valid.
+    pub fn param(self) -> Option<(&'static str, String)> {
+        match self {
+            LatencyPreset::Flat => None,
+            LatencyPreset::NearFar => Some(("latency", "nearfar".into())),
+        }
+    }
 }
 
 /// The hot-path policy knobs shared by every bench binary:
@@ -348,5 +414,27 @@ mod tests {
     #[test]
     fn sweep_respects_cap() {
         assert_eq!(cluster_rank_sweep(16), vec![2, 4, 8, 16]);
+        // Identical to the historical list at the paper's 64-rank ceiling,
+        // and continuing in powers of two beyond it.
+        assert_eq!(cluster_rank_sweep(64), vec![2, 4, 8, 16, 32, 64]);
+        assert_eq!(
+            cluster_rank_sweep(1024),
+            vec![2, 4, 8, 16, 32, 64, 128, 256, 512, 1024]
+        );
+    }
+
+    #[test]
+    fn latency_preset_applies_tiers() {
+        let base = scioto_sim::LatencyModel::cluster();
+        assert_eq!(LatencyPreset::Flat.apply(base), base);
+        assert_eq!(
+            LatencyPreset::NearFar.apply(base),
+            scioto_sim::LatencyModel::cluster_nearfar()
+        );
+        assert_eq!(LatencyPreset::Flat.param(), None);
+        assert_eq!(
+            LatencyPreset::NearFar.param(),
+            Some(("latency", "nearfar".to_string()))
+        );
     }
 }

@@ -52,7 +52,7 @@ impl Comm {
     pub(crate) fn send_raw(&self, ctx: &Ctx, dst: usize, tag: u64, data: &[u8]) {
         assert!(dst < self.nranks, "destination rank {dst} out of range");
         let l = ctx.latency();
-        let net = l.msg + (l.per_byte * data.len() as f64) as u64;
+        let net = l.msg_to(ctx.rank(), dst, self.nranks, data.len());
         self.router
             .send(ctx, dst, tag, data.to_vec(), SEND_OVERHEAD_NS, net);
     }

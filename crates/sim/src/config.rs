@@ -17,6 +17,83 @@ pub enum ExecMode {
     Concurrent,
 }
 
+/// Which execution substrate drives [`ExecMode::VirtualTime`] scheduling.
+///
+/// Both engines implement the same conservative discrete-event semantics —
+/// same-seed runs produce byte-identical [`crate::Report`]s and traces —
+/// so the choice is purely about capacity: parked OS threads top out
+/// around 64 ranks on a small host, while the event engine's fibers reach
+/// 1024+ ranks. [`ExecMode::Concurrent`] always uses free-running threads
+/// regardless of this setting.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Engine {
+    /// Event-driven fibers where the platform supports them (x86_64 and
+    /// aarch64 unix), parked OS threads elsewhere. The default.
+    Auto,
+    /// One parked OS thread per rank — the historical engine, available
+    /// everywhere.
+    Threads,
+    /// Resumable fibers on one OS thread, dispatched from a min-clock
+    /// event queue. Panics at machine start on unsupported targets.
+    Events,
+}
+
+impl Engine {
+    /// True when [`Engine::Events`] is available on this target.
+    pub fn events_supported() -> bool {
+        crate::fiber::SUPPORTED
+    }
+}
+
+/// Near/far latency tiers over ring distance.
+///
+/// Models the PGAS-over-fabric hierarchy of DART-MPI-style runtimes: a
+/// one-sided op to a rank on the same node (ring distance within
+/// `near_radius`) moves over shared memory or the local NIC loopback,
+/// while a cross-switch op pays the full fabric traversal. Attached to a
+/// [`LatencyModel`] via [`LatencyModel::with_tiers`]; untiered models
+/// (all pre-existing presets) are distance-blind and byte-identical to
+/// their historical behaviour.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LatencyTiers {
+    /// Ranks within this ring distance are "near" (same node/switch).
+    pub near_radius: usize,
+    /// Multiplier on base + per-byte remote costs for near targets.
+    pub near_scale: f64,
+    /// Multiplier for far targets.
+    pub far_scale: f64,
+}
+
+impl LatencyTiers {
+    /// The bench bins' `--latency nearfar` preset. `near_radius` 2 matches
+    /// the analyzer's near-steal radius (`scioto-analyze` derives its
+    /// constant from here); 0.35 tracks the intra-node vs inter-node RMA
+    /// ratio DART-MPI reports, and 1.25 charges cross-switch ops the extra
+    /// hop a two-level fat tree adds.
+    pub const fn nearfar() -> Self {
+        LatencyTiers {
+            near_radius: 2,
+            near_scale: 0.35,
+            far_scale: 1.25,
+        }
+    }
+
+    /// Cost multiplier for an op from `from` to `to` on an `n`-rank ring.
+    pub fn scale(&self, from: usize, to: usize, n: usize) -> f64 {
+        if ring_distance(from, to, n) <= self.near_radius {
+            self.near_scale
+        } else {
+            self.far_scale
+        }
+    }
+}
+
+/// Shortest ring distance between ranks `a` and `b` on an `n`-rank ring.
+pub fn ring_distance(a: usize, b: usize, n: usize) -> usize {
+    let d = a.abs_diff(b);
+    d.min(n - d)
+}
+
 /// Communication and queue-operation costs, in nanoseconds.
 ///
 /// The presets are calibrated so that the Table 1 microbenchmarks of the
@@ -46,6 +123,9 @@ pub struct LatencyModel {
     /// Per-hop cost of a tree barrier (a barrier costs
     /// `2 * ceil(log2 n) * barrier_hop`).
     pub barrier_hop: u64,
+    /// Optional near/far distance tiers. `None` (every pre-existing
+    /// preset) keeps all remote costs distance-blind.
+    pub tiers: Option<LatencyTiers>,
 }
 
 impl LatencyModel {
@@ -61,6 +141,7 @@ impl LatencyModel {
             rmw_service: 0,
             msg: 0,
             barrier_hop: 0,
+            tiers: None,
         }
     }
 
@@ -75,6 +156,7 @@ impl LatencyModel {
             rmw_service: 3_000,
             msg: 4_000,
             barrier_hop: 4_500,
+            tiers: None,
         }
     }
 
@@ -90,7 +172,25 @@ impl LatencyModel {
             rmw_service: 2_000,
             msg: 5_000,
             barrier_hop: 5_000,
+            tiers: None,
         }
+    }
+
+    /// The cluster preset with [`LatencyTiers::nearfar`] attached — the
+    /// bench bins' `--latency nearfar` model.
+    pub fn cluster_nearfar() -> Self {
+        LatencyModel::cluster().with_tiers(LatencyTiers::nearfar())
+    }
+
+    /// The XT4 preset with [`LatencyTiers::nearfar`] attached.
+    pub fn xt4_nearfar() -> Self {
+        LatencyModel::xt4().with_tiers(LatencyTiers::nearfar())
+    }
+
+    /// Attach near/far distance tiers.
+    pub fn with_tiers(mut self, tiers: LatencyTiers) -> Self {
+        self.tiers = Some(tiers);
+        self
     }
 
     /// Cost of moving `bytes` with one one-sided operation.
@@ -98,10 +198,56 @@ impl LatencyModel {
         self.remote_op + (self.per_byte * bytes as f64) as u64
     }
 
+    /// Tier multiplier for `from -> to` on an `n`-rank machine, or `None`
+    /// when this model is distance-blind.
+    fn tier_scale(&self, from: usize, to: usize, n: usize) -> Option<f64> {
+        self.tiers.map(|t| t.scale(from, to, n))
+    }
+
+    /// Distance-aware [`LatencyModel::xfer`]: cost of moving `bytes` from
+    /// rank `from` to rank `to` on an `n`-rank machine. Untiered models
+    /// delegate to `xfer` exactly, so existing results are unchanged.
+    pub fn xfer_to(&self, from: usize, to: usize, n: usize, bytes: usize) -> u64 {
+        match self.tier_scale(from, to, n) {
+            None => self.xfer(bytes),
+            Some(s) => scale_ns(self.remote_op, s) + ((self.per_byte * s) * bytes as f64) as u64,
+        }
+    }
+
+    /// Distance-aware base latency of a one-sided op from `from` to `to`.
+    pub fn remote_op_to(&self, from: usize, to: usize, n: usize) -> u64 {
+        match self.tier_scale(from, to, n) {
+            None => self.remote_op,
+            Some(s) => scale_ns(self.remote_op, s),
+        }
+    }
+
+    /// Distance-aware cost of one remote lock acquire/release half.
+    pub fn lock_to(&self, from: usize, to: usize, n: usize) -> u64 {
+        match self.tier_scale(from, to, n) {
+            None => self.lock,
+            Some(s) => scale_ns(self.lock, s),
+        }
+    }
+
+    /// Distance-aware two-sided message cost for `bytes` from `from` to
+    /// `to`. The untiered arm is the exact historical send formula.
+    pub fn msg_to(&self, from: usize, to: usize, n: usize, bytes: usize) -> u64 {
+        match self.tier_scale(from, to, n) {
+            None => self.msg + (self.per_byte * bytes as f64) as u64,
+            Some(s) => scale_ns(self.msg, s) + ((self.per_byte * s) * bytes as f64) as u64,
+        }
+    }
+
     /// Modelled cost of an `n`-rank tree barrier (up-wave plus down-wave).
     pub fn barrier_cost(&self, n: usize) -> u64 {
         2 * ceil_log2(n) * self.barrier_hop
     }
+}
+
+/// Scale a nanosecond cost by a tier multiplier, rounding to nearest.
+fn scale_ns(ns: u64, s: f64) -> u64 {
+    (ns as f64 * s).round() as u64
 }
 
 impl Default for LatencyModel {
@@ -183,7 +329,10 @@ pub enum BarrierKind {
     /// [`LatencyModel::barrier_cost`]). A rank's release time is its own
     /// arrival pushed through the round schedule, so ranks far from the
     /// stragglers leave earlier and equal arrivals pay only half the flat
-    /// cost (K hops instead of the up-and-down 2K).
+    /// cost (K hops instead of the up-and-down 2K). Hop cost is
+    /// `cost / 2K`, truncated (under-charging at most `2K - 1` ns); a
+    /// nonzero cost below `2K` rides the final round whole instead of
+    /// truncating to a free barrier.
     Tree,
 }
 
@@ -207,6 +356,9 @@ pub struct MachineConfig {
     /// Barrier release model ([`BarrierKind::Flat`] by default, so existing
     /// pinned virtual-time results are unchanged unless a config opts in).
     pub barrier: BarrierKind,
+    /// Execution substrate for [`ExecMode::VirtualTime`]
+    /// ([`Engine::Auto`] by default). Never changes results, only capacity.
+    pub engine: Engine,
 }
 
 impl MachineConfig {
@@ -222,6 +374,7 @@ impl MachineConfig {
             stack_size: 1 << 20,
             trace: TraceConfig::disabled(),
             barrier: BarrierKind::Flat,
+            engine: Engine::Auto,
         }
     }
 
@@ -262,6 +415,20 @@ impl MachineConfig {
     /// Replace the barrier release model.
     pub fn with_barrier(mut self, barrier: BarrierKind) -> Self {
         self.barrier = barrier;
+        self
+    }
+
+    /// Replace the virtual-time execution engine.
+    pub fn with_engine(mut self, engine: Engine) -> Self {
+        self.engine = engine;
+        self
+    }
+
+    /// Replace the per-rank stack size (bytes). 1024-rank machines on the
+    /// event engine allocate one fiber stack per rank up front, so large
+    /// sweeps want this well below the 1 MiB default.
+    pub fn with_stack_size(mut self, bytes: usize) -> Self {
+        self.stack_size = bytes;
         self
     }
 }
@@ -316,5 +483,57 @@ mod tests {
     #[should_panic(expected = "speed factors must be positive")]
     fn rejects_nonpositive_speed() {
         SpeedModel::from_factors(vec![1.0, 0.0]);
+    }
+
+    #[test]
+    fn ring_distance_wraps() {
+        assert_eq!(ring_distance(0, 0, 8), 0);
+        assert_eq!(ring_distance(0, 3, 8), 3);
+        assert_eq!(ring_distance(0, 7, 8), 1);
+        assert_eq!(ring_distance(1, 1022, 1024), 3);
+        assert_eq!(ring_distance(0, 512, 1024), 512);
+    }
+
+    #[test]
+    fn untiered_distance_methods_match_flat_costs() {
+        // The distance-aware methods must be drop-in for every historical
+        // call site when no tiers are attached: same integer truncation,
+        // same formulas, at any distance.
+        let m = LatencyModel::cluster();
+        for (from, to) in [(0, 1), (0, 31), (5, 60)] {
+            assert_eq!(m.xfer_to(from, to, 64, 1024), m.xfer(1024));
+            assert_eq!(m.remote_op_to(from, to, 64), m.remote_op);
+            assert_eq!(m.lock_to(from, to, 64), m.lock);
+            assert_eq!(
+                m.msg_to(from, to, 64, 100),
+                m.msg + (m.per_byte * 100.0) as u64
+            );
+        }
+    }
+
+    #[test]
+    fn nearfar_tiers_scale_by_ring_distance() {
+        let m = LatencyModel::cluster_nearfar();
+        let t = LatencyTiers::nearfar();
+        // Distance 1 (and the wrap-around distance 1) is near.
+        assert_eq!(
+            m.remote_op_to(0, 1, 64),
+            (m.remote_op as f64 * t.near_scale).round() as u64
+        );
+        assert_eq!(m.remote_op_to(0, 63, 64), m.remote_op_to(0, 1, 64));
+        // Distance 32 is far, and costs more than the flat model.
+        let far = m.remote_op_to(0, 32, 64);
+        assert_eq!(far, (m.remote_op as f64 * t.far_scale).round() as u64);
+        assert!(far > m.remote_op);
+        assert!(m.remote_op_to(0, 1, 64) < m.remote_op);
+        // Per-byte costs scale with the same tier multiplier.
+        let near_xfer = m.xfer_to(0, 2, 64, 1000);
+        let far_xfer = m.xfer_to(0, 32, 64, 1000);
+        assert!(near_xfer < far_xfer);
+        assert_eq!(
+            far_xfer,
+            (m.remote_op as f64 * t.far_scale).round() as u64
+                + ((m.per_byte * t.far_scale) * 1000.0) as u64
+        );
     }
 }

@@ -100,7 +100,13 @@ impl Ctx {
     /// primitives in this crate; exposed for building new ones). Always use
     /// inside a re-check loop: wakeups may be spurious.
     pub fn block(&self) {
-        self.kernel.block(self.rank);
+        self.kernel.block(self.rank, "ctx.block");
+    }
+
+    /// Like [`Ctx::block`], tagging the park with `site` — the name the
+    /// sim-deadlock diagnostic prints for a rank stuck waiting here.
+    pub fn block_at(&self, site: &'static str) {
+        self.kernel.block(self.rank, site);
     }
 
     /// Wake `target`, resuming it (in virtual time) no earlier than

@@ -1,13 +1,24 @@
 //! The scheduling kernel: conservative min-clock dispatch in virtual-time
 //! mode, token-based blocking in concurrent mode, poison propagation on
 //! rank panics, and deadlock detection.
+//!
+//! Virtual-time dispatch is a single min-clock priority queue shared by
+//! both engines (parked threads and event-driven fibers): a rank becomes
+//! an event `(clock, rank)` when it turns runnable and is popped in
+//! lexicographic order, which reproduces the historical "lowest rank among
+//! minimum clocks" scan exactly. Heap keys are never stale — a rank's
+//! clock only moves while it is `Running` (self-charges) or on the
+//! `Blocked -> Runnable` transition, which pushes the fresh key.
 
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::time::Instant; // scioto-lint: allow(wallclock)
 
 use scioto_det::sync::{Condvar, Mutex};
 
 use crate::config::{ExecMode, SpeedModel};
+use crate::fiber;
 use crate::report::EventCounters;
 use crate::trace::{TraceEvent, TraceSink};
 
@@ -17,12 +28,24 @@ pub(crate) enum Status {
     /// Currently executing (in virtual-time mode at most one rank is
     /// `Running` at any instant).
     Running,
-    /// Eligible to be dispatched.
+    /// Eligible to be dispatched (present in the dispatch heap).
     Runnable,
     /// Parked on some shared-state condition; resumed by `unblock`.
     Blocked,
     /// Rank program returned (or panicked).
     Done,
+}
+
+/// Which execution substrate carries the virtual-time baton between
+/// scheduling points. Resolved from [`crate::Engine`] by `Machine::run`;
+/// [`ExecMode::Concurrent`] machines always use `Threads`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum EngineKind {
+    /// One parked OS thread per rank; handoff = condvar notify + park.
+    Threads,
+    /// One fiber per rank on the machine's thread; handoff = a stack
+    /// switch through the active [`fiber::FiberSet`].
+    Events,
 }
 
 struct Sched {
@@ -33,6 +56,13 @@ struct Sched {
     wake_token: Vec<bool>,
     /// Earliest virtual time at which a pending wake may resume the rank.
     pending_resume: Vec<u64>,
+    /// Min-heap of `(clock, rank)` dispatch events. Invariant (virtual
+    /// time only): contains exactly the `Runnable` ranks, keyed by their
+    /// frozen clocks. Unused in concurrent mode.
+    heap: BinaryHeap<Reverse<(u64, usize)>>,
+    /// Static tag of each rank's most recent park site — what a `Blocked`
+    /// rank is waiting on, for the deadlock diagnostic.
+    last_block_site: Vec<Option<&'static str>>,
     done: usize,
 }
 
@@ -40,6 +70,7 @@ struct Sched {
 pub(crate) struct Kernel {
     n: usize,
     mode: ExecMode,
+    engine: EngineKind,
     sched: Mutex<Sched>,
     cvs: Vec<Condvar>,
     clocks: Vec<AtomicU64>,
@@ -51,24 +82,38 @@ pub(crate) struct Kernel {
 }
 
 impl Kernel {
-    pub(crate) fn new(n: usize, mode: ExecMode, speed: &SpeedModel, trace: TraceSink) -> Self {
+    pub(crate) fn new(
+        n: usize,
+        mode: ExecMode,
+        engine: EngineKind,
+        speed: &SpeedModel,
+        trace: TraceSink,
+    ) -> Self {
         assert!(n >= 1, "a machine needs at least one rank");
         assert_eq!(speed.len(), n, "speed model must cover all ranks");
         let mut status = vec![Status::Runnable; n];
+        let mut heap = BinaryHeap::with_capacity(n);
         if mode == ExecMode::VirtualTime {
-            // Rank 0 holds the baton initially; in concurrent mode every
-            // rank free-runs from the start.
+            // Rank 0 holds the baton initially; every other rank starts as
+            // a time-zero dispatch event. In concurrent mode every rank
+            // free-runs from the start and the heap stays empty.
             status[0] = Status::Running;
+            for r in 1..n {
+                heap.push(Reverse((0, r)));
+            }
         } else {
             status.iter_mut().for_each(|s| *s = Status::Running);
         }
         Kernel {
             n,
             mode,
+            engine,
             sched: Mutex::new(Sched {
                 status,
                 wake_token: vec![false; n],
                 pending_resume: vec![0; n],
+                heap,
+                last_block_site: vec![None; n],
                 done: 0,
             }),
             cvs: (0..n).map(|_| Condvar::new()).collect(),
@@ -147,15 +192,25 @@ impl Kernel {
         }
     }
 
-    /// Wait at thread start until the scheduler hands this rank the baton.
+    /// Wait at rank start until the scheduler hands this rank the baton.
     pub(crate) fn wait_for_start(&self, rank: usize) {
         if self.mode == ExecMode::Concurrent {
             return;
         }
-        let mut s = self.sched.lock();
-        while s.status[rank] != Status::Running {
-            self.check_poison();
-            self.cvs[rank].wait(&mut s);
+        match self.engine {
+            EngineKind::Threads => {
+                let mut s = self.sched.lock();
+                while s.status[rank] != Status::Running {
+                    self.check_poison();
+                    self.cvs[rank].wait(&mut s);
+                }
+            }
+            EngineKind::Events => {
+                // A fiber is only ever switched into after the dispatcher
+                // marked it Running, so there is nothing to wait for.
+                self.check_poison();
+                debug_assert_eq!(self.sched.lock().status[rank], Status::Running);
+            }
         }
     }
 
@@ -173,20 +228,24 @@ impl Kernel {
         let mut s = self.sched.lock();
         debug_assert_eq!(s.status[rank], Status::Running);
         s.status[rank] = Status::Runnable;
-        let next = self.pick_next(&s);
-        match next {
-            Some(next) if next == rank => {
-                s.status[rank] = Status::Running;
-            }
-            Some(next) => {
-                s.status[next] = Status::Running;
+        let clock = self.clocks[rank].load(Ordering::Relaxed);
+        s.heap.push(Reverse((clock, rank)));
+        let next = self
+            .pop_next(&mut s)
+            .expect("dispatch heap lost the yielding rank");
+        if next == rank {
+            s.status[rank] = Status::Running;
+            return;
+        }
+        s.status[next] = Status::Running;
+        match self.engine {
+            EngineKind::Threads => {
                 self.cvs[next].notify_one();
                 self.wait_until_running(rank, &mut s);
             }
-            None => {
-                // Everybody else is blocked or done; we are the only
-                // runnable rank.
-                s.status[rank] = Status::Running;
+            EngineKind::Events => {
+                drop(s);
+                self.switch_and_check(next);
             }
         }
     }
@@ -194,23 +253,41 @@ impl Kernel {
     /// Park until another rank calls [`Kernel::unblock`] for us (or a wake
     /// token is already pending). Callers use this inside a
     /// check-condition/block loop, so spurious wakeups are harmless.
-    pub(crate) fn block(&self, rank: usize) {
-        self.events.blocks.fetch_add(1, Ordering::Relaxed);
-        self.emit(rank, || TraceEvent::Block);
+    /// `site` is a static tag naming the waiting primitive (for the
+    /// deadlock diagnostic).
+    pub(crate) fn block(&self, rank: usize, site: &'static str) {
         let mut s = self.sched.lock();
         if s.wake_token[rank] {
+            // Wake-token fast path: the wake raced ahead of this block, so
+            // the rank never parks — neither the park counter nor the
+            // trace records an event that did not happen.
             s.wake_token[rank] = false;
             let resume = std::mem::take(&mut s.pending_resume[rank]);
             drop(s);
             self.advance_to(rank, resume);
             return;
         }
+        self.events.blocks.fetch_add(1, Ordering::Relaxed);
+        self.emit(rank, || TraceEvent::Block);
+        s.last_block_site[rank] = Some(site);
         match self.mode {
             ExecMode::VirtualTime => {
                 debug_assert_eq!(s.status[rank], Status::Running);
                 s.status[rank] = Status::Blocked;
-                self.dispatch_or_deadlock(&mut s, rank);
-                self.wait_until_running(rank, &mut s);
+                match self.engine {
+                    EngineKind::Threads => {
+                        self.dispatch_or_deadlock(&mut s, rank);
+                        self.wait_until_running(rank, &mut s);
+                    }
+                    EngineKind::Events => match self.pop_next(&mut s) {
+                        Some(next) => {
+                            s.status[next] = Status::Running;
+                            drop(s);
+                            self.switch_and_check(next);
+                        }
+                        None => self.declare_deadlock(&mut s, rank),
+                    },
+                }
             }
             ExecMode::Concurrent => {
                 s.status[rank] = Status::Blocked;
@@ -226,18 +303,21 @@ impl Kernel {
 
     /// Make `target` eligible to run again, no earlier (in virtual time)
     /// than `resume_at`. Safe to call for a rank that is not currently
-    /// blocked: the wake is remembered as a token.
+    /// blocked: the wake is remembered as a token. A wake for a `Done`
+    /// rank is dropped undelivered (and not counted).
     pub(crate) fn unblock(&self, target: usize, resume_at: u64) {
-        self.events.unblocks.fetch_add(1, Ordering::Relaxed);
         let mut s = self.sched.lock();
         match s.status[target] {
             Status::Blocked => {
+                self.events.unblocks.fetch_add(1, Ordering::Relaxed);
                 if self.mode == ExecMode::VirtualTime {
                     let c = self.clocks[target].load(Ordering::Relaxed);
                     if resume_at > c {
                         self.clocks[target].store(resume_at, Ordering::Relaxed);
                     }
                     s.status[target] = Status::Runnable;
+                    let clock = self.clocks[target].load(Ordering::Relaxed);
+                    s.heap.push(Reverse((clock, target)));
                     // The current runner keeps the baton; the wakee will be
                     // dispatched at the next scheduling point.
                 } else {
@@ -247,6 +327,7 @@ impl Kernel {
             }
             Status::Done => {}
             _ => {
+                self.events.unblocks.fetch_add(1, Ordering::Relaxed);
                 s.wake_token[target] = true;
                 s.pending_resume[target] = s.pending_resume[target].max(resume_at);
                 if self.mode == ExecMode::Concurrent {
@@ -256,7 +337,9 @@ impl Kernel {
         }
     }
 
-    /// Called when a rank's program returns. Hands the baton onward.
+    /// Called when a rank's program returns. Hands the baton onward; on
+    /// the event engine this never returns once the machine completes or
+    /// another fiber is dispatched (the caller's stack is abandoned).
     pub(crate) fn finish(&self, rank: usize) {
         let mut s = self.sched.lock();
         s.status[rank] = Status::Done;
@@ -266,10 +349,32 @@ impl Kernel {
             for cv in &self.cvs {
                 cv.notify_all();
             }
+            if self.mode == ExecMode::VirtualTime && self.engine == EngineKind::Events {
+                drop(s);
+                fiber::with_active(|fs| fs.switch_to_main());
+            }
             return;
         }
-        if self.mode == ExecMode::VirtualTime && s.done < self.n {
-            self.dispatch_or_deadlock(&mut s, rank);
+        if self.mode != ExecMode::VirtualTime {
+            return;
+        }
+        if s.done < self.n {
+            match self.engine {
+                EngineKind::Threads => self.dispatch_or_deadlock(&mut s, rank),
+                EngineKind::Events => match self.pop_next(&mut s) {
+                    Some(next) => {
+                        s.status[next] = Status::Running;
+                        drop(s);
+                        fiber::with_active(|fs| fs.switch_to_fiber(next));
+                    }
+                    None => self.declare_deadlock(&mut s, rank),
+                },
+            }
+        } else if self.engine == EngineKind::Events {
+            // Last rank done: hand control back to the machine's main
+            // context, which collects results.
+            drop(s);
+            fiber::with_active(|fs| fs.switch_to_main());
         }
     }
 
@@ -298,6 +403,14 @@ impl Kernel {
         }
     }
 
+    /// Event-engine handoff: switch to `next`'s fiber and, once this rank
+    /// is switched back in, observe any poison before touching shared
+    /// state (the thread engine's `wait_until_running` does the same).
+    fn switch_and_check(&self, next: usize) {
+        fiber::with_active(|fs| fs.switch_to_fiber(next));
+        self.check_poison();
+    }
+
     /// Move `rank`'s clock forward to at least `t`.
     pub(crate) fn advance_to(&self, rank: usize, t: u64) {
         if self.mode == ExecMode::VirtualTime {
@@ -308,47 +421,57 @@ impl Kernel {
         }
     }
 
-    /// Minimum-clock runnable rank, ties broken by rank id.
-    fn pick_next(&self, s: &Sched) -> Option<usize> {
-        let mut best: Option<(u64, usize)> = None;
-        for (r, st) in s.status.iter().enumerate() {
-            if *st == Status::Runnable {
-                let c = self.clocks[r].load(Ordering::Relaxed);
-                if best.is_none_or(|(bc, _)| c < bc) {
-                    best = Some((c, r));
-                }
+    /// Pop the minimum-clock runnable rank, ties broken by rank id — the
+    /// same order the historical linear scan produced.
+    fn pop_next(&self, s: &mut Sched) -> Option<usize> {
+        match s.heap.pop() {
+            Some(Reverse((clock, r))) => {
+                debug_assert_eq!(s.status[r], Status::Runnable);
+                debug_assert_eq!(clock, self.clocks[r].load(Ordering::Relaxed));
+                Some(r)
             }
+            None => None,
         }
-        best.map(|(_, r)| r)
     }
 
     fn dispatch_or_deadlock(&self, s: &mut Sched, from: usize) {
-        if let Some(next) = self.pick_next(s) {
+        if let Some(next) = self.pop_next(s) {
             s.status[next] = Status::Running;
             self.cvs[next].notify_one();
         } else if s.done < self.n {
-            let diag = self.deadlock_diagnostics(s);
-            self.poisoned.store(true, Ordering::SeqCst);
-            for cv in &self.cvs {
-                cv.notify_all();
-            }
-            panic!(
-                "sim deadlock: no runnable rank (detected by rank {from}); \
-                 per-rank state:\n{diag}"
-            );
+            self.declare_deadlock(s, from);
         }
+    }
+
+    /// No runnable rank and not everyone is done: poison the machine and
+    /// panic with per-rank state.
+    fn declare_deadlock(&self, s: &mut Sched, from: usize) -> ! {
+        let diag = self.deadlock_diagnostics(s);
+        self.poisoned.store(true, Ordering::SeqCst);
+        for cv in &self.cvs {
+            cv.notify_all();
+        }
+        panic!(
+            "sim deadlock: no runnable rank (detected by rank {from}); \
+             per-rank state:\n{diag}"
+        );
     }
 
     fn deadlock_diagnostics(&self, s: &Sched) -> String {
         use std::fmt::Write as _;
         let mut out = String::new();
         for r in 0..self.n {
+            let site = match (s.status[r], s.last_block_site[r]) {
+                (Status::Blocked, Some(site)) => format!(" waiting at {site}"),
+                _ => String::new(),
+            };
             let _ = writeln!(
                 out,
-                "  rank {:4}: {:?} @ {} ns",
+                "  rank {:4}: {:?} @ {} ns{}",
                 r,
                 s.status[r],
-                self.clocks[r].load(Ordering::Relaxed)
+                self.clocks[r].load(Ordering::Relaxed),
+                site
             );
         }
         out
@@ -371,6 +494,7 @@ mod tests {
         Arc::new(Kernel::new(
             n,
             ExecMode::VirtualTime,
+            EngineKind::Threads,
             &SpeedModel::uniform(n),
             TraceSink::Disabled,
         ))
@@ -381,6 +505,7 @@ mod tests {
         let k = Kernel::new(
             2,
             ExecMode::VirtualTime,
+            EngineKind::Threads,
             &SpeedModel::from_factors(vec![1.0, 2.0]),
             TraceSink::Disabled,
         );
@@ -395,6 +520,7 @@ mod tests {
         let k = Kernel::new(
             1,
             ExecMode::VirtualTime,
+            EngineKind::Threads,
             &SpeedModel::from_factors(vec![3.0]),
             TraceSink::Disabled,
         );
@@ -407,8 +533,36 @@ mod tests {
         // A single-rank machine: unblock before block must not deadlock.
         let k = vt_kernel(1);
         k.unblock(0, 42);
-        k.block(0); // consumes the token instead of parking
+        k.block(0, "test"); // consumes the token instead of parking
         assert_eq!(k.clock(0), 42);
+    }
+
+    #[test]
+    fn wake_token_fast_path_is_not_a_park() {
+        // The token fast path never parks the rank, so it must count as
+        // one delivered unblock and zero blocks (regression: both used to
+        // be over-counted).
+        let k = vt_kernel(1);
+        k.unblock(0, 42);
+        k.block(0, "test");
+        let snap = k.events.snapshot();
+        assert_eq!(snap.blocks, 0, "token fast path must not count a park");
+        assert_eq!(snap.unblocks, 1);
+    }
+
+    #[test]
+    fn unblock_of_done_rank_is_dropped_and_uncounted() {
+        let k = vt_kernel(2);
+        k.wait_for_start(0);
+        k.finish(0); // hands the baton to rank 1
+        k.unblock(0, 100); // no recipient: dropped, not a delivered wake
+        assert_eq!(k.events.snapshot().unblocks, 0);
+        let s = k.sched.lock();
+        assert!(!s.wake_token[0]);
+        assert_eq!(s.status[0], Status::Done);
+        // Rank 1 was dispatched by finish and is unaffected.
+        assert_eq!(s.status[1], Status::Running);
+        drop(s);
     }
 
     #[test]
@@ -447,5 +601,22 @@ mod tests {
         t2.join().unwrap();
         assert_eq!(k.clock(0), 100);
         assert_eq!(k.clock(1), 150);
+    }
+
+    #[test]
+    fn deadlock_diagnostics_name_block_sites() {
+        let k = vt_kernel(3);
+        {
+            let mut s = k.sched.lock();
+            s.status[1] = Status::Blocked;
+            s.last_block_site[1] = Some("mailbox.recv");
+            s.status[2] = Status::Blocked;
+            s.last_block_site[2] = Some("vlock.acquire");
+            let diag = k.deadlock_diagnostics(&s);
+            assert!(diag.contains("rank    1: Blocked @ 0 ns waiting at mailbox.recv"));
+            assert!(diag.contains("rank    2: Blocked @ 0 ns waiting at vlock.acquire"));
+            // Non-blocked ranks carry no site annotation.
+            assert!(diag.contains("rank    0: Running @ 0 ns\n"));
+        }
     }
 }

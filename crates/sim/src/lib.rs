@@ -2,9 +2,14 @@
 //!
 //! The Scioto paper (Dinan et al., ICPP 2008) evaluates its runtime on a
 //! 64-node heterogeneous InfiniBand cluster and a Cray XT4. This crate is the
-//! substitute substrate: it executes SPMD rank programs (one OS thread per
-//! simulated process) under a **conservative discrete-event scheduler** that
-//! always resumes the runnable rank with the smallest virtual clock.
+//! substitute substrate: it executes SPMD rank programs under a
+//! **conservative discrete-event scheduler** that always resumes the
+//! runnable rank with the smallest virtual clock. Two interchangeable
+//! engines carry the ranks ([`Engine`]): resumable fibers on a virtual-time
+//! event loop (the default where supported — this is what makes 1024-rank
+//! machines practical on one core) and one parked OS thread per rank (the
+//! historical engine and the portable fallback). Same-seed runs produce
+//! byte-identical [`Report`]s and traces on either engine.
 //!
 //! Rules of the model:
 //!
@@ -37,6 +42,7 @@
 mod barrier;
 mod config;
 mod ctx;
+mod fiber;
 mod kernel;
 mod machine;
 mod mailbox;
@@ -45,7 +51,10 @@ mod trace;
 mod vlock;
 
 pub use barrier::SimBarrier;
-pub use config::{BarrierKind, ExecMode, LatencyModel, MachineConfig, SpeedModel};
+pub use config::{
+    ring_distance, BarrierKind, Engine, ExecMode, LatencyModel, LatencyTiers, MachineConfig,
+    SpeedModel,
+};
 pub use ctx::Ctx;
 pub use machine::{Machine, RunOutput};
 pub use mailbox::{MailboxRouter, Msg, MsgFilter};

@@ -7,9 +7,10 @@ use std::sync::Arc;
 use scioto_det::sync::Mutex;
 
 use crate::barrier::SimBarrier;
-use crate::config::{ExecMode, LatencyModel, MachineConfig};
+use crate::config::{Engine, ExecMode, LatencyModel, MachineConfig};
 use crate::ctx::Ctx;
-use crate::kernel::Kernel;
+use crate::fiber;
+use crate::kernel::{EngineKind, Kernel};
 use crate::report::Report;
 use crate::trace::TraceSink;
 
@@ -46,9 +47,11 @@ impl Machine {
     {
         let n = cfg.ranks;
         assert!(n >= 1, "a machine needs at least one rank");
+        let engine = resolve_engine(&cfg);
         let kernel = Arc::new(Kernel::new(
             n,
             cfg.mode,
+            engine,
             &cfg.speed,
             TraceSink::new(&cfg.trace, n),
         ));
@@ -60,37 +63,12 @@ impl Machine {
         let results: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
         let panic_payload: Mutex<Option<Box<dyn Any + Send>>> = Mutex::new(None);
 
-        std::thread::scope(|scope| {
-            for rank in 0..n {
-                let kernel = Arc::clone(&kernel);
-                let shared = Arc::clone(&shared);
-                let f = &f;
-                let results = &results;
-                let panic_payload = &panic_payload;
-                let seed = cfg.seed;
-                std::thread::Builder::new()
-                    .name(format!("rank{rank}"))
-                    .stack_size(cfg.stack_size)
-                    .spawn_scoped(scope, move || {
-                        let ctx = Ctx::new(rank, Arc::clone(&kernel), shared, seed);
-                        match catch_unwind(AssertUnwindSafe(|| {
-                            kernel.wait_for_start(rank);
-                            f(&ctx)
-                        })) {
-                            Ok(v) => {
-                                *results[rank].lock() = Some(v);
-                                kernel.finish(rank);
-                            }
-                            Err(payload) => {
-                                store_payload(panic_payload, payload);
-                                kernel.poison();
-                                kernel.finish(rank);
-                            }
-                        }
-                    })
-                    .expect("failed to spawn rank thread");
+        match engine {
+            EngineKind::Threads => {
+                run_threads(&cfg, &kernel, &shared, &f, &results, &panic_payload)
             }
-        });
+            EngineKind::Events => run_events(&cfg, &kernel, &shared, &f, &results, &panic_payload),
+        }
 
         if let Some(p) = panic_payload.lock().take() {
             resume_unwind(p);
@@ -122,6 +100,142 @@ impl Machine {
             .collect();
         RunOutput { results, report }
     }
+}
+
+/// Resolve the configured [`Engine`] to a concrete substrate for this
+/// machine. Concurrent machines are free-running threads by definition.
+fn resolve_engine(cfg: &MachineConfig) -> EngineKind {
+    if cfg.mode == ExecMode::Concurrent {
+        return EngineKind::Threads;
+    }
+    match cfg.engine {
+        Engine::Threads => EngineKind::Threads,
+        Engine::Events => {
+            assert!(
+                Engine::events_supported(),
+                "Engine::Events requires a supported fiber target (x86_64/aarch64 unix); \
+                 use Engine::Auto or Engine::Threads"
+            );
+            EngineKind::Events
+        }
+        Engine::Auto => {
+            if Engine::events_supported() {
+                EngineKind::Events
+            } else {
+                EngineKind::Threads
+            }
+        }
+    }
+}
+
+/// The thread engine: one parked OS thread per rank, handoff by condvar.
+fn run_threads<R, F>(
+    cfg: &MachineConfig,
+    kernel: &Arc<Kernel>,
+    shared: &Arc<Shared>,
+    f: &F,
+    results: &[Mutex<Option<R>>],
+    panic_payload: &Mutex<Option<Box<dyn Any + Send>>>,
+) where
+    R: Send,
+    F: Fn(&Ctx) -> R + Send + Sync,
+{
+    std::thread::scope(|scope| {
+        for rank in 0..cfg.ranks {
+            let kernel = Arc::clone(kernel);
+            let shared = Arc::clone(shared);
+            let seed = cfg.seed;
+            std::thread::Builder::new()
+                .name(format!("rank{rank}"))
+                .stack_size(cfg.stack_size)
+                .spawn_scoped(scope, move || {
+                    let ctx = Ctx::new(rank, Arc::clone(&kernel), shared, seed);
+                    match catch_unwind(AssertUnwindSafe(|| {
+                        kernel.wait_for_start(rank);
+                        f(&ctx)
+                    })) {
+                        Ok(v) => {
+                            *results[rank].lock() = Some(v);
+                            kernel.finish(rank);
+                        }
+                        Err(payload) => {
+                            store_payload(panic_payload, payload);
+                            kernel.poison();
+                            kernel.finish(rank);
+                        }
+                    }
+                })
+                .expect("failed to spawn rank thread");
+        }
+    });
+}
+
+/// The event engine: one fiber per rank on this thread, dispatched from
+/// the kernel's min-clock heap. Scheduling-point semantics are identical
+/// to the thread engine (same transitions, same dispatch order), so
+/// same-seed runs produce byte-identical reports and traces.
+fn run_events<R, F>(
+    cfg: &MachineConfig,
+    kernel: &Arc<Kernel>,
+    shared: &Arc<Shared>,
+    f: &F,
+    results: &[Mutex<Option<R>>],
+    panic_payload: &Mutex<Option<Box<dyn Any + Send>>>,
+) where
+    R: Send,
+    F: Fn(&Ctx) -> R + Send + Sync,
+{
+    let n = cfg.ranks;
+    let mut fs = fiber::FiberSet::new(n, cfg.stack_size);
+    for rank in 0..n {
+        let kernel = Arc::clone(kernel);
+        let shared = Arc::clone(shared);
+        let seed = cfg.seed;
+        let task = Box::new(move || {
+            let ctx = Ctx::new(rank, Arc::clone(&kernel), shared, seed);
+            match catch_unwind(AssertUnwindSafe(|| {
+                kernel.wait_for_start(rank);
+                f(&ctx)
+            })) {
+                Ok(v) => *results[rank].lock() = Some(v),
+                Err(payload) => {
+                    store_payload(panic_payload, payload);
+                    kernel.poison();
+                }
+            }
+            // `ctx` (with its kernel/shared Arcs) drops on return, before
+            // the exit hook abandons this stack for good.
+        });
+        // SAFETY: every started fiber runs to completion inside the
+        // `enter` block below (the cleanup loop resumes stragglers until
+        // they unwind), so the erased borrows of `f`, `results` and
+        // `panic_payload` never outlive this frame.
+        unsafe { fs.set_task(rank, task) };
+    }
+    {
+        let kernel = Arc::clone(kernel);
+        let exit = Box::new(move |rank: usize| {
+            // `finish` hands the baton onward and normally never returns.
+            // Its deadlock detector can panic, though, and that unwind
+            // must stop here rather than reach the fiber's assembly frame.
+            if let Err(payload) = catch_unwind(AssertUnwindSafe(|| kernel.finish(rank))) {
+                store_payload(panic_payload, payload);
+            }
+        });
+        // SAFETY: same contract as set_task above.
+        unsafe { fs.set_exit(exit) };
+    }
+    fiber::enter(&fs, || {
+        // Rank 0 holds the baton at construction — the same initial
+        // dispatch the thread engine performs.
+        fs.switch_to_fiber(0);
+        // Back in the main context: every rank finished, or the machine
+        // was poisoned mid-run. Resume any suspended fibers so they
+        // observe the poison, unwind, and release everything they own.
+        while let Some(r) = fs.first_suspended() {
+            fs.switch_to_fiber(r);
+        }
+    });
 }
 
 /// Keep the most informative panic: a first "real" panic wins over the
@@ -273,10 +387,14 @@ mod tests {
                 local: ctx.rank() as u32,
                 shared: 0,
             });
-            // Rank 1 parks; rank 0 wakes it (Block + Unblock events).
+            // Rank 1 genuinely parks; rank 0 wakes it (Block + Unblock
+            // events). Rank 0 yields first so rank 1 reaches its block
+            // before the unblock — a wake arriving early would take the
+            // token fast path, which never parks and emits nothing.
             if ctx.rank() == 1 {
                 ctx.block();
             } else {
+                ctx.yield_point();
                 ctx.compute(500);
                 ctx.unblock(1, 0);
             }

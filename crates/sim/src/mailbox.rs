@@ -188,7 +188,7 @@ impl MailboxRouter {
                     return m;
                 }
             }
-            ctx.block();
+            ctx.block_at("mailbox.recv");
         }
     }
 

@@ -94,7 +94,7 @@ impl VLock {
                         enqueued = true;
                     }
                     drop(st);
-                    ctx.block();
+                    ctx.block_at("vlock.acquire");
                 }
             }
         };

@@ -103,6 +103,57 @@ cargo run --release --offline -q -p scioto-bench --bin bench_diff -- \
     --new "$work/BENCH_fig7.json" \
     --ignore-params victim,barrier,td_batch --rel-tol 0.5
 
+echo "== engine equivalence: pinned baselines at rel-tol 0 under BOTH engines =="
+# The virtual-time kernel has two execution substrates (parked threads,
+# event-driven fibers) behind one scheduler; the engine must never move a
+# result. Every committed baseline is re-derived under each engine
+# explicitly and diffed byte-for-byte (rel-tol 0). This is the hard gate
+# behind the "engines are byte-identical" claim in README/DESIGN.
+for eng in threads events; do
+    cargo run --release --offline -q -p scioto-bench --bin table1 -- \
+        --engine "$eng" --json-out "$work/eng_table1.json" > /dev/null
+    cargo run --release --offline -q -p scioto-bench --bin fig7_uts_cluster -- \
+        --max-ranks 8 --tree small --engine "$eng" \
+        --json-out "$work/eng_fig7.json" > /dev/null
+    cargo run --release --offline -q -p scioto-bench --bin fig7_uts_cluster -- \
+        --max-ranks 8 --tree small --old-policy --engine "$eng" \
+        --json-out "$work/eng_fig7_oldpolicy.json" > /dev/null
+    cargo run --release --offline -q -p scioto-bench --bin fig4_termination -- \
+        --engine "$eng" --json-out "$work/eng_fig4.json" > /dev/null
+    cargo run --release --offline -q -p scioto-bench --bin ablation -- \
+        --engine "$eng" --json-out "$work/eng_ablation.json" > /dev/null
+    cargo run --release --offline -q -p scioto-bench --bin fig8_uts_xt4 -- \
+        --max-ranks 8 --tree small --engine "$eng" \
+        --json-out "$work/eng_fig8.json" > /dev/null
+    if [ "$BLESS" = 0 ]; then
+        for f in table1 fig7 fig7_oldpolicy fig4 ablation fig8; do
+            cargo run --release --offline -q -p scioto-bench --bin bench_diff -- \
+                --baseline "results/baselines/BENCH_$f.json" \
+                --new "$work/eng_$f.json" --rel-tol 0
+        done
+    fi
+    echo "ok: all pinned baselines reproduce at rel-tol 0 on the $eng engine"
+done
+
+echo "== 1024-rank scale: fig4 + fig7 on the event engine, near/far tiers =="
+# Only the fiber engine can stand up 1024 ranks on this host; the sweep
+# point uses the topology-aware near/far latency preset and is pinned as
+# its own baseline (deterministic, so rel-tol 0).
+cargo run --release --offline -q -p scioto-bench --bin fig4_termination -- \
+    --max-ranks 1024 --only-ranks 1024 --latency nearfar --engine events \
+    --json-out "$work/BENCH_fig4_1024_nearfar.json" > /dev/null
+cargo run --release --offline -q -p scioto-bench --bin fig7_uts_cluster -- \
+    --max-ranks 1024 --only-ranks 1024 --latency nearfar --engine events \
+    --tree small --json-out "$work/BENCH_fig7_1024_nearfar.json" > /dev/null
+if [ "$BLESS" = 0 ]; then
+    for f in BENCH_fig4_1024_nearfar BENCH_fig7_1024_nearfar; do
+        cargo run --release --offline -q -p scioto-bench --bin bench_diff -- \
+            --baseline "results/baselines/$f.json" \
+            --new "$work/$f.json" --rel-tol 0
+    done
+fi
+echo "ok: 1024-rank event-engine sweep points reproduce"
+
 echo "== race check: happens-before replay of table1 + fig7 traces (hard gate) =="
 race_t0=$(date +%s)
 cargo run --release --offline -q -p scioto-race --bin race_check -- \
@@ -119,7 +170,8 @@ if [ "$BLESS" = 1 ]; then
     echo "== bless: refreshing results/baselines/ =="
     mkdir -p results/baselines
     for f in BENCH_table1 BENCH_fig7 BENCH_fig4 BENCH_ablation BENCH_fig8 \
-             BENCH_fig7_oldpolicy; do
+             BENCH_fig7_oldpolicy BENCH_fig4_1024_nearfar \
+             BENCH_fig7_1024_nearfar; do
         cp "$work/$f.json" "results/baselines/$f.json"
         echo "blessed results/baselines/$f.json"
     done

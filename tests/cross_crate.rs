@@ -15,8 +15,8 @@ use scioto_scf::{
     ScfConfig,
 };
 use scioto_sim::{
-    validate_json, ExecMode, LatencyModel, Machine, MachineConfig, SpeedModel, Trace, TraceConfig,
-    TraceEvent,
+    validate_json, Engine, ExecMode, LatencyModel, Machine, MachineConfig, SpeedModel, Trace,
+    TraceConfig, TraceEvent,
 };
 use scioto_tce::contract::reference_checksum;
 use scioto_tce::{run_contraction, ContractionConfig, TceLoadBalance};
@@ -493,4 +493,79 @@ fn bench_json_is_deterministic_modulo_wall_clock() {
     let parsed = scioto_bench::benchjson::parse(&a).unwrap();
     assert_eq!(parsed.name, "uts_acceptance");
     assert_eq!(parsed.metrics.len(), 9);
+}
+
+/// One traced 8-rank UTS run under an explicit virtual-time engine.
+fn traced_uts_on_engine(engine: Engine) -> scioto_sim::Report {
+    let params = presets::tiny();
+    Machine::run(
+        MachineConfig::virtual_time(8)
+            .with_latency(LatencyModel::cluster())
+            .with_trace(TraceConfig::enabled())
+            .with_engine(engine),
+        move |ctx| run_scioto_uts(ctx, &SciotoUtsConfig::new(params)).0,
+    )
+    .report
+}
+
+#[test]
+fn thread_and_event_engines_are_byte_identical() {
+    // The engine is an execution substrate, not a model: a same-seed
+    // virtual-time run must produce the same Report and the same trace
+    // bytes whether ranks are parked OS threads or resumable fibers. This
+    // is the invariant that lets the pinned baselines stay valid at
+    // rel-tol 0 under either engine.
+    if !Engine::events_supported() {
+        eprintln!("fiber engine unsupported on this target; skipping");
+        return;
+    }
+    let t = traced_uts_on_engine(Engine::Threads);
+    let e = traced_uts_on_engine(Engine::Events);
+    assert_eq!(t.mode, e.mode);
+    assert_eq!(t.makespan_ns, e.makespan_ns);
+    assert_eq!(t.rank_clock_ns, e.rank_clock_ns);
+    assert_eq!(t.events, e.events, "kernel event counters must match");
+    let tj = t.trace.expect("tracing enabled").to_jsonl();
+    let ej = e.trace.expect("tracing enabled").to_jsonl();
+    assert_eq!(tj, ej, "JSONL trace export must be byte-identical");
+}
+
+#[test]
+fn event_engine_runs_1024_ranks() {
+    // Capacity test only the fiber engine can pass on this host: 1024
+    // parked OS threads exceed what the thread engine can stand up, but
+    // 1024 fibers on 256 KiB stacks are cheap. Light workload — skewed
+    // compute, a ring message through MPI, and tree barriers.
+    if !Engine::events_supported() {
+        eprintln!("fiber engine unsupported on this target; skipping");
+        return;
+    }
+    const P: usize = 1024;
+    let out = Machine::run(
+        MachineConfig::virtual_time(P)
+            .with_latency(LatencyModel::cluster_nearfar())
+            .with_barrier(scioto_sim::BarrierKind::Tree)
+            .with_engine(Engine::Events)
+            .with_stack_size(256 * 1024),
+        |ctx| {
+            let comm = Comm::world(ctx);
+            ctx.compute((ctx.rank() as u64 % 7 + 1) * 10);
+            ctx.barrier();
+            // Ring: each rank sends its id to its right neighbour.
+            let mut buf = [0u8; 8];
+            buf.copy_from_slice(&(ctx.rank() as u64).to_le_bytes());
+            comm.send(ctx, (ctx.rank() + 1) % P, 7, &buf);
+            let msg = comm.recv(ctx, Some((ctx.rank() + P - 1) % P), Some(7));
+            let from = u64::from_le_bytes(msg.data[..8].try_into().unwrap());
+            ctx.barrier();
+            from
+        },
+    );
+    assert_eq!(out.report.rank_clock_ns.len(), P);
+    for (r, got) in out.results.iter().enumerate() {
+        assert_eq!(*got, ((r + P - 1) % P) as u64);
+    }
+    // Every rank must have reached the common release of the final barrier.
+    let max = *out.report.rank_clock_ns.iter().max().unwrap();
+    assert!(max > 0);
 }
