@@ -1,8 +1,13 @@
-//! Compare two `scioto-bench-v1` JSON documents and flag metric drift.
+//! Compare `scioto-bench-v1` JSON documents and flag metric drift.
 //!
-//! Run: `cargo run -p scioto-bench --bin bench_diff -- \
-//!           --baseline results/baselines/BENCH_table1.json \
-//!           --new /tmp/BENCH_table1.json [--rel-tol 0.05] [--abs-tol 1e-9]`
+//! Pairwise: `cargo run -p scioto-bench --bin bench_diff -- \
+//!     --baseline results/baselines/BENCH_table1.json \
+//!     --new /tmp/BENCH_table1.json [--rel-tol 0.05] [--abs-tol 1e-9]`
+//!
+//! Directory mode: `bench_diff --all <dir> [--baseline-dir results/baselines]`
+//! compares every `BENCH_*.json` under `<dir>` against the same-named
+//! file in the baseline directory, applying the same tolerances to each
+//! pair — one invocation covers a whole blessed set.
 //!
 //! A metric drifts when `|new - base| > abs_tol + rel_tol * |base|`, in
 //! either direction — an unexpected speedup is as suspicious as a
@@ -10,9 +15,9 @@
 //! Metrics present in only one document always count as drift.
 //!
 //! Exit codes: 0 all metrics within tolerance; 1 drift detected;
-//! 2 usage error, unreadable/invalid file, or benchmark/params mismatch
-//! (comparing runs with different parameters is a harness bug, not a
-//! regression).
+//! 2 usage error, unreadable/invalid file, missing baseline, or
+//! benchmark/params mismatch (comparing runs with different parameters
+//! is a harness bug, not a regression).
 //!
 //! `--ignore-params victim,barrier,td_batch` drops the named params from
 //! both documents before the equality gate — for deliberate cross-policy
@@ -32,24 +37,20 @@ fn load(path: &str) -> benchjson::BenchOut {
     })
 }
 
-fn main() {
-    let args = Args::parse();
-    let (Some(base_path), Some(new_path)) = (args.get_opt("baseline"), args.get_opt("new")) else {
-        eprintln!(
-            "usage: bench_diff --baseline <base.json> --new <new.json> \
-             [--rel-tol 0.05] [--abs-tol 1e-9] [--ignore-params a,b,c]"
-        );
-        std::process::exit(2);
-    };
-    let rel_tol: f64 = args.get("rel-tol", 0.05);
-    let abs_tol: f64 = args.get("abs-tol", 1e-9);
-    let mut base = load(&base_path);
-    let mut new = load(&new_path);
-    if let Some(spec) = args.get_opt("ignore-params") {
-        for key in spec.split(',').map(str::trim).filter(|k| !k.is_empty()) {
-            base.params.remove(key);
-            new.params.remove(key);
-        }
+struct Tolerance {
+    rel: f64,
+    abs: f64,
+    ignore: Vec<String>,
+}
+
+/// Compare one baseline/new pair. Returns the number of drifted metrics;
+/// exits 2 on a name/params mismatch (harness bug, not a regression).
+fn compare(base_path: &str, new_path: &str, tol: &Tolerance) -> usize {
+    let mut base = load(base_path);
+    let mut new = load(new_path);
+    for key in &tol.ignore {
+        base.params.remove(key);
+        new.params.remove(key);
     }
 
     if base.name != new.name {
@@ -76,7 +77,7 @@ fn main() {
             (Some(b), Some(n)) => {
                 checked += 1;
                 let delta = (n - b).abs();
-                if delta > abs_tol + rel_tol * b.abs() {
+                if delta > tol.abs + tol.rel * b.abs() {
                     let pct = if *b == 0.0 { f64::INFINITY } else { 100.0 * (n - b) / b };
                     println!("DRIFT {key}: {b:.6} -> {n:.6} ({pct:+.2}%)");
                     drifted += 1;
@@ -95,14 +96,86 @@ fn main() {
     }
     if drifted > 0 {
         eprintln!(
-            "bench_diff: {}: {drifted} metric(s) drifted beyond rel {rel_tol} / abs {abs_tol} \
+            "bench_diff: {}: {drifted} metric(s) drifted beyond rel {} / abs {} \
              ({checked} compared)",
-            base.name
+            base.name, tol.rel, tol.abs
         );
+    } else {
+        println!(
+            "bench_diff: {}: {checked} metric(s) within rel {} / abs {}",
+            base.name, tol.rel, tol.abs
+        );
+    }
+    drifted
+}
+
+fn main() {
+    let args = Args::parse();
+    let tol = Tolerance {
+        rel: args.get("rel-tol", 0.05),
+        abs: args.get("abs-tol", 1e-9),
+        ignore: args
+            .get_opt("ignore-params")
+            .map(|spec| {
+                spec.split(',')
+                    .map(str::trim)
+                    .filter(|k| !k.is_empty())
+                    .map(str::to_string)
+                    .collect()
+            })
+            .unwrap_or_default(),
+    };
+
+    if let Some(dir) = args.get_opt("all") {
+        let base_dir = args
+            .get_opt("baseline-dir")
+            .unwrap_or_else(|| "results/baselines".to_string());
+        let mut names: Vec<String> = std::fs::read_dir(&dir)
+            .unwrap_or_else(|e| {
+                eprintln!("bench_diff: cannot read directory {dir}: {e}");
+                std::process::exit(2);
+            })
+            .filter_map(|entry| {
+                let name = entry.ok()?.file_name().into_string().ok()?;
+                (name.starts_with("BENCH_") && name.ends_with(".json")).then_some(name)
+            })
+            .collect();
+        names.sort();
+        if names.is_empty() {
+            eprintln!("bench_diff: no BENCH_*.json files under {dir}");
+            std::process::exit(2);
+        }
+        let mut drifted = 0usize;
+        for name in &names {
+            let base_path = format!("{base_dir}/{name}");
+            if !std::path::Path::new(&base_path).exists() {
+                eprintln!(
+                    "bench_diff: {name}: no baseline at {base_path} \
+                     (bless it or remove the stray result)"
+                );
+                std::process::exit(2);
+            }
+            drifted += compare(&base_path, &format!("{dir}/{name}"), &tol);
+        }
+        if drifted > 0 {
+            eprintln!(
+                "bench_diff: {drifted} metric(s) drifted across {} file(s)",
+                names.len()
+            );
+            std::process::exit(1);
+        }
+        println!("bench_diff: {} file(s) clean against {base_dir}", names.len());
+        return;
+    }
+
+    let (Some(base_path), Some(new_path)) = (args.get_opt("baseline"), args.get_opt("new")) else {
+        eprintln!(
+            "usage: bench_diff --baseline <base.json> --new <new.json> | --all <dir> \
+             [--baseline-dir <dir>] [--rel-tol 0.05] [--abs-tol 1e-9] [--ignore-params a,b,c]"
+        );
+        std::process::exit(2);
+    };
+    if compare(&base_path, &new_path, &tol) > 0 {
         std::process::exit(1);
     }
-    println!(
-        "bench_diff: {}: {checked} metric(s) within rel {rel_tol} / abs {abs_tol}",
-        base.name
-    );
 }

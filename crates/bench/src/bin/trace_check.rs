@@ -5,6 +5,10 @@
 //! Run: `cargo run -p scioto-bench --bin trace_check -- \
 //!           --file /tmp/trace.json --ranks 8`
 //!
+//! With `--replayable` the file is instead treated as a JSONL dump and
+//! probed for replayability: parse, lower to a replay program, and report
+//! the first offending rank/event when the trace cannot be re-executed.
+//!
 //! Exits 0 on success, 1 with a diagnostic on stderr otherwise. Used by
 //! `scripts/verify.sh` to smoke-test the tracing pipeline end to end.
 
@@ -14,9 +18,38 @@ use scioto_sim::validate_json;
 fn main() {
     let args = Args::parse();
     let Some(path) = args.get_opt("file") else {
-        eprintln!("usage: trace_check --file <trace.json> --ranks <n>");
+        eprintln!("usage: trace_check --file <trace.json> --ranks <n> | --file <trace.jsonl> --replayable");
         std::process::exit(1);
     };
+    if args.has("replayable") {
+        let body = match std::fs::read_to_string(&path) {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("trace_check: cannot read {path}: {e}");
+                std::process::exit(1);
+            }
+        };
+        let trace = match scioto_analyze::jsonl::parse(&body) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("trace_check: {path}: {e}");
+                std::process::exit(1);
+            }
+        };
+        match scioto_analyze::lower(&trace) {
+            Ok(prog) => {
+                println!(
+                    "trace_check: {path} is replayable ({} ranks, {} barrier episode(s))",
+                    prog.nranks, prog.episodes
+                );
+                return;
+            }
+            Err(e) => {
+                eprintln!("trace_check: {path}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
     let ranks: usize = args.get("ranks", 0);
     if ranks == 0 {
         eprintln!("trace_check: --ranks must be >= 1");

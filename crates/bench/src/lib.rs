@@ -272,14 +272,22 @@ pub fn race_check_requested(args: &Args) -> bool {
     args.has("race-check")
 }
 
+/// Did the user ask for a replay self-check on the traced run
+/// (`--replay-check`)?
+pub fn replay_check_requested(args: &Args) -> bool {
+    args.has("replay-check")
+}
+
 /// Did the user ask for any observability output — a raw trace dump
-/// (`--trace-out`), an analysis report (`--analysis-out`), or a race
-/// check (`--race-check`)? Any of them makes the bench binaries run
-/// their dedicated traced configuration.
+/// (`--trace-out`), an analysis report (`--analysis-out`), a race check
+/// (`--race-check`), or a replay self-check (`--replay-check`)? Any of
+/// them makes the bench binaries run their dedicated traced
+/// configuration.
 pub fn obs_requested(args: &Args) -> bool {
     trace_requested(args)
         || args.get_opt("analysis-out").is_some()
         || race_check_requested(args)
+        || replay_check_requested(args)
 }
 
 /// The trace configuration for a bench binary's traced run: enabled,
@@ -385,6 +393,46 @@ pub fn run_race_check(args: &Args, report: &scioto_sim::Report) {
             std::process::exit(2);
         }
     }
+}
+
+/// Lower `report`'s trace to a replay program, re-execute it on the
+/// virtual-time kernel, and verify the replay reproduces the live run's
+/// trace — and therefore its blame decomposition and critical path —
+/// byte-identically; no-op without `--replay-check`. Exits 1 on a replay
+/// mismatch and 2 when the trace cannot be lowered (e.g. ring overflow —
+/// rerun with a larger `--trace-ring`). Panics if the report carries no
+/// trace (the caller must have run the traced machine).
+pub fn run_replay_check(args: &Args, report: &scioto_sim::Report) {
+    if !replay_check_requested(args) {
+        return;
+    }
+    let trace = report
+        .trace
+        .as_ref()
+        .expect("run_replay_check needs a report from a tracing-enabled run");
+    let prog = match scioto_analyze::lower(trace) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("replay check error: {e}");
+            std::process::exit(2);
+        }
+    };
+    let replayed = scioto_sim::run_replay(&prog);
+    if replayed.to_jsonl() != trace.to_jsonl() {
+        eprintln!("replay check FAILED: replayed trace differs from the live recording");
+        std::process::exit(1);
+    }
+    let live = scioto_analyze::analyze(trace).to_json();
+    let again = scioto_analyze::analyze(&replayed).to_json();
+    if live != again {
+        eprintln!("replay check FAILED: replayed analysis differs from the live analysis");
+        std::process::exit(1);
+    }
+    eprintln!(
+        "replay check OK: {} events over {} ranks reproduced byte-identically",
+        trace.total_events(),
+        trace.nranks()
+    );
 }
 
 #[cfg(test)]

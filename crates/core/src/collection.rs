@@ -182,7 +182,11 @@ impl TaskCollection {
         let mut failed_steals = 0u32;
         let mut backoff = 0u32;
         let mut idle_iter = 0u32;
-        let mut victims = VictimSelector::new(self.cfg.victim);
+        let mut victims = VictimSelector::with_probs(
+            self.cfg.victim,
+            self.cfg.victim_cont,
+            self.cfg.victim_escape,
+        );
         loop {
             // Drain local (private) work.
             while let Some(rec) = self.queue.pop_local(ctx, &self.armci, &self.counters[me]) {

@@ -75,6 +75,13 @@ pub struct TcConfig {
     pub td_votes_before_opt: bool,
     /// Victim-selection policy for work stealing.
     pub victim: VictimPolicy,
+    /// Continuation probability of the Locality policy's truncated
+    /// geometric distance walk (ignored by Uniform). Higher values reach
+    /// farther around the ring per draw.
+    pub victim_cont: f64,
+    /// Uniform-escape probability of a Locality draw (ignored by
+    /// Uniform). Keeps distant single-source workloads reachable.
+    pub victim_escape: f64,
     /// Batched termination detection: coalesce the detector's slot reads
     /// into one snapshot per poll and defer polls during steal-backoff
     /// naps (disable for the flat per-slot ablation baseline).
@@ -99,6 +106,8 @@ impl TcConfig {
             release_fraction: 0.5,
             td_votes_before_opt: true,
             victim: VictimPolicy::Locality,
+            victim_cont: crate::victim::CONT_P,
+            victim_escape: crate::victim::ESCAPE_P,
             td_batch: true,
         };
         if let Err(e) = cfg.validate() {
@@ -138,6 +147,21 @@ impl TcConfig {
                 self.release_fraction
             ));
         }
+        if !self.victim_cont.is_finite() || self.victim_cont <= 0.0 || self.victim_cont >= 1.0 {
+            return Err(format!(
+                "victim_cont = {}: must be in (0, 1)",
+                self.victim_cont
+            ));
+        }
+        if !self.victim_escape.is_finite()
+            || self.victim_escape < 0.0
+            || self.victim_escape >= 1.0
+        {
+            return Err(format!(
+                "victim_escape = {}: must be in [0, 1)",
+                self.victim_escape
+            ));
+        }
         Ok(())
     }
 
@@ -170,6 +194,14 @@ impl TcConfig {
         self.td_batch = on;
         self
     }
+
+    /// Set the Locality victim-selection bias probabilities
+    /// (continuation of the geometric walk, uniform escape).
+    pub fn with_victim_probs(mut self, cont: f64, escape: f64) -> Self {
+        self.victim_cont = cont;
+        self.victim_escape = escape;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -196,6 +228,26 @@ mod tests {
         let old = c.with_victim(VictimPolicy::Uniform).with_td_batch(false);
         assert_eq!(old.victim, VictimPolicy::Uniform);
         assert!(!old.td_batch);
+
+        let c = TcConfig::new(8, 1, 16);
+        assert_eq!(c.victim_cont, crate::victim::CONT_P);
+        assert_eq!(c.victim_escape, crate::victim::ESCAPE_P);
+        let tuned = c.with_victim_probs(0.5, 0.25);
+        assert_eq!((tuned.victim_cont, tuned.victim_escape), (0.5, 0.25));
+    }
+
+    #[test]
+    fn bad_victim_probs_rejected() {
+        let base = TcConfig::new(8, 1, 16);
+        for (cont, escape) in [(0.0, 0.1), (1.0, 0.1), (f64::NAN, 0.1), (0.7, 1.0), (0.7, -0.1)]
+        {
+            let bad = TcConfig {
+                victim_cont: cont,
+                victim_escape: escape,
+                ..base
+            };
+            assert!(bad.validate().is_err(), "cont={cont} escape={escape}");
+        }
     }
 
     #[test]

@@ -24,14 +24,16 @@ use scioto_det::Rng;
 
 use crate::config::VictimPolicy;
 
-/// Probability that a Locality draw ignores the distance bias and falls
-/// back to a uniform draw (keeps distant single-source workloads
-/// reachable).
-const ESCAPE_P: f64 = 0.125;
+/// Default probability that a Locality draw ignores the distance bias and
+/// falls back to a uniform draw (keeps distant single-source workloads
+/// reachable). Overridable per collection via
+/// [`crate::TcConfig::victim_escape`] — the autotuner's search axis.
+pub const ESCAPE_P: f64 = 0.125;
 
-/// Per-step continuation probability of the truncated geometric distance
-/// walk: `P(d = k) = (1 - CONT_P) * CONT_P^(k-1)` up to the ring radius.
-const CONT_P: f64 = 0.7;
+/// Default per-step continuation probability of the truncated geometric
+/// distance walk: `P(d = k) = (1 - CONT_P) * CONT_P^(k-1)` up to the ring
+/// radius. Overridable via [`crate::TcConfig::victim_cont`].
+pub const CONT_P: f64 = 0.7;
 
 /// Draws for which a victim that just came up empty stays masked by the
 /// negative cache. The geometric bias re-draws the same near neighbours
@@ -49,6 +51,10 @@ const MASK_REDRAWS: usize = 4;
 #[derive(Debug)]
 pub struct VictimSelector {
     policy: VictimPolicy,
+    /// Continuation probability of the geometric distance walk.
+    cont: f64,
+    /// Uniform-escape probability of a biased draw.
+    escape: f64,
     last_success: Option<usize>,
     /// Draw counter; advances once per `next` call (Locality only).
     clock: u32,
@@ -59,10 +65,19 @@ pub struct VictimSelector {
 }
 
 impl VictimSelector {
-    /// A selector for `policy` with an empty retry cache.
+    /// A selector for `policy` with the default bias probabilities and an
+    /// empty retry cache.
     pub fn new(policy: VictimPolicy) -> Self {
+        Self::with_probs(policy, CONT_P, ESCAPE_P)
+    }
+
+    /// A selector with explicit geometric-continuation and uniform-escape
+    /// probabilities (Locality only; Uniform ignores both).
+    pub fn with_probs(policy: VictimPolicy, cont: f64, escape: f64) -> Self {
         VictimSelector {
             policy,
+            cont,
+            escape,
             last_success: None,
             clock: 0,
             empty_until: Vec::new(),
@@ -81,17 +96,17 @@ impl VictimSelector {
 
     /// One biased Locality draw: geometric ring distance with a uniform
     /// escape.
-    fn biased(rng: &mut Rng, me: usize, n: usize) -> usize {
-        if rng.gen_bool(ESCAPE_P) {
+    fn biased(&self, rng: &mut Rng, me: usize, n: usize) -> usize {
+        if rng.gen_bool(self.escape) {
             return Self::uniform(rng, me, n);
         }
         // Truncated geometric ring distance: start adjacent, keep
-        // walking outward with probability CONT_P, stop at the ring
+        // walking outward with probability `cont`, stop at the ring
         // radius. Distances 1..=n/2 in either direction cover every
         // other rank.
         let dmax = (n / 2).max(1);
         let mut d = 1;
-        while d < dmax && rng.gen_bool(CONT_P) {
+        while d < dmax && rng.gen_bool(self.cont) {
             d += 1;
         }
         if rng.gen_bool(0.5) {
@@ -117,12 +132,12 @@ impl VictimSelector {
                 }
                 // Redraw past victims the negative cache still masks, up
                 // to the redraw budget; the final draw stands regardless.
-                let mut v = Self::biased(rng, me, n);
+                let mut v = self.biased(rng, me, n);
                 for _ in 0..MASK_REDRAWS {
                     if self.empty_until[v] <= self.clock {
                         break;
                     }
-                    v = Self::biased(rng, me, n);
+                    v = self.biased(rng, me, n);
                 }
                 v
             }
@@ -237,6 +252,35 @@ mod tests {
             near as f64 > 0.55 * 30_000.0,
             "d<=3 should dominate under the geometric bias: {hist:?}"
         );
+    }
+
+    #[test]
+    fn custom_probs_shift_the_distance_distribution() {
+        // The tunable bias: a higher continuation probability must push
+        // draws to larger ring distances, and default-valued with_probs
+        // must reproduce new() exactly (same RNG consumption).
+        let (me, n) = (0usize, 32usize);
+        let mean_d = |cont: f64| {
+            let mut r = rng();
+            let sel = VictimSelector::with_probs(VictimPolicy::Locality, cont, 0.05);
+            let mut sum = 0usize;
+            for _ in 0..20_000 {
+                sum += ring(me, sel.biased(&mut r, me, n), n);
+            }
+            sum as f64 / 20_000.0
+        };
+        assert!(
+            mean_d(0.9) > mean_d(0.3) + 1.0,
+            "cont=0.9 should walk much farther than cont=0.3"
+        );
+
+        let mut a = rng();
+        let mut b = rng();
+        let mut def = VictimSelector::new(VictimPolicy::Locality);
+        let mut exp = VictimSelector::with_probs(VictimPolicy::Locality, CONT_P, ESCAPE_P);
+        for _ in 0..500 {
+            assert_eq!(def.next(&mut a, 3, 16), exp.next(&mut b, 3, 16));
+        }
     }
 
     #[test]

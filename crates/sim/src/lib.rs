@@ -46,6 +46,7 @@ mod fiber;
 mod kernel;
 mod machine;
 mod mailbox;
+mod replay;
 mod report;
 mod trace;
 mod vlock;
@@ -58,6 +59,7 @@ pub use config::{
 pub use ctx::Ctx;
 pub use machine::{Machine, RunOutput};
 pub use mailbox::{MailboxRouter, Msg, MsgFilter};
+pub use replay::{event_dur, run_replay, run_replay_on, ReplayOp, ReplayProgram, ReplaySync};
 pub use report::{EventCounters, Report};
 pub use trace::{
     validate_json, Gauge, RemoteOpKind, StampedEvent, Trace, TraceConfig, TraceEvent, TraceSink,

@@ -33,6 +33,10 @@ pub struct SciotoUtsConfig {
     pub release_fraction: Option<f64>,
     /// Steal victim-selection policy, or `None` for the collection default.
     pub victim: Option<scioto::VictimPolicy>,
+    /// Locality-bias continuation probability, or `None` for the default.
+    pub victim_cont: Option<f64>,
+    /// Locality-bias uniform-escape probability, or `None` for the default.
+    pub victim_escape: Option<f64>,
     /// Batched termination detection, or `None` for the collection default.
     pub td_batch: Option<bool>,
 }
@@ -49,6 +53,8 @@ impl SciotoUtsConfig {
             release_threshold: None,
             release_fraction: None,
             victim: None,
+            victim_cont: None,
+            victim_escape: None,
             td_batch: None,
         }
     }
@@ -67,6 +73,12 @@ pub fn run_scioto_uts(ctx: &Ctx, cfg: &SciotoUtsConfig) -> (TreeStats, scioto::P
     }
     if let Some(v) = cfg.victim {
         tc_cfg = tc_cfg.with_victim(v);
+    }
+    if let Some(c) = cfg.victim_cont {
+        tc_cfg.victim_cont = c;
+    }
+    if let Some(e) = cfg.victim_escape {
+        tc_cfg.victim_escape = e;
     }
     if let Some(b) = cfg.td_batch {
         tc_cfg = tc_cfg.with_td_batch(b);

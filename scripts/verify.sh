@@ -42,23 +42,38 @@ cargo test -q --offline
 echo "== scioto-lint: source invariant scan (hard gate) =="
 cargo run --release --offline -q -p scioto-race --bin scioto-lint
 
-echo "== trace smoke: table1 --trace-out round-trips through trace_check =="
-trace_tmp=$(mktemp /tmp/scioto-trace.XXXXXX.json)
+# Fresh bench results are grouped by how they are gated: every BENCH file
+# in a directory is compared against its same-named committed baseline by
+# ONE `bench_diff --all` invocation per directory.
+#   loose/       rel-tol 0.5 — regression tripwires for the default-policy runs
+#   eng_threads/ rel-tol 0   — engine-equivalence re-derivations (threads)
+#   eng_events/  rel-tol 0   — engine-equivalence re-derivations (fibers)
+#   exact/       rel-tol 0   — deterministic pinned points (old policy,
+#                              1024/2048-rank sweeps, tuner output)
 work=$(mktemp -d /tmp/scioto-verify.XXXXXX)
-trap 'rm -rf "$trace_tmp" "$work"' EXIT
+trap 'rm -rf "$work"' EXIT
+mkdir -p "$work/loose" "$work/eng_threads" "$work/eng_events" "$work/exact"
+diff_all() {
+    # diff_all <dir> <rel-tol>
+    cargo run --release --offline -q -p scioto-bench --bin bench_diff -- \
+        --all "$1" --rel-tol "$2"
+}
+
+echo "== trace smoke: table1 --trace-out round-trips through trace_check =="
 cargo run --release --offline -q -p scioto-bench --bin table1 -- \
-    --trace-out "$trace_tmp" > /dev/null
+    --trace-out "$work/table1_chrome.json" > /dev/null
 cargo run --release --offline -q -p scioto-bench --bin trace_check -- \
-    --file "$trace_tmp" --ranks 2
+    --file "$work/table1_chrome.json" --ranks 2
 
 echo "== analyze: traced table1 -> blame/critical-path report =="
-# One traced run emits the JSONL dump, the in-memory analysis, and the
-# machine-readable benchmark result.
+# One traced run emits the JSONL dump, the in-memory analysis, the race
+# verdict, the in-process replay self-check, and the machine-readable
+# benchmark result.
 cargo run --release --offline -q -p scioto-bench --bin table1 -- \
     --trace-out "$work/table1.jsonl" \
     --analysis-out "$work/table1_analysis.json" \
-    --race-check \
-    --json-out "$work/BENCH_table1.json" > /dev/null
+    --race-check --replay-check \
+    --json-out "$work/loose/BENCH_table1.json" > /dev/null
 # The offline analyzer re-parses the JSONL dump; its report must match
 # the in-memory analysis byte for byte.
 cargo run --release --offline -q -p scioto-bench --bin analyze -- \
@@ -67,40 +82,61 @@ cargo run --release --offline -q -p scioto-bench --bin analyze -- \
 cmp "$work/table1_analysis.json" "$work/table1_analysis_offline.json"
 echo "ok: offline analyzer matches in-memory analysis"
 
+echo "== replay: recorded traces re-execute byte-identically (hard gate) =="
+# The replay engine reconstructs the run from the trace alone — no
+# workload closure — and must reproduce the live analysis (blame
+# decomposition + critical path) byte for byte: table1 and fig7@8.
+cargo run --release --offline -q -p scioto-bench --bin trace_check -- \
+    --file "$work/table1.jsonl" --replayable
+cargo run --release --offline -q -p scioto-bench --bin replay -- \
+    --file "$work/table1.jsonl" --check \
+    --analysis-out "$work/table1_analysis_replay.json" > /dev/null
+cmp "$work/table1_analysis.json" "$work/table1_analysis_replay.json"
+echo "ok: table1 replay matches the live blame report byte-identically"
+
 echo "== bench runs: fig7 / fig4 / ablation / fig8 (new default policy) =="
-# Every bin runs with `--race-check`: the traced run replays through the
-# happens-before checker in-process, so all six bins are race-gated under
-# the new default policy (locality victims + tree barrier + batched TD).
+# Every bin runs with `--race-check` and `--replay-check`: the traced run
+# replays through the happens-before checker AND the replay engine
+# in-process, so all six bins are race- and replay-gated under the new
+# default policy (locality victims + tree barrier + batched TD).
 cargo run --release --offline -q -p scioto-bench --bin fig7_uts_cluster -- \
     --max-ranks 8 --tree small --trace-out "$work/fig7.jsonl" \
-    --race-check --json-out "$work/BENCH_fig7.json" > /dev/null
+    --analysis-out "$work/fig7_analysis.json" \
+    --race-check --replay-check \
+    --json-out "$work/loose/BENCH_fig7.json" > /dev/null
 cargo run --release --offline -q -p scioto-bench --bin fig4_termination -- \
-    --race-check --json-out "$work/BENCH_fig4.json" > /dev/null
+    --race-check --replay-check \
+    --json-out "$work/loose/BENCH_fig4.json" > /dev/null
 cargo run --release --offline -q -p scioto-bench --bin ablation -- \
-    --race-check --json-out "$work/BENCH_ablation.json" > /dev/null
+    --race-check --replay-check \
+    --json-out "$work/loose/BENCH_ablation.json" > /dev/null
 cargo run --release --offline -q -p scioto-bench --bin fig8_uts_xt4 -- \
-    --max-ranks 8 --tree small --race-check \
-    --json-out "$work/BENCH_fig8.json" > /dev/null
+    --max-ranks 8 --tree small --race-check --replay-check \
+    --json-out "$work/loose/BENCH_fig8.json" > /dev/null
 cargo run --release --offline -q -p scioto-bench --bin fig5_fig6_apps -- \
-    --max-ranks 1 --race-check > /dev/null
+    --max-ranks 1 --race-check --replay-check > /dev/null
+
+echo "== replay: fig7@8 recorded trace reproduces blame + critical path =="
+cargo run --release --offline -q -p scioto-bench --bin trace_check -- \
+    --file "$work/fig7.jsonl" --replayable
+cargo run --release --offline -q -p scioto-bench --bin replay -- \
+    --file "$work/fig7.jsonl" --check \
+    --analysis-out "$work/fig7_analysis_replay.json" > /dev/null
+cmp "$work/fig7_analysis.json" "$work/fig7_analysis_replay.json"
+echo "ok: fig7@8 replay matches the live blame report byte-identically"
 
 echo "== policy ablation: old knobs still reproduce the pinned baseline =="
 # The ablation baseline (uniform victims, flat barrier, per-slot TD) must
 # stay byte-identical: rel-tol 0 against its own pinned results file.
 cargo run --release --offline -q -p scioto-bench --bin fig7_uts_cluster -- \
     --max-ranks 8 --tree small --old-policy \
-    --json-out "$work/BENCH_fig7_oldpolicy.json" > /dev/null
-if [ "$BLESS" = 0 ]; then
-    cargo run --release --offline -q -p scioto-bench --bin bench_diff -- \
-        --baseline "results/baselines/BENCH_fig7_oldpolicy.json" \
-        --new "$work/BENCH_fig7_oldpolicy.json" --rel-tol 0
-fi
+    --json-out "$work/exact/BENCH_fig7_oldpolicy.json" > /dev/null
 # New policy vs old policy on the same workload: the knobs are expected to
 # move throughput (that is the point), but never catastrophically — the
 # params differ by construction, so they are excluded from the gate.
 cargo run --release --offline -q -p scioto-bench --bin bench_diff -- \
-    --baseline "$work/BENCH_fig7_oldpolicy.json" \
-    --new "$work/BENCH_fig7.json" \
+    --baseline "$work/exact/BENCH_fig7_oldpolicy.json" \
+    --new "$work/loose/BENCH_fig7.json" \
     --ignore-params victim,barrier,td_batch --rel-tol 0.5
 
 echo "== engine equivalence: pinned baselines at rel-tol 0 under BOTH engines =="
@@ -110,49 +146,62 @@ echo "== engine equivalence: pinned baselines at rel-tol 0 under BOTH engines ==
 # explicitly and diffed byte-for-byte (rel-tol 0). This is the hard gate
 # behind the "engines are byte-identical" claim in README/DESIGN.
 for eng in threads events; do
+    d="$work/eng_$eng"
     cargo run --release --offline -q -p scioto-bench --bin table1 -- \
-        --engine "$eng" --json-out "$work/eng_table1.json" > /dev/null
+        --engine "$eng" --json-out "$d/BENCH_table1.json" > /dev/null
     cargo run --release --offline -q -p scioto-bench --bin fig7_uts_cluster -- \
         --max-ranks 8 --tree small --engine "$eng" \
-        --json-out "$work/eng_fig7.json" > /dev/null
+        --json-out "$d/BENCH_fig7.json" > /dev/null
     cargo run --release --offline -q -p scioto-bench --bin fig7_uts_cluster -- \
         --max-ranks 8 --tree small --old-policy --engine "$eng" \
-        --json-out "$work/eng_fig7_oldpolicy.json" > /dev/null
+        --json-out "$d/BENCH_fig7_oldpolicy.json" > /dev/null
     cargo run --release --offline -q -p scioto-bench --bin fig4_termination -- \
-        --engine "$eng" --json-out "$work/eng_fig4.json" > /dev/null
+        --engine "$eng" --json-out "$d/BENCH_fig4.json" > /dev/null
     cargo run --release --offline -q -p scioto-bench --bin ablation -- \
-        --engine "$eng" --json-out "$work/eng_ablation.json" > /dev/null
+        --engine "$eng" --json-out "$d/BENCH_ablation.json" > /dev/null
     cargo run --release --offline -q -p scioto-bench --bin fig8_uts_xt4 -- \
         --max-ranks 8 --tree small --engine "$eng" \
-        --json-out "$work/eng_fig8.json" > /dev/null
+        --json-out "$d/BENCH_fig8.json" > /dev/null
     if [ "$BLESS" = 0 ]; then
-        for f in table1 fig7 fig7_oldpolicy fig4 ablation fig8; do
-            cargo run --release --offline -q -p scioto-bench --bin bench_diff -- \
-                --baseline "results/baselines/BENCH_$f.json" \
-                --new "$work/eng_$f.json" --rel-tol 0
-        done
+        diff_all "$d" 0
     fi
     echo "ok: all pinned baselines reproduce at rel-tol 0 on the $eng engine"
 done
 
-echo "== 1024-rank scale: fig4 + fig7 on the event engine, near/far tiers =="
-# Only the fiber engine can stand up 1024 ranks on this host; the sweep
-# point uses the topology-aware near/far latency preset and is pinned as
-# its own baseline (deterministic, so rel-tol 0).
+echo "== large-scale: 1024/2048-rank event-engine points, near/far tiers =="
+# Only the fiber engine can stand up 1024+ ranks on this host; the sweep
+# points use the topology-aware near/far latency preset and are pinned as
+# their own baselines (deterministic, so rel-tol 0).
 cargo run --release --offline -q -p scioto-bench --bin fig4_termination -- \
     --max-ranks 1024 --only-ranks 1024 --latency nearfar --engine events \
-    --json-out "$work/BENCH_fig4_1024_nearfar.json" > /dev/null
+    --json-out "$work/exact/BENCH_fig4_1024_nearfar.json" > /dev/null
 cargo run --release --offline -q -p scioto-bench --bin fig7_uts_cluster -- \
     --max-ranks 1024 --only-ranks 1024 --latency nearfar --engine events \
-    --tree small --json-out "$work/BENCH_fig7_1024_nearfar.json" > /dev/null
+    --tree small --json-out "$work/exact/BENCH_fig7_1024_nearfar.json" > /dev/null
+cargo run --release --offline -q -p scioto-bench --bin fig8_uts_xt4 -- \
+    --max-ranks 2048 --only-ranks 2048 --latency nearfar --engine events \
+    --tree small --json-out "$work/exact/BENCH_fig8_2048_nearfar.json" > /dev/null
+echo "ok: 1024/2048-rank event-engine sweep points ran"
+
+echo "== autotune: 2-candidate smoke + fig7@64 closed loop (hard gate) =="
+# Smoke: record -> lower -> self-check -> replay-score 2 candidates at
+# 8 ranks; exercises the whole loop in well under a second.
+cargo run --release --offline -q -p scioto-bench --bin tune -- \
+    --ranks 8 --tree tiny --max-candidates 2 --top 1 \
+    --out "$work/tune_smoke_config.json" > /dev/null
+# Full loop at the acceptance point: fig7@64 under near/far tiers. The
+# tuner must beat the PR-5 defaults on a fresh seeded run
+# (--require-improvement exits 1 otherwise) and its BENCH output is
+# pinned at rel-tol 0 like every other deterministic result.
+cargo run --release --offline -q -p scioto-bench --bin tune -- \
+    --ranks 64 --tree small --latency nearfar \
+    --out "$work/tuned_config.json" --report "$work/tune_report.txt" \
+    --json-out "$work/exact/BENCH_fig7_tuned.json" \
+    --require-improvement > /dev/null
+echo "ok: autotuner improved fig7@64 over the defaults"
 if [ "$BLESS" = 0 ]; then
-    for f in BENCH_fig4_1024_nearfar BENCH_fig7_1024_nearfar; do
-        cargo run --release --offline -q -p scioto-bench --bin bench_diff -- \
-            --baseline "results/baselines/$f.json" \
-            --new "$work/$f.json" --rel-tol 0
-    done
+    diff_all "$work/exact" 0
 fi
-echo "ok: 1024-rank event-engine sweep points reproduce"
 
 echo "== race check: happens-before replay of table1 + fig7 traces (hard gate) =="
 race_t0=$(date +%s)
@@ -169,21 +218,15 @@ fi
 if [ "$BLESS" = 1 ]; then
     echo "== bless: refreshing results/baselines/ =="
     mkdir -p results/baselines
-    for f in BENCH_table1 BENCH_fig7 BENCH_fig4 BENCH_ablation BENCH_fig8 \
-             BENCH_fig7_oldpolicy BENCH_fig4_1024_nearfar \
-             BENCH_fig7_1024_nearfar; do
-        cp "$work/$f.json" "results/baselines/$f.json"
-        echo "blessed results/baselines/$f.json"
+    for f in "$work"/loose/BENCH_*.json "$work"/exact/BENCH_*.json; do
+        cp "$f" "results/baselines/$(basename "$f")"
+        echo "blessed results/baselines/$(basename "$f")"
     done
 else
-    echo "== bench_diff: table1 + fig7 + fig4 + ablation + fig8 vs committed baselines =="
+    echo "== bench_diff: default-policy runs vs committed baselines =="
     # Generous tolerance: the diff exists to catch real regressions from
     # code changes, and virtual-time results only move when the code does.
-    for f in BENCH_table1 BENCH_fig7 BENCH_fig4 BENCH_ablation BENCH_fig8; do
-        cargo run --release --offline -q -p scioto-bench --bin bench_diff -- \
-            --baseline "results/baselines/$f.json" \
-            --new "$work/$f.json" --rel-tol 0.5
-    done
+    diff_all "$work/loose" 0.5
 fi
 
 echo "verify.sh: all checks passed"

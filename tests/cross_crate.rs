@@ -467,6 +467,47 @@ fn analysis_report_is_deterministic_and_survives_jsonl_roundtrip() {
 }
 
 #[test]
+fn replay_of_recorded_uts_trace_is_byte_identical() {
+    // The ISSUE-7 acceptance gate: lower a recorded fig7@8-shaped trace
+    // into a replay program and re-execute it on the virtual-time kernel
+    // with no workload closure. The replay must reproduce the trace — and
+    // therefore the blame decomposition and critical path — byte for byte.
+    let live = traced_uts(0xD5EED);
+    let prog = scioto_analyze::lower(&live).expect("recorded trace lowers for replay");
+    let replayed = scioto_sim::run_replay(&prog);
+    assert_eq!(
+        live.to_jsonl(),
+        replayed.to_jsonl(),
+        "replay must reproduce the recorded trace byte for byte"
+    );
+    assert_eq!(
+        scioto_analyze::analyze(&live).to_json(),
+        scioto_analyze::analyze(&replayed).to_json(),
+        "replayed blame decomposition and critical path must match the live run"
+    );
+}
+
+#[test]
+fn record_replay_replay_is_a_fixed_point() {
+    // Determinism satellite: a replayed trace is itself replayable, and
+    // the second generation is byte-identical to the first — replay is a
+    // fixed point, not an approximation that drifts per generation.
+    let live = traced_uts(0xD5EED);
+    let gen1 = scioto_sim::run_replay(
+        &scioto_analyze::lower(&live).expect("live trace lowers"),
+    );
+    let gen2 = scioto_sim::run_replay(
+        &scioto_analyze::lower(&gen1).expect("replayed trace lowers again"),
+    );
+    assert_eq!(gen1.to_jsonl(), gen2.to_jsonl(), "replay must be a fixed point");
+    assert_eq!(
+        scioto_analyze::analyze(&gen1).to_json(),
+        scioto_analyze::analyze(&gen2).to_json(),
+        "analysis reports must be byte-identical across replay generations"
+    );
+}
+
+#[test]
 fn bench_json_is_deterministic_modulo_wall_clock() {
     // Build the BENCH document from same-seed UTS runs twice: only the
     // generated_wall_ns line may differ.
