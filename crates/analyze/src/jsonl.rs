@@ -37,6 +37,17 @@ pub fn parse(body: &str) -> Result<Trace, String> {
     }
     let dropped = get_arr(&meta, "dropped").unwrap_or_else(|| vec![0; ranks]);
     let final_clock_ns = get_arr(&meta, "final_clock_ns").unwrap_or_default();
+    // Wall-clock (concurrent-mode) traces are marked `"clock":"wall"`;
+    // any other value (or absence) means virtual time.
+    let wall_clock = match get_str(&meta, "clock") {
+        None => false,
+        Some("wall") => true,
+        Some(other) => {
+            return Err(format!(
+                "line 1: unknown clock kind {other:?} (expected \"wall\" or no clock key)"
+            ))
+        }
+    };
     if dropped.len() != ranks {
         return Err(format!(
             "line 1: dropped has {} entries for {ranks} ranks",
@@ -81,6 +92,7 @@ pub fn parse(body: &str) -> Result<Trace, String> {
         events,
         dropped,
         final_clock_ns,
+        wall_clock,
         hists,
         gauges,
     })
@@ -434,5 +446,25 @@ mod tests {
     #[test]
     fn empty_input_is_an_error() {
         assert!(parse("").is_err());
+    }
+
+    #[test]
+    fn wall_clock_marker_round_trips() {
+        let mut t = sample_trace();
+        t.wall_clock = true;
+        let body = t.to_jsonl();
+        let parsed = parse(&body).expect("wall-clock export must re-parse");
+        assert!(parsed.wall_clock);
+        assert_eq!(parsed.to_jsonl(), body);
+        // Virtual-time traces parse back unmarked.
+        assert!(!parse(&sample_trace().to_jsonl()).unwrap().wall_clock);
+    }
+
+    #[test]
+    fn unknown_clock_kind_is_an_error() {
+        let body = "{\"meta\":\"scioto-trace\",\"version\":3,\"ranks\":1,\"dropped\":[0],\
+                    \"final_clock_ns\":[5],\"clock\":\"lamport\"}\n";
+        let err = parse(body).unwrap_err();
+        assert!(err.contains("unknown clock kind"), "{err}");
     }
 }

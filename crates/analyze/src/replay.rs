@@ -97,6 +97,14 @@ pub fn lower(trace: &Trace) -> Result<ReplayProgram, ReplayError> {
     if n == 0 {
         return Err(ReplayError::global("trace covers zero ranks".into()));
     }
+    if trace.wall_clock {
+        return Err(ReplayError::global(
+            "wall-clock (concurrent-mode) trace; replay requires a virtual-time recording \
+             — re-record under --mode sim (wall timestamps are not reproducible, so there \
+             is no byte-exact schedule to replay)"
+                .into(),
+        ));
+    }
     for (r, &d) in trace.dropped.iter().enumerate() {
         if d > 0 {
             return Err(ReplayError::global(format!(
@@ -479,6 +487,18 @@ mod tests {
         assert!(prog.ops[0][2].watched);
         assert!(prog.ops[0][1].watched);
         assert_eq!(prog.episodes, 1);
+    }
+
+    #[test]
+    fn wall_clock_traces_are_rejected_descriptively() {
+        let mut t = rich_trace();
+        t.wall_clock = true;
+        let e = lower(&t).unwrap_err();
+        assert!(e.to_string().contains("wall-clock"), "{e}");
+        assert!(e.to_string().contains("virtual-time recording"), "{e}");
+        // The message must lead with the standard prefix so callers can
+        // classify without a second code path.
+        assert!(e.to_string().starts_with("trace is not replayable"), "{e}");
     }
 
     #[test]

@@ -20,10 +20,15 @@ pub const ANALYSIS_SCHEMA: &str = "scioto-analysis-v1";
 pub struct AnalysisReport {
     /// Number of ranks analyzed.
     pub ranks: usize,
-    /// Max per-rank elapsed virtual time.
+    /// Max per-rank elapsed time (virtual, or wall when `wall_clock`).
     pub makespan_ns: u64,
-    /// Per-rank elapsed virtual time.
+    /// Per-rank elapsed time: virtual ns, or — for wall-clock
+    /// (concurrent-mode) traces — each thread's measured wall span.
     pub elapsed_ns: Vec<u64>,
+    /// True when the trace carries real wall-clock stamps (concurrent
+    /// mode). The blame invariant (rows sum to elapsed) holds in both
+    /// clock domains; wall reports are just not reproducible run-to-run.
+    pub wall_clock: bool,
     /// Per-rank blame decomposition (each sums to its elapsed time).
     pub blame: Vec<Blame>,
     /// Steal-provenance profile.
@@ -71,6 +76,7 @@ impl AnalysisReport {
             ranks,
             makespan_ns: elapsed_ns.iter().copied().max().unwrap_or(0),
             elapsed_ns,
+            wall_clock: trace.wall_clock,
             blame,
             provenance: provenance::analyze(trace),
             critical_path,
@@ -98,6 +104,11 @@ impl AnalysisReport {
             "{{\n\"schema\":\"{ANALYSIS_SCHEMA}\",\n\"ranks\":{},\n\"makespan_ns\":{},\n",
             self.ranks, self.makespan_ns
         );
+        // Emitted only for wall-clock traces so virtual-time documents
+        // stay byte-identical to every pinned baseline.
+        if self.wall_clock {
+            out.push_str("\"clock\":\"wall\",\n");
+        }
         out.push_str("\"dropped_events\":[");
         push_u64s(&mut out, &self.dropped);
         out.push_str("],\n\"blame\":{\"per_rank\":[\n");
@@ -179,15 +190,18 @@ impl AnalysisReport {
         let mut out = String::new();
         let _ = writeln!(
             out,
-            "== trace analysis: {} ranks, makespan {} ns ==",
-            self.ranks, self.makespan_ns
+            "== trace analysis: {} ranks, makespan {} ns{} ==",
+            self.ranks,
+            self.makespan_ns,
+            if self.wall_clock { " (wall clock)" } else { "" }
         );
         for w in &self.warnings {
             let _ = writeln!(out, "WARNING: {w}");
         }
         let _ = writeln!(
             out,
-            "\n-- blame decomposition (virtual ns; rows sum to elapsed) --"
+            "\n-- blame decomposition ({} ns; rows sum to elapsed) --",
+            if self.wall_clock { "wall" } else { "virtual" }
         );
         let _ = writeln!(
             out,
@@ -412,5 +426,29 @@ mod tests {
         let a = AnalysisReport::from_trace(&sample_trace()).to_json();
         let b = AnalysisReport::from_trace(&sample_trace()).to_json();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn wall_clock_trace_keeps_blame_exact_and_marks_outputs() {
+        let mut t = sample_trace();
+        t.wall_clock = true;
+        let report = AnalysisReport::from_trace(&t);
+        assert!(report.wall_clock);
+        // The exactness invariant is clock-domain independent: every rank's
+        // decomposition sums to its measured span, with no warnings.
+        assert!(report.warnings.is_empty(), "{:?}", report.warnings);
+        for r in 0..report.ranks {
+            assert_eq!(report.blame[r].total(), report.elapsed_ns[r]);
+        }
+        let json = report.to_json();
+        validate_json(&json).unwrap();
+        assert!(json.contains("\"clock\":\"wall\""));
+        let text = report.to_text();
+        assert!(text.contains("(wall clock)"));
+        assert!(text.contains("wall ns; rows sum to elapsed"));
+        // Virtual-time documents carry no clock key at all.
+        let vt = AnalysisReport::from_trace(&sample_trace());
+        assert!(!vt.to_json().contains("\"clock\""));
+        assert!(!vt.to_text().contains("wall"));
     }
 }

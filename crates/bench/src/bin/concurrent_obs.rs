@@ -1,0 +1,166 @@
+//! Wall-clock observability gate for the concurrent backend: run the
+//! seeded UTS workload under `ExecMode::Concurrent` (real free-running
+//! threads), measure the tracing overhead, and export/verify the full
+//! observability surface — timestamped JSONL/Chrome traces, blame
+//! decomposition, and the happens-before race check.
+//!
+//! The overhead measurement alternates untraced and traced runs for
+//! `--reps` repetitions and compares the *minimum* wall time of each
+//! (the minimum is the standard low-noise estimator for "how fast can
+//! this go"); the ratio is printed and asserted to stay within
+//! `--max-overhead` so a tracing hot-path regression fails CI loudly.
+//!
+//! Run: `cargo run --release -p scioto-bench --bin concurrent_obs -- \
+//!           --ranks 4 --reps 5 --trace-out /tmp/conc.jsonl --race-check`
+//!
+//! Options: `--ranks N` (default 4), `--tree tiny|small|medium|large`
+//! (default tiny), `--seed S` (workload seed, default 42), `--reps N`
+//! (default 5), `--max-overhead X` (default 3.0; wall timing on shared
+//! CI machines is noisy, so the band is deliberately generous — the gate
+//! exists to catch order-of-magnitude perturbation, not 5% drift),
+//! `--chrome-out <path>` (Chrome JSON from the same traced run), plus
+//! the standard observability flags `--trace-out`, `--trace-summary`,
+//! `--analysis-out`, `--race-check`, `--trace-ring`.
+//!
+//! Exit codes: 0 on success, 1 when the overhead band or a blame/report
+//! invariant is violated (race-check failures exit through
+//! [`scioto_bench::run_race_check`] with its usual codes).
+
+use scioto_bench::{
+    dump_analysis, dump_trace, run_race_check, trace_config, Args, PolicyFlags,
+};
+use scioto_det::MonoClock;
+use scioto_sim::{Machine, MachineConfig, Report, TraceConfig};
+use scioto_uts::scioto_driver::{run_scioto_uts, SciotoUtsConfig};
+use scioto_uts::{presets, TreeParams};
+
+fn machine(ranks: usize, seed: u64, policy: PolicyFlags) -> MachineConfig {
+    MachineConfig::concurrent(ranks)
+        .with_seed(seed)
+        .with_barrier(policy.barrier)
+}
+
+fn uts_config(params: TreeParams, policy: PolicyFlags) -> SciotoUtsConfig {
+    SciotoUtsConfig {
+        victim: Some(policy.victim),
+        td_batch: Some(policy.td_batch),
+        ..SciotoUtsConfig::new(params)
+    }
+}
+
+/// One concurrent UTS run; returns the report and the measured wall time
+/// of the whole `Machine::run` (thread spawn through trace collection).
+fn run_once(
+    ranks: usize,
+    seed: u64,
+    params: TreeParams,
+    policy: PolicyFlags,
+    trace: Option<TraceConfig>,
+) -> (Report, u64) {
+    let mut cfg = machine(ranks, seed, policy);
+    if let Some(t) = trace {
+        cfg = cfg.with_trace(t);
+    }
+    let clock = MonoClock::new();
+    let out = Machine::run(cfg, move |ctx| {
+        run_scioto_uts(ctx, &uts_config(params, policy)).0
+    });
+    (out.report, clock.now_ns())
+}
+
+fn main() {
+    let args = Args::parse();
+    let ranks: usize = args.get("ranks", 4);
+    let seed: u64 = args.get("seed", 42);
+    let reps: usize = args.get("reps", 5);
+    let max_overhead: f64 = args.get("max-overhead", 3.0);
+    let tree: String = args.get("tree", "tiny".to_string());
+    let policy = PolicyFlags::from_args(&args);
+    let params = match tree.as_str() {
+        "tiny" => presets::tiny(),
+        "small" => presets::small(),
+        "medium" => presets::medium(),
+        "large" => presets::large(),
+        other => panic!("unknown tree preset {other}"),
+    };
+    let trace_cfg = trace_config(&args);
+
+    // Overhead measurement: alternate untraced/traced so slow machine
+    // drift (thermal, noisy neighbors) hits both arms equally.
+    let mut untraced_ns = Vec::with_capacity(reps);
+    let mut traced_ns = Vec::with_capacity(reps);
+    let mut traced_report = None;
+    for rep in 0..reps {
+        let (_, ns) = run_once(ranks, seed, params, policy, None);
+        untraced_ns.push(ns);
+        let (report, ns) = run_once(ranks, seed, params, policy, Some(trace_cfg.clone()));
+        traced_ns.push(ns);
+        eprintln!(
+            "rep {}/{reps}: untraced {:.3} ms, traced {:.3} ms",
+            rep + 1,
+            untraced_ns[rep] as f64 / 1e6,
+            ns as f64 / 1e6
+        );
+        traced_report = Some(report);
+    }
+    let untraced_min = *untraced_ns.iter().min().unwrap();
+    let traced_min = *traced_ns.iter().min().unwrap();
+    let overhead = traced_min as f64 / untraced_min.max(1) as f64;
+    println!(
+        "concurrent tracing overhead: traced {:.3} ms vs untraced {:.3} ms \
+         (min of {reps} reps, {ranks} ranks, {tree} tree) -> {overhead:.2}x \
+         (budget {max_overhead:.2}x)",
+        traced_min as f64 / 1e6,
+        untraced_min as f64 / 1e6,
+    );
+    if overhead > max_overhead {
+        eprintln!(
+            "concurrent_obs FAILED: tracing overhead {overhead:.2}x exceeds the \
+             --max-overhead budget {max_overhead:.2}x"
+        );
+        std::process::exit(1);
+    }
+
+    // Verify the observability surface on the last traced run.
+    let report = traced_report.expect("--reps must be >= 1");
+    let trace = report
+        .trace
+        .as_ref()
+        .expect("traced concurrent run carries a trace");
+    if !trace.wall_clock {
+        eprintln!("concurrent_obs FAILED: concurrent trace is not wall-clock marked");
+        std::process::exit(1);
+    }
+    for (r, &ns) in report.rank_clock_ns.iter().enumerate() {
+        if ns == 0 {
+            eprintln!(
+                "concurrent_obs FAILED: rank {r} reports a zero wall-clock span \
+                 (Report::rank_clock_ns not filled)"
+            );
+            std::process::exit(1);
+        }
+    }
+    let analysis = scioto_analyze::analyze(trace);
+    for w in &analysis.warnings {
+        if w.contains("blame invariant") {
+            eprintln!("concurrent_obs FAILED: {w}");
+            std::process::exit(1);
+        }
+        eprintln!("analysis WARNING: {w}");
+    }
+    println!(
+        "blame decomposition exact on all {} ranks (each rank's categories sum to \
+         its measured thread span; makespan {:.3} ms wall)",
+        analysis.ranks,
+        analysis.makespan_ns as f64 / 1e6
+    );
+
+    dump_trace(&args, &report);
+    dump_analysis(&args, &report);
+    if let Some(path) = args.get_opt("chrome-out") {
+        std::fs::write(&path, trace.to_chrome_json())
+            .unwrap_or_else(|e| panic!("writing chrome trace to {path}: {e}"));
+        eprintln!("chrome trace written to {path}");
+    }
+    run_race_check(&args, &report);
+}

@@ -16,6 +16,12 @@
 //! flags `--victim uniform|locality`, `--barrier flat|tree`,
 //! `--td-batch on|off` and the `--old-policy` shorthand for the
 //! pre-locality baseline triple.
+//!
+//! `--steal-dist` additionally runs the dedicated traced configuration
+//! and records the per-steal ring-distance histogram from the analyzer's
+//! provenance pass as first-class bench metrics (`steal_dist_dNNNN`
+//! buckets plus mean distance and near-steal share), so steal locality
+//! can be pinned and diffed like any throughput figure.
 
 use scioto_bench::{
     cluster_rank_sweep, dump_analysis, dump_trace, engine_from_args, obs_requested, only_ranks,
@@ -102,7 +108,20 @@ fn main() {
         "large" => presets::large(),
         other => panic!("unknown tree preset {other}"),
     };
-    if obs_requested(&args) {
+    let steal_dist = args.has("steal-dist");
+    let mut bench = BenchOut::new("fig7_uts_cluster");
+    bench.param("max_ranks", max_p);
+    bench.param("tree", &tree);
+    for (k, v) in policy.params() {
+        bench.param(k, v);
+    }
+    if let Some((k, v)) = sim.latency.param() {
+        bench.param(k, v);
+    }
+    if let Some(o) = only {
+        bench.param("only_ranks", o);
+    }
+    if obs_requested(&args) || steal_dist {
         // Dedicated traced UTS run (`--trace-ranks N`, default 8, on the
         // tiny tree unless `--trace-tree` picks another preset); the
         // throughput sweep below stays untraced.
@@ -124,18 +143,33 @@ fn main() {
         dump_analysis(&args, &out.report);
         run_race_check(&args, &out.report);
         run_replay_check(&args, &out.report);
-    }
-    let mut bench = BenchOut::new("fig7_uts_cluster");
-    bench.param("max_ranks", max_p);
-    bench.param("tree", &tree);
-    for (k, v) in policy.params() {
-        bench.param(k, v);
-    }
-    if let Some((k, v)) = sim.latency.param() {
-        bench.param(k, v);
-    }
-    if let Some(o) = only {
-        bench.param("only_ranks", o);
+        if steal_dist {
+            // Steal-locality metrics from the analyzer's provenance pass.
+            // The traced configuration is part of the metric identity, so
+            // it rides in the params; only occupied histogram buckets are
+            // recorded — an empty bucket turning hot (or vice versa)
+            // surfaces as a metric appearing/vanishing, which bench_diff
+            // reports as drift.
+            bench.param("steal_dist", "on");
+            bench.param("trace_ranks", trace_ranks);
+            bench.param("trace_tree", &trace_tree);
+            let trace = out.report.trace.as_ref().expect("traced run carries a trace");
+            let analysis = scioto_analyze::analyze(trace);
+            for w in &analysis.warnings {
+                eprintln!("steal-dist WARNING: {w}");
+            }
+            let prov = analysis.provenance;
+            for (d, &c) in prov.distance_hist.iter().enumerate() {
+                if c > 0 {
+                    bench.metric(&format!("steal_dist_d{d:04}"), c as f64);
+                }
+            }
+            bench.metric("steal_dist_mean", prov.mean_ring_distance());
+            bench.metric(
+                "steal_dist_near_share",
+                prov.near_share(scioto_analyze::provenance::NEAR_RADIUS),
+            );
+        }
     }
     let mut rows = Vec::new();
     for p in cluster_rank_sweep(max_p) {

@@ -8,6 +8,9 @@
 //! With `--replayable` the file is instead treated as a JSONL dump and
 //! probed for replayability: parse, lower to a replay program, and report
 //! the first offending rank/event when the trace cannot be re-executed.
+//! Wall-clock (concurrent-mode) traces are an expected, valid input that
+//! is *by design* not replayable — they classify as such with a
+//! descriptive note and exit 0, not an error cascade.
 //!
 //! Exits 0 on success, 1 with a diagnostic on stderr otherwise. Used by
 //! `scripts/verify.sh` to smoke-test the tracing pipeline end to end.
@@ -36,6 +39,19 @@ fn main() {
                 std::process::exit(1);
             }
         };
+        if trace.wall_clock {
+            // Valid trace, wrong clock domain for replay: report the
+            // classification and succeed — the file is exactly what a
+            // concurrent-mode run is supposed to produce.
+            println!(
+                "trace_check: {path} is a wall-clock (concurrent-mode) trace: valid, \
+                 analyzable, but not replayable by design — wall timestamps are not \
+                 reproducible, so there is no byte-exact schedule to re-execute \
+                 ({} ranks)",
+                trace.nranks()
+            );
+            return;
+        }
         match scioto_analyze::lower(&trace) {
             Ok(prog) => {
                 println!(
@@ -98,7 +114,12 @@ fn main() {
             );
         }
     }
-    println!("trace_check: {path} OK ({ranks} rank tracks, JSON parses)");
+    let clock = if body.contains("\"clock\":\"wall\"") {
+        ", wall clock"
+    } else {
+        ""
+    };
+    println!("trace_check: {path} OK ({ranks} rank tracks, JSON parses{clock})");
 }
 
 /// Pull the per-rank drop counters out of `"sciotoMeta":{"dropped":[...]`.

@@ -18,8 +18,15 @@
 //! across ranks — unlike the earlier `seed ^ rank * CONST` XOR-mix, which
 //! mapped `(seed = CONST, rank = 0)` and `(seed = 0, rank = 1)` to the
 //! same state.
+//!
+//! A third module, [`clock`], exists for the one place determinism ends:
+//! the concurrent (real-thread) execution mode needs real timestamps,
+//! and [`clock::MonoClock`] is the single sanctioned wall-clock source —
+//! see the `wallclock` lint in `scioto-race`.
 
+pub mod clock;
 pub mod rng;
 pub mod sync;
 
+pub use clock::MonoClock;
 pub use rng::{Rng, SplitMix64};

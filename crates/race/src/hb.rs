@@ -605,6 +605,7 @@ mod tests {
                 .collect(),
             dropped: vec![0; n],
             final_clock_ns: Vec::new(),
+            wall_clock: false,
             hists: (0..n).map(|_| Default::default()).collect(),
             gauges: (0..n).map(|_| Default::default()).collect(),
         }
@@ -826,5 +827,66 @@ mod tests {
             (6, local(0, 8, true, false)),
         ]]);
         assert!(check_trace(&t).unwrap().is_clean());
+    }
+
+    /// Wall-stamped trace with the same per-rank event lists.
+    fn wall_trace_of(ranks: Vec<Vec<(u64, TraceEvent)>>) -> Trace {
+        let mut t = trace_of(ranks);
+        t.wall_clock = true;
+        t
+    }
+
+    #[test]
+    fn wall_clock_traces_check_identically() {
+        // The checker pairs by lock generations / message seqs / barrier
+        // epochs, never by timestamp, so a wall-clock (concurrent-mode)
+        // trace with large non-reproducible stamps yields the same verdict
+        // as its virtual-time twin.
+        let clean = |mk: fn(Vec<Vec<(u64, TraceEvent)>>) -> Trace| {
+            mk(vec![
+                vec![
+                    (1_234_567, acq(1)),
+                    (1_234_900, local(0, 8, true, false)),
+                    (1_235_001, rel(1)),
+                ],
+                vec![
+                    (2_987_654, acq(2)),
+                    (2_988_000, put(0, 0, 8)),
+                    (2_990_000, rel(2)),
+                ],
+            ])
+        };
+        let wall = check_trace(&clean(wall_trace_of)).unwrap();
+        let virt = check_trace(&clean(trace_of)).unwrap();
+        assert!(wall.is_clean(), "{wall}");
+        assert_eq!(wall.races.len(), virt.races.len());
+        assert_eq!(wall.sync_edges, virt.sync_edges);
+        assert_eq!(wall.events, virt.events);
+    }
+
+    #[test]
+    fn wall_clock_races_are_still_detected() {
+        // Wall stamps that *happen* to order the accesses carry no
+        // happens-before: without a sync edge the conflict must still be
+        // reported, stamps and all.
+        let t = wall_trace_of(vec![
+            vec![(100_000, local(0, 8, true, false))],
+            vec![(900_000, put(0, 0, 8))],
+        ]);
+        let r = check_trace(&t).unwrap();
+        assert_eq!(r.races.len(), 1, "{r}");
+        assert_eq!(r.races[0].second.t_ns, 900_000);
+    }
+
+    #[test]
+    fn wall_clock_barrier_pairing_survives_skewed_stamps() {
+        // Concurrent threads reach the same barrier episode at different
+        // wall times; epoch pairing must still create the ordering edge.
+        let t = wall_trace_of(vec![
+            vec![(5_000, local(0, 8, true, false)), (9_000, barrier(0))],
+            vec![(42_000, barrier(0)), (50_000, put(0, 0, 8))],
+        ]);
+        let r = check_trace(&t).unwrap();
+        assert!(r.is_clean(), "{r}");
     }
 }

@@ -10,7 +10,13 @@
 //!   poison-free (`.lock()` returns the guard directly).
 //! * `wallclock` — `std::time` and ambient `rand::` are banned
 //!   everywhere; virtual time comes from the simulator clock and
-//!   randomness from the in-tree deterministic RNG.
+//!   randomness from the in-tree deterministic RNG. For `std::time` the
+//!   per-line waiver is honored only inside the sanctioned file
+//!   allowlist ([`SANCTIONED_TIME_FILES`]): the runtime's one wall-clock
+//!   source (`crates/det/src/clock.rs`, wrapping `Instant` behind
+//!   `MonoClock`) and the bench timing harness. Anywhere else a waiver
+//!   comment does not suppress the finding — route wall time through
+//!   `scioto_det::MonoClock` instead of adding a waiver.
 //! * `trace-closure` — trace emission sites must pass a deferred
 //!   closure (`ctx.trace(|| TraceEvent::...)`), never a pre-built
 //!   event, so disabled tracing costs one branch and zero construction.
@@ -59,6 +65,23 @@ impl fmt::Display for Finding {
             self.message
         )
     }
+}
+
+/// The only files where a `wallclock` waiver on a `std::time` line is
+/// honored: the runtime's single wall-clock source and the bench timing
+/// harness (which times real benchmark iterations by definition).
+/// Matched as path suffixes so absolute and relative invocations agree.
+pub const SANCTIONED_TIME_FILES: &[&str] = &[
+    "crates/det/src/clock.rs",
+    "crates/bench/benches/queue_ops.rs",
+    "crates/bench/src/benchjson.rs",
+    "crates/bench/src/tinybench.rs",
+];
+
+/// Is `path` on the `std::time` allowlist?
+fn time_sanctioned(path: &Path) -> bool {
+    let p = path.to_string_lossy().replace('\\', "/");
+    SANCTIONED_TIME_FILES.iter().any(|s| p.ends_with(s))
 }
 
 /// True when `lines[idx]` or the line above carries a waiver for `rule`.
@@ -190,13 +213,19 @@ pub fn lint_source(path: &Path, src: &str, det_exempt: bool) -> Vec<Finding> {
         }
 
         // --- wallclock --------------------------------------------------
-        if line.contains(&std_time) && !waived(&lines, idx, "wallclock") {
+        // A waiver only counts on the sanctioned-file allowlist; elsewhere
+        // even `allow(wallclock)` cannot bless a `std::time` use.
+        if line.contains(&std_time)
+            && !(time_sanctioned(path) && waived(&lines, idx, "wallclock"))
+        {
             out.push(Finding {
                 path: path.to_path_buf(),
                 line: lineno,
                 rule: "wallclock",
                 message: format!(
-                    "std::{} is banned; use the simulator's virtual clock (Ctx::now_ns)",
+                    "std::{} is banned; use the simulator's virtual clock (Ctx::now_ns) \
+                     or, for real wall time, scioto_det::MonoClock — waivers are honored \
+                     only in the sanctioned clock/bench-harness files",
                     "time"
                 ),
             });
@@ -395,12 +424,43 @@ mod tests {
 
     #[test]
     fn waiver_comment_suppresses_finding() {
+        // Ambient-rand waivers work anywhere; std::time waivers are
+        // covered by the allowlist tests below.
         let src = format!(
-            "// scioto-lint: allow(wallclock)\nuse std::{}::Instant;\n\
-             use std::{}::SystemTime; // scioto-lint: allow(wallclock)\n",
-            "time", "time"
+            "// scioto-lint: allow(wallclock)\nlet x = {}::random();\n",
+            "rand"
         );
         assert!(lint_str(&src).is_empty());
+    }
+
+    #[test]
+    fn time_waiver_is_honored_only_in_sanctioned_files() {
+        let src = format!(
+            "use std::{}::Instant; // scioto-lint: allow(wallclock)\n",
+            "time"
+        );
+        // The sanctioned clock module (and bench harness files) may waive.
+        for ok in super::SANCTIONED_TIME_FILES {
+            assert!(
+                lint_source(Path::new(ok), &src, ok.contains("crates/det")).is_empty(),
+                "waiver must be honored in {ok}"
+            );
+        }
+        // Anywhere else the same waiver is dead weight.
+        let f = lint_source(Path::new("crates/sim/src/kernel.rs"), &src, false);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, "wallclock");
+        assert!(f[0].message.contains("MonoClock"), "{}", f[0].message);
+    }
+
+    #[test]
+    fn sanctioned_files_still_need_per_line_waivers() {
+        // The allowlist widens where waivers *work*, not what is allowed
+        // bare: an unwaived std::time line is flagged even in clock.rs.
+        let src = format!("use std::{}::Instant;\n", "time");
+        let f = lint_source(Path::new("crates/det/src/clock.rs"), &src, true);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, "wallclock");
     }
 
     #[test]

@@ -95,11 +95,12 @@ impl SimBarrier {
 
     pub(crate) fn wait(&self, kernel: &Kernel, rank: usize, cost: u64) {
         kernel.yield_point(rank);
-        // Arrival on the virtual clock; the BarrierWait event emitted at
-        // release spans [arrival, release]. Emitted even when the span is
-        // empty so that the k-th BarrierWait on every rank belongs to the
-        // same episode (the analyzer matches episodes by index).
-        let arrival = kernel.clock(rank);
+        // Arrival on the rank's clock (virtual, or wall in concurrent
+        // mode); the BarrierWait event emitted at release spans
+        // [arrival, release]. Emitted even when the span is empty so that
+        // the k-th BarrierWait on every rank belongs to the same episode
+        // (the analyzer matches episodes by index).
+        let arrival = kernel.now(rank);
         let n = kernel.nranks();
         let mut st = self.state.lock();
         let my_generation = st.generation;
@@ -123,7 +124,7 @@ impl SimBarrier {
             }
             kernel.advance_to(rank, my_release);
             kernel.emit(rank, || TraceEvent::BarrierWait {
-                dur_ns: kernel.clock(rank).saturating_sub(arrival),
+                dur_ns: kernel.now(rank).saturating_sub(arrival),
                 epoch: my_generation,
             });
             return;
@@ -136,7 +137,7 @@ impl SimBarrier {
             if st.generation != my_generation {
                 drop(st);
                 kernel.emit(rank, || TraceEvent::BarrierWait {
-                    dur_ns: kernel.clock(rank).saturating_sub(arrival),
+                    dur_ns: kernel.now(rank).saturating_sub(arrival),
                     epoch: my_generation,
                 });
                 return;

@@ -13,8 +13,8 @@
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::time::Instant; // scioto-lint: allow(wallclock)
 
+use scioto_det::clock::MonoClock;
 use scioto_det::sync::{Condvar, Mutex};
 
 use crate::config::{ExecMode, SpeedModel};
@@ -74,8 +74,14 @@ pub(crate) struct Kernel {
     sched: Mutex<Sched>,
     cvs: Vec<Condvar>,
     clocks: Vec<AtomicU64>,
+    /// Wall-clock finish stamp of each rank (concurrent mode only):
+    /// written once by the rank's own thread when its program returns,
+    /// read by `Machine::run` after all threads have joined. This is the
+    /// rank's measured thread span, the concurrent analogue of its final
+    /// virtual clock.
+    final_ns: Vec<AtomicU64>,
     speed: Vec<f64>,
-    start: Instant,
+    start: MonoClock,
     poisoned: AtomicBool,
     pub(crate) events: EventCounters,
     pub(crate) trace: TraceSink,
@@ -118,8 +124,9 @@ impl Kernel {
             }),
             cvs: (0..n).map(|_| Condvar::new()).collect(),
             clocks: (0..n).map(|_| AtomicU64::new(0)).collect(),
+            final_ns: (0..n).map(|_| AtomicU64::new(0)).collect(),
             speed: (0..n).map(|r| speed.factor(r)).collect(),
-            start: Instant::now(),
+            start: MonoClock::new(),
             poisoned: AtomicBool::new(false),
             events: EventCounters::default(),
             trace,
@@ -132,13 +139,14 @@ impl Kernel {
         self.trace.is_enabled()
     }
 
-    /// Record a trace event for `rank`, stamped with its virtual clock.
-    /// `make` only runs when tracing is enabled.
+    /// Record a trace event for `rank`, stamped with its current time:
+    /// the virtual clock in `VirtualTime` mode, real wall nanoseconds
+    /// since machine start in `Concurrent` mode. `make` only runs when
+    /// tracing is enabled.
     #[inline]
     pub(crate) fn emit(&self, rank: usize, make: impl FnOnce() -> TraceEvent) {
         if self.trace.is_enabled() {
-            let t = self.clocks[rank].load(Ordering::Relaxed);
-            self.trace.emit(rank, t, make);
+            self.trace.emit(rank, self.now(rank), make);
         }
     }
 
@@ -167,13 +175,25 @@ impl Kernel {
     pub(crate) fn now(&self, rank: usize) -> u64 {
         match self.mode {
             ExecMode::VirtualTime => self.clocks[rank].load(Ordering::Relaxed),
-            ExecMode::Concurrent => self.start.elapsed().as_nanos() as u64,
+            ExecMode::Concurrent => self.start.now_ns(),
         }
     }
 
     /// Final (or current) virtual clock of `rank`, regardless of mode.
+    #[cfg(test)]
     pub(crate) fn clock(&self, rank: usize) -> u64 {
         self.clocks[rank].load(Ordering::Relaxed)
+    }
+
+    /// Each rank's measured elapsed time: its final virtual clock in
+    /// `VirtualTime` mode, its thread's wall-clock span (machine start →
+    /// program return, stamped by [`Kernel::finish`]) in `Concurrent`
+    /// mode. Meaningful once the rank is `Done`.
+    pub(crate) fn rank_elapsed_ns(&self, rank: usize) -> u64 {
+        match self.mode {
+            ExecMode::VirtualTime => self.clocks[rank].load(Ordering::Relaxed),
+            ExecMode::Concurrent => self.final_ns[rank].load(Ordering::Relaxed),
+        }
     }
 
     /// Advance `rank`'s clock by `ns` of *CPU* time, scaled by its speed
@@ -341,6 +361,12 @@ impl Kernel {
     /// the event engine this never returns once the machine completes or
     /// another fiber is dispatched (the caller's stack is abandoned).
     pub(crate) fn finish(&self, rank: usize) {
+        if self.mode == ExecMode::Concurrent {
+            // The rank's own thread stamps its span end before anything
+            // else; every event it emitted carries a stamp ≤ this one, so
+            // blame decomposition against the span stays exact.
+            self.final_ns[rank].store(self.start.now_ns(), Ordering::Relaxed);
+        }
         let mut s = self.sched.lock();
         s.status[rank] = Status::Done;
         s.done += 1;
@@ -380,7 +406,7 @@ impl Kernel {
 
     /// Wall-clock nanoseconds since the machine was constructed.
     pub(crate) fn wall_ns(&self) -> u64 {
-        self.start.elapsed().as_nanos() as u64
+        self.start.now_ns()
     }
 
     /// Mark the machine poisoned (a rank panicked) and wake everyone so

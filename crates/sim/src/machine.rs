@@ -74,7 +74,10 @@ impl Machine {
             resume_unwind(p);
         }
 
-        let rank_clock_ns: Vec<u64> = (0..n).map(|r| kernel.clock(r)).collect();
+        // Per-rank elapsed time: the final virtual clock in virtual-time
+        // mode, each thread's measured wall-clock span (stamped by the
+        // rank's own thread at program return) in concurrent mode.
+        let rank_clock_ns: Vec<u64> = (0..n).map(|r| kernel.rank_elapsed_ns(r)).collect();
         let makespan_ns = match cfg.mode {
             ExecMode::VirtualTime => rank_clock_ns.iter().copied().max().unwrap_or(0),
             ExecMode::Concurrent => kernel.wall_ns(),
@@ -85,6 +88,7 @@ impl Machine {
             // rank's full clock, including any trailing idle time after its
             // last event.
             t.final_clock_ns = rank_clock_ns.clone();
+            t.wall_clock = cfg.mode == ExecMode::Concurrent;
             t
         });
         let report = Report {
@@ -369,6 +373,63 @@ mod tests {
             ctx.rank()
         });
         assert_eq!(out.results, (0..8).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn concurrent_report_fills_wall_clocks() {
+        // Regression: rank_clock_ns used to stay all-zero in concurrent
+        // mode (the virtual clocks never advance there). Each entry must
+        // now be the rank thread's measured wall span, bounded by the
+        // machine's makespan.
+        let out = Machine::run(MachineConfig::concurrent(4), |ctx| {
+            ctx.barrier_with_cost(0);
+            ctx.rank()
+        });
+        assert_eq!(out.report.rank_clock_ns.len(), 4);
+        for (r, &ns) in out.report.rank_clock_ns.iter().enumerate() {
+            assert!(ns > 0, "rank {r} elapsed must be a real wall span, got 0");
+            assert!(
+                ns <= out.report.makespan_ns,
+                "rank {r} span {ns} exceeds makespan {}",
+                out.report.makespan_ns
+            );
+        }
+        assert!(out.report.imbalance() >= 1.0);
+    }
+
+    #[test]
+    fn concurrent_traced_run_stamps_wall_clocks() {
+        use crate::trace::{TraceConfig, TraceEvent};
+        let cfg = MachineConfig::concurrent(2).with_trace(TraceConfig::enabled());
+        let out = Machine::run(cfg, |ctx| {
+            ctx.trace(|| TraceEvent::QueueDepth {
+                local: ctx.rank() as u32,
+                shared: 0,
+            });
+            ctx.barrier_with_cost(0);
+            ctx.trace(|| TraceEvent::QueueDepth {
+                local: ctx.rank() as u32,
+                shared: 1,
+            });
+        });
+        let trace = out.report.trace.expect("traced run must attach a trace");
+        assert!(trace.wall_clock, "concurrent traces must carry the wall marker");
+        assert_eq!(trace.final_clock_ns, out.report.rank_clock_ns);
+        for r in 0..2 {
+            let evs = trace.events_for(r);
+            // Stamps are real time: monotone non-decreasing per rank, and
+            // never past the rank's recorded span end.
+            assert!(evs.windows(2).all(|w| w[0].t_ns <= w[1].t_ns));
+            assert!(evs.iter().all(|e| e.t_ns <= trace.final_clock_ns[r]));
+            // The post-barrier event must carry a nonzero stamp — the old
+            // bug stamped every concurrent event at t=0.
+            assert!(
+                evs.iter()
+                    .any(|e| e.t_ns > 0
+                        && e.event == TraceEvent::QueueDepth { local: r as u32, shared: 1 }),
+                "rank {r} events all stamped zero"
+            );
+        }
     }
 
     #[test]

@@ -321,6 +321,7 @@ pub fn run_replay_on(prog: &ReplayProgram, engine: Engine) -> Trace {
         events,
         dropped: vec![0; n],
         final_clock_ns,
+        wall_clock: false,
         hists: prog.hists.clone(),
         gauges: prog.gauges.clone(),
     }

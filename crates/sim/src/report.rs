@@ -52,7 +52,10 @@ pub struct Report {
     /// Completion time of the run: the maximum final rank clock in
     /// virtual-time mode, wall time in concurrent mode (nanoseconds).
     pub makespan_ns: u64,
-    /// Final per-rank clocks (virtual nanoseconds; zero in concurrent mode).
+    /// Final per-rank clocks in nanoseconds: each rank's final virtual
+    /// clock in virtual-time mode; in concurrent mode, each rank thread's
+    /// measured wall-clock span (machine start → program return, from the
+    /// kernel's monotonic clock — never zero for a completed rank).
     pub rank_clock_ns: Vec<u64>,
     /// Kernel event counts for the whole run.
     pub events: EventSnapshot,
@@ -67,7 +70,8 @@ impl Report {
         self.makespan_ns as f64 / 1e9
     }
 
-    /// Average final rank clock in nanoseconds (virtual-time mode).
+    /// Average final rank clock in nanoseconds (virtual clocks, or
+    /// per-thread wall spans in concurrent mode).
     pub fn mean_rank_clock_ns(&self) -> f64 {
         if self.rank_clock_ns.is_empty() {
             return 0.0;
@@ -77,7 +81,8 @@ impl Report {
 
     /// Load imbalance: the ratio of the largest final rank clock to the
     /// mean. 1.0 means perfectly balanced; returns 1.0 for empty reports
-    /// or all-zero clocks (e.g. concurrent mode).
+    /// or all-zero clocks. Meaningful in both modes now that concurrent
+    /// runs fill `rank_clock_ns` with measured thread spans.
     pub fn imbalance(&self) -> f64 {
         let mean = self.mean_rank_clock_ns();
         if mean == 0.0 {

@@ -1,7 +1,7 @@
-//! Deterministic tracing and metrics: per-rank ring buffers of typed
-//! events stamped with the **virtual clock**, log2-bucketed virtual-time
-//! histograms, gauges, and exporters (Chrome `trace_event` JSON, flat
-//! JSONL, human summary).
+//! Tracing and metrics: per-rank ring buffers of typed events stamped
+//! with the emitting rank's clock, log2-bucketed duration histograms,
+//! gauges, and exporters (Chrome `trace_event` JSON, flat JSONL, human
+//! summary).
 //!
 //! Determinism contract: every event is stamped with the emitting rank's
 //! virtual clock ([`crate::Ctx::now`] in virtual-time mode), each per-rank
@@ -9,17 +9,25 @@
 //! timestamps as exact integers (nanoseconds) or fixed-decimal
 //! microseconds — so two virtual-time runs with the same
 //! [`crate::MachineConfig`] produce byte-identical trace files. In
-//! [`crate::ExecMode::Concurrent`] mode the virtual clocks stay at zero
-//! and traces record ordering only.
+//! [`crate::ExecMode::Concurrent`] mode events carry **real wall-clock
+//! nanoseconds** from the machine's monotonic clock
+//! (`scioto_det::MonoClock`); such traces are marked
+//! [`Trace::wall_clock`], stamps are not reproducible across runs, and
+//! the sync-pairing payload (lock generations, message seqs, barrier
+//! epochs) remains exact — so race-checking and blame decomposition work
+//! unchanged, while byte-identity claims apply to virtual time only.
 //!
 //! Hot-path cost is gated by [`TraceSink`]: the `Disabled` variant reduces
 //! every emission to one branch, and event construction happens inside a
-//! closure that is never called when tracing is off.
+//! closure that is never called when tracing is off. Enabled emission is
+//! lock-free: each rank's ring is a single-writer cell touched only by
+//! that rank's thread, so concurrent-mode tracing never adds a lock to
+//! the measured path (the overhead gate in `concurrent_obs` asserts it
+//! stays non-perturbing).
 
+use std::cell::UnsafeCell;
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
-
-use scioto_det::sync::Mutex;
 
 /// Number of log2 buckets in a [`VtHistogram`]: bucket 0 holds the value
 /// 0, bucket `i >= 1` holds values in `[2^(i-1), 2^i - 1]`.
@@ -408,10 +416,12 @@ impl TraceEvent {
     }
 }
 
-/// A [`TraceEvent`] plus the emitting rank's virtual clock at emission.
+/// A [`TraceEvent`] plus the emitting rank's clock at emission.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct StampedEvent {
-    /// Virtual nanoseconds (zero in concurrent mode).
+    /// Nanoseconds: the rank's virtual clock in virtual-time mode, real
+    /// wall-clock time since machine start in concurrent mode (see
+    /// [`Trace::wall_clock`]).
     pub t_ns: u64,
     /// The event payload.
     pub event: TraceEvent,
@@ -655,14 +665,63 @@ impl Gauge {
     }
 }
 
+/// Interior-mutable per-rank slot with a single-writer discipline instead
+/// of a lock.
+///
+/// Safety contract (enforced by the kernel's emission paths, not the
+/// type): during a run, slot `rank` is mutated only by that rank's own
+/// thread — every `Kernel::emit`/`hist`/`gauge` call passes the caller's
+/// own rank. Reads happen only in [`TraceSink::finish`], after
+/// `Machine::run` has joined every rank thread (the join is the
+/// happens-before edge that publishes the writes). In concurrent mode
+/// this keeps trace emission lock-free on the measured path; in
+/// virtual-time mode at most one rank runs at a time anyway.
+struct RankCell<T>(UnsafeCell<T>);
+
+// SAFETY: see the single-writer contract above — distinct threads never
+// touch the same cell concurrently, and the final reads are ordered
+// after all writes by thread join.
+unsafe impl<T: Send> Sync for RankCell<T> {}
+
+impl<T> RankCell<T> {
+    fn new(v: T) -> Self {
+        RankCell(UnsafeCell::new(v))
+    }
+
+    /// Mutate the slot. Caller must be the owning rank's thread (the
+    /// cell's single writer).
+    #[inline]
+    fn with_mut<R>(&self, f: impl FnOnce(&mut T) -> R) -> R {
+        // SAFETY: single-writer contract (struct docs) — no other thread
+        // holds a reference to this slot while its owner writes.
+        f(unsafe { &mut *self.0.get() })
+    }
+
+    /// Read the slot. Caller must guarantee no concurrent writer — in
+    /// practice, only after every rank thread has been joined.
+    fn read(&self) -> &T {
+        // SAFETY: callers only read after the run's threads are joined,
+        // so all writes happened-before this borrow.
+        unsafe { &*self.0.get() }
+    }
+}
+
+impl<T: std::fmt::Debug> std::fmt::Debug for RankCell<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RankCell").finish_non_exhaustive()
+    }
+}
+
 /// Live per-rank trace storage. Each rank's ring/registries are touched
-/// only by that rank's thread during a run, so the mutexes are
-/// uncontended; they exist to keep the type `Sync`.
+/// only by that rank's thread during a run ([`RankCell`]'s single-writer
+/// contract), so emission takes no lock — a deliberate property for
+/// concurrent mode, where a shared lock would perturb the timing the
+/// trace is supposed to measure.
 #[derive(Debug)]
 pub struct TraceBuffers {
-    rings: Vec<Mutex<RankRing>>,
-    hists: Vec<Mutex<BTreeMap<&'static str, VtHistogram>>>,
-    gauges: Vec<Mutex<BTreeMap<&'static str, Gauge>>>,
+    rings: Vec<RankCell<RankRing>>,
+    hists: Vec<RankCell<BTreeMap<&'static str, VtHistogram>>>,
+    gauges: Vec<RankCell<BTreeMap<&'static str, Gauge>>>,
 }
 
 /// The emission gate held by the scheduling kernel. `Disabled` makes
@@ -684,10 +743,10 @@ impl TraceSink {
         }
         TraceSink::Enabled(TraceBuffers {
             rings: (0..ranks)
-                .map(|_| Mutex::new(RankRing::with_capacity(cfg.ring_capacity)))
+                .map(|_| RankCell::new(RankRing::with_capacity(cfg.ring_capacity)))
                 .collect(),
-            hists: (0..ranks).map(|_| Mutex::new(BTreeMap::new())).collect(),
-            gauges: (0..ranks).map(|_| Mutex::new(BTreeMap::new())).collect(),
+            hists: (0..ranks).map(|_| RankCell::new(BTreeMap::new())).collect(),
+            gauges: (0..ranks).map(|_| RankCell::new(BTreeMap::new())).collect(),
         })
     }
 
@@ -697,35 +756,44 @@ impl TraceSink {
         matches!(self, TraceSink::Enabled(_))
     }
 
-    /// Record an event for `rank` at virtual time `t_ns`. `make` is only
-    /// invoked when tracing is enabled.
+    /// Record an event for `rank` at time `t_ns`. `make` is only invoked
+    /// when tracing is enabled. Must be called from `rank`'s own thread
+    /// ([`RankCell`]'s single-writer contract) — every kernel emission
+    /// path passes the caller's own rank.
     #[inline]
     pub fn emit(&self, rank: usize, t_ns: u64, make: impl FnOnce() -> TraceEvent) {
         if let TraceSink::Enabled(b) = self {
-            b.rings[rank].lock().push(StampedEvent {
-                t_ns,
-                event: make(),
+            b.rings[rank].with_mut(|r| {
+                r.push(StampedEvent {
+                    t_ns,
+                    event: make(),
+                })
             });
         }
     }
 
-    /// Record a histogram sample for `rank` under `name`.
+    /// Record a histogram sample for `rank` under `name` (own-thread only,
+    /// like [`TraceSink::emit`]).
     #[inline]
     pub fn hist(&self, rank: usize, name: &'static str, v: u64) {
         if let TraceSink::Enabled(b) = self {
-            b.hists[rank].lock().entry(name).or_default().record(v);
+            b.hists[rank].with_mut(|h| h.entry(name).or_default().record(v));
         }
     }
 
-    /// Record a gauge sample for `rank` under `name`.
+    /// Record a gauge sample for `rank` under `name` (own-thread only,
+    /// like [`TraceSink::emit`]).
     #[inline]
     pub fn gauge(&self, rank: usize, name: &'static str, v: u64) {
         if let TraceSink::Enabled(b) = self {
-            b.gauges[rank].lock().entry(name).or_default().record(v);
+            b.gauges[rank].with_mut(|g| g.entry(name).or_default().record(v));
         }
     }
 
     /// Freeze the sink into an exportable [`Trace`] (None when disabled).
+    /// Caller must have joined every rank thread first — `Machine::run`
+    /// only calls this after the run's thread scope (or fiber set) has
+    /// completed, which publishes all per-rank writes.
     pub fn finish(&self) -> Option<Trace> {
         let TraceSink::Enabled(b) = self else {
             return None;
@@ -733,7 +801,7 @@ impl TraceSink {
         let mut events = Vec::with_capacity(b.rings.len());
         let mut dropped = Vec::with_capacity(b.rings.len());
         for ring in &b.rings {
-            let r = ring.lock();
+            let r = ring.read();
             events.push(r.chronological());
             dropped.push(r.dropped);
         }
@@ -741,11 +809,12 @@ impl TraceSink {
             events,
             dropped,
             final_clock_ns: Vec::new(),
+            wall_clock: false,
             hists: b
                 .hists
                 .iter()
                 .map(|h| {
-                    h.lock()
+                    h.read()
                         .iter()
                         .map(|(k, v)| (k.to_string(), v.clone()))
                         .collect()
@@ -754,7 +823,7 @@ impl TraceSink {
             gauges: b
                 .gauges
                 .iter()
-                .map(|g| g.lock().iter().map(|(k, v)| (k.to_string(), *v)).collect())
+                .map(|g| g.read().iter().map(|(k, v)| (k.to_string(), *v)).collect())
                 .collect(),
         })
     }
@@ -769,11 +838,20 @@ pub struct Trace {
     pub events: Vec<Vec<StampedEvent>>,
     /// Per-rank count of events lost to ring overflow.
     pub dropped: Vec<u64>,
-    /// Each rank's final virtual clock (the run's elapsed time per rank).
-    /// Populated by `Machine::run`; empty for hand-built traces — consumers
-    /// should fall back to the rank's latest event timestamp (see
+    /// Each rank's elapsed time (final virtual clock, or the thread's
+    /// measured wall-clock span in concurrent mode). Populated by
+    /// `Machine::run`; empty for hand-built traces — consumers should
+    /// fall back to the rank's latest event timestamp (see
     /// [`Trace::elapsed_ns`]).
     pub final_clock_ns: Vec<u64>,
+    /// True when the trace was recorded in [`crate::ExecMode::Concurrent`]:
+    /// timestamps are real wall-clock nanoseconds since machine start
+    /// (monotonic per run, NOT reproducible across runs, and not
+    /// replayable on the virtual-time kernel). Serialized as
+    /// `"clock":"wall"` in the JSONL meta header and the Chrome
+    /// `sciotoMeta` trailer; absent for virtual-time traces so their
+    /// exports stay byte-identical to earlier schema versions.
+    pub wall_clock: bool,
     /// Per-rank virtual-time histograms, keyed by metric name.
     pub hists: Vec<BTreeMap<String, VtHistogram>>,
     /// Per-rank gauges, keyed by metric name.
@@ -852,7 +930,11 @@ impl Trace {
         for (i, c) in self.final_clock_ns.iter().enumerate() {
             let _ = write!(out, "{}{c}", if i == 0 { "" } else { "," });
         }
-        out.push_str("]}}\n");
+        out.push(']');
+        if self.wall_clock {
+            out.push_str(",\"clock\":\"wall\"");
+        }
+        out.push_str("}}\n");
         out
     }
 
@@ -874,7 +956,14 @@ impl Trace {
         for (i, c) in self.final_clock_ns.iter().enumerate() {
             let _ = write!(out, "{}{c}", if i == 0 { "" } else { "," });
         }
-        out.push_str("]}\n");
+        out.push(']');
+        if self.wall_clock {
+            // Wall-clock (concurrent-mode) marker: consumers classify the
+            // trace as non-replayable real time. Omitted for virtual-time
+            // traces so their exports stay byte-identical.
+            out.push_str(",\"clock\":\"wall\"");
+        }
+        out.push_str("}\n");
         for (rank, per_rank) in self.hists.iter().enumerate() {
             for (name, h) in per_rank {
                 let _ = write!(
@@ -928,6 +1017,13 @@ impl Trace {
             self.total_events(),
             self.dropped.iter().sum::<u64>()
         );
+        if self.wall_clock {
+            let _ = writeln!(
+                out,
+                "clock: wall (concurrent mode — timestamps are real ns, \
+                 not reproducible across runs)"
+            );
+        }
         let _ = writeln!(out, "{:>6}  {:>10}  {:>10}", "rank", "events", "dropped");
         for r in 0..n {
             let _ = writeln!(out, "{r:>6}  {:>10}  {:>10}", self.events[r].len(), self.dropped[r]);
@@ -1521,6 +1617,60 @@ mod tests {
         assert!(s.contains("WARNING: ring overflow dropped 3 event(s) on 1 rank(s)"));
         // A clean trace must not warn.
         assert!(!synthetic_trace().summary().contains("WARNING"));
+    }
+
+    #[test]
+    fn wall_clock_marker_rides_in_both_exports() {
+        let mut t = synthetic_trace();
+        t.wall_clock = true;
+        let jsonl = t.to_jsonl();
+        let meta = jsonl.lines().next().unwrap();
+        validate_json(meta).expect("wall-clock meta header must parse");
+        assert!(meta.contains("\"clock\":\"wall\""));
+        let chrome = t.to_chrome_json();
+        validate_json(&chrome).expect("wall-clock chrome export must parse");
+        assert!(chrome
+            .contains("\"sciotoMeta\":{\"dropped\":[0,0],\"final_clock_ns\":[60,7],\"clock\":\"wall\"}"));
+        assert!(t.summary().contains("clock: wall"));
+        // Virtual-time traces must NOT carry the marker: their exports are
+        // pinned byte-identical across engines and schema versions.
+        let vt = synthetic_trace();
+        assert!(!vt.to_jsonl().contains("\"clock\""));
+        assert!(!vt.to_chrome_json().contains("\"clock\""));
+    }
+
+    #[test]
+    fn rings_take_concurrent_single_writer_emission() {
+        // One writer thread per rank, all emitting simultaneously — the
+        // exact access pattern of a concurrent-mode run against the
+        // lock-free RankCell rings. Nothing may be lost or torn.
+        let sink = TraceSink::new(&TraceConfig::enabled().with_capacity(1024), 4);
+        std::thread::scope(|s| {
+            for r in 0..4usize {
+                let sink = &sink;
+                s.spawn(move || {
+                    for t in 0..100u64 {
+                        sink.emit(r, t, || TraceEvent::QueueDepth {
+                            local: r as u32,
+                            shared: t as u32,
+                        });
+                        sink.hist(r, "h", t);
+                        sink.gauge(r, "g", t);
+                    }
+                });
+            }
+        });
+        let t = sink.finish().unwrap();
+        for r in 0..4 {
+            assert_eq!(t.events[r].len(), 100);
+            assert!(t.events[r].windows(2).all(|w| w[0].t_ns < w[1].t_ns));
+            assert!(t.events[r]
+                .iter()
+                .all(|e| matches!(e.event, TraceEvent::QueueDepth { local, .. } if local == r as u32)));
+            assert_eq!(t.hists[r]["h"].count(), 100);
+            assert_eq!(t.gauges[r]["g"].samples, 100);
+        }
+        assert_eq!(t.dropped, vec![0; 4]);
     }
 
     #[test]

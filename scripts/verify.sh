@@ -181,7 +181,16 @@ cargo run --release --offline -q -p scioto-bench --bin fig7_uts_cluster -- \
 cargo run --release --offline -q -p scioto-bench --bin fig8_uts_xt4 -- \
     --max-ranks 2048 --only-ranks 2048 --latency nearfar --engine events \
     --tree small --json-out "$work/exact/BENCH_fig8_2048_nearfar.json" > /dev/null
-echo "ok: 1024/2048-rank event-engine sweep points ran"
+# Steal-locality pin: the fig7@1024 near/far traced run's ring-distance
+# histogram, mean distance, and near-steal share from the analyzer's
+# provenance pass, recorded as first-class bench metrics. `--only-ranks 0`
+# skips every throughput sweep point so only the traced run executes;
+# deterministic under the events engine, hence pinned at rel-tol 0.
+cargo run --release --offline -q -p scioto-bench --bin fig7_uts_cluster -- \
+    --max-ranks 1024 --only-ranks 0 --latency nearfar --engine events \
+    --tree small --trace-ranks 1024 --trace-tree small --steal-dist \
+    --json-out "$work/exact/BENCH_fig7_1024_nearfar_stealdist.json" > /dev/null
+echo "ok: 1024/2048-rank event-engine sweep points + steal-distance pin ran"
 
 echo "== autotune: 2-candidate smoke + fig7@64 closed loop (hard gate) =="
 # Smoke: record -> lower -> self-check -> replay-score 2 candidates at
@@ -212,6 +221,44 @@ race_secs=$((race_t1 - race_t0))
 echo "ok: race check finished in ${race_secs}s"
 if [ "$race_secs" -ge 30 ]; then
     echo "FAIL: race check took ${race_secs}s (budget: <30s)" >&2
+    exit 1
+fi
+
+echo "== concurrent backend: wall-clock observability lane (hard gate) =="
+# Real free-running threads, seeded UTS workload: measure the tracing
+# overhead (printed and asserted within the band by the binary), then
+# export and cross-check the whole observability surface — wall-stamped
+# JSONL + Chrome traces, blame decomposition exact per thread span, and
+# a clean happens-before race check.
+conc_t0=$(date +%s)
+cargo run --release --offline -q -p scioto-bench --bin concurrent_obs -- \
+    --ranks 4 --reps 5 --max-overhead 3.0 --seed 42 \
+    --trace-out "$work/conc.jsonl" \
+    --chrome-out "$work/conc_chrome.json" \
+    --analysis-out "$work/conc_analysis.json" \
+    --trace-summary "$work/conc_summary.txt" \
+    --race-check
+# Both exports validate; the JSONL classifies as wall-clock (valid,
+# analyzable, not replayable by design — exit 0, not an error cascade).
+cargo run --release --offline -q -p scioto-bench --bin trace_check -- \
+    --file "$work/conc_chrome.json" --ranks 4
+cargo run --release --offline -q -p scioto-bench --bin trace_check -- \
+    --file "$work/conc.jsonl" --replayable
+grep -q 'clock: wall' "$work/conc_summary.txt"
+# The offline analyzer re-derives the identical wall-clock blame report
+# from the JSONL dump alone.
+cargo run --release --offline -q -p scioto-bench --bin analyze -- \
+    --file "$work/conc.jsonl" \
+    --json-out "$work/conc_analysis_offline.json" > /dev/null
+cmp "$work/conc_analysis.json" "$work/conc_analysis_offline.json"
+# The standalone race checker accepts the wall-clock dump too.
+cargo run --release --offline -q -p scioto-race --bin race_check -- \
+    "$work/conc.jsonl"
+conc_t1=$(date +%s)
+conc_secs=$((conc_t1 - conc_t0))
+echo "ok: concurrent observability lane finished in ${conc_secs}s"
+if [ "$conc_secs" -ge 60 ]; then
+    echo "FAIL: concurrent lane took ${conc_secs}s (budget: <60s)" >&2
     exit 1
 fi
 
