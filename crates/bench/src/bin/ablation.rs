@@ -17,7 +17,7 @@ use std::sync::Arc;
 use scioto::{StatsSummary, Task, TaskCollection, TcConfig, AFFINITY_HIGH};
 use scioto_armci::Armci;
 use scioto_bench::{
-    dump_analysis, dump_trace, engine_from_args, obs_requested, run_race_check, run_replay_check, render_table,
+    dump_analysis, dump_trace, engine_from_args, obs_requested, run_predict_check, run_race_check, run_replay_check, render_table,
     trace_config, us, Args, BenchOut, LatencyPreset, PolicyFlags,
 };
 use scioto_sim::{Engine, LatencyModel, Machine, MachineConfig, SpeedModel};
@@ -203,6 +203,7 @@ fn main() {
         dump_trace(&args, &out.report);
         dump_analysis(&args, &out.report);
         run_race_check(&args, &out.report);
+        run_predict_check(&args, &out.report);
         run_replay_check(&args, &out.report);
     }
     let mut bench = BenchOut::new("ablation");

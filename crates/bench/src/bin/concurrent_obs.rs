@@ -27,7 +27,7 @@
 //! [`scioto_bench::run_race_check`] with its usual codes).
 
 use scioto_bench::{
-    dump_analysis, dump_trace, run_race_check, trace_config, Args, PolicyFlags,
+    dump_analysis, dump_trace, run_predict_check, run_race_check, trace_config, Args, PolicyFlags,
 };
 use scioto_det::MonoClock;
 use scioto_sim::{Machine, MachineConfig, Report, TraceConfig};
@@ -163,4 +163,5 @@ fn main() {
         eprintln!("chrome trace written to {path}");
     }
     run_race_check(&args, &report);
+    run_predict_check(&args, &report);
 }

@@ -17,7 +17,7 @@ use scioto::{Task, TaskCollection, TcConfig, AFFINITY_HIGH};
 use scioto_armci::Armci;
 use scioto_bench::{
     dump_analysis, dump_trace, engine_from_args, obs_requested, only_ranks, render_table,
-    run_race_check, run_replay_check, trace_config, us, Args, BenchOut, LatencyPreset, PolicyFlags,
+    run_predict_check, run_race_check, run_replay_check, trace_config, us, Args, BenchOut, LatencyPreset, PolicyFlags,
 };
 use scioto_mpi::Comm;
 use scioto_sim::{Engine, LatencyModel, Machine, MachineConfig, Report, TraceConfig};
@@ -112,6 +112,7 @@ fn main() {
         dump_trace(&args, &report);
         dump_analysis(&args, &report);
         run_race_check(&args, &report);
+        run_predict_check(&args, &report);
         run_replay_check(&args, &report);
     }
     let mut bench = BenchOut::new("fig4_termination");

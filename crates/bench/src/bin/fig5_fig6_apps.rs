@@ -16,7 +16,7 @@
 
 use scioto_bench::{
     cluster_rank_sweep, dump_analysis, dump_trace, engine_from_args, obs_requested, only_ranks,
-    render_table, run_race_check, run_replay_check, secs, trace_config, Args, BenchOut, LatencyPreset, PolicyFlags,
+    render_table, run_predict_check, run_race_check, run_replay_check, secs, trace_config, Args, BenchOut, LatencyPreset, PolicyFlags,
 };
 use scioto_scf::{run_scf_parallel, BasisSet, LoadBalance, Molecule, ParallelScfConfig};
 use scioto_sim::{Engine, LatencyModel, Machine, MachineConfig, SpeedModel};
@@ -111,6 +111,7 @@ fn main() {
         dump_trace(&args, &out.report);
         dump_analysis(&args, &out.report);
         run_race_check(&args, &out.report);
+        run_predict_check(&args, &out.report);
         run_replay_check(&args, &out.report);
     }
 

@@ -25,7 +25,7 @@
 
 use scioto_bench::{
     cluster_rank_sweep, dump_analysis, dump_trace, engine_from_args, obs_requested, only_ranks,
-    render_table, run_race_check, run_replay_check, trace_config, Args, BenchOut, LatencyPreset, PolicyFlags,
+    render_table, run_predict_check, run_race_check, run_replay_check, trace_config, Args, BenchOut, LatencyPreset, PolicyFlags,
 };
 use scioto_sim::{Engine, LatencyModel, Machine, MachineConfig, SpeedModel};
 use scioto_uts::mpi_ws::{run_mpi_uts, MpiUtsConfig};
@@ -142,6 +142,7 @@ fn main() {
         dump_trace(&args, &out.report);
         dump_analysis(&args, &out.report);
         run_race_check(&args, &out.report);
+        run_predict_check(&args, &out.report);
         run_replay_check(&args, &out.report);
         if steal_dist {
             // Steal-locality metrics from the analyzer's provenance pass.

@@ -16,7 +16,7 @@
 
 use scioto_bench::{
     dump_analysis, dump_trace, engine_from_args, obs_requested, only_ranks, render_table,
-    run_race_check, run_replay_check, trace_config, Args, BenchOut, LatencyPreset, PolicyFlags,
+    run_predict_check, run_race_check, run_replay_check, trace_config, Args, BenchOut, LatencyPreset, PolicyFlags,
 };
 use scioto_sim::{Engine, LatencyModel, Machine, MachineConfig, SpeedModel};
 use scioto_uts::mpi_ws::{run_mpi_uts, MpiUtsConfig};
@@ -103,6 +103,7 @@ fn main() {
         dump_trace(&args, &out.report);
         dump_analysis(&args, &out.report);
         run_race_check(&args, &out.report);
+        run_predict_check(&args, &out.report);
         run_replay_check(&args, &out.report);
     }
     let mut bench = BenchOut::new("fig8_uts_xt4");

@@ -13,7 +13,7 @@
 use scioto::{Task, TaskCollection, TcConfig};
 use scioto_armci::Armci;
 use scioto_bench::{
-    dump_analysis, dump_trace, engine_from_args, obs_requested, run_race_check, run_replay_check, render_table,
+    dump_analysis, dump_trace, engine_from_args, obs_requested, run_predict_check, run_race_check, run_replay_check, render_table,
     trace_config, us, Args, BenchOut, LatencyPreset, PolicyFlags,
 };
 use scioto_sim::{Engine, LatencyModel, Machine, MachineConfig, Report, TraceConfig};
@@ -132,6 +132,7 @@ fn main() {
     dump_trace(&args, &cluster_report);
     dump_analysis(&args, &cluster_report);
     run_race_check(&args, &cluster_report);
+    run_predict_check(&args, &cluster_report);
     run_replay_check(&args, &cluster_report);
 
     let mut bench = BenchOut::new("table1");

@@ -278,16 +278,31 @@ pub fn replay_check_requested(args: &Args) -> bool {
     args.has("replay-check")
 }
 
+/// Did the user ask for predictive race analysis on the traced run
+/// (`--predict`)?
+pub fn predict_requested(args: &Args) -> bool {
+    args.has("predict")
+}
+
+/// Did the user ask for a lock-order deadlock scan on the traced run
+/// (`--deadlock`)?
+pub fn deadlock_check_requested(args: &Args) -> bool {
+    args.has("deadlock")
+}
+
 /// Did the user ask for any observability output — a raw trace dump
 /// (`--trace-out`), an analysis report (`--analysis-out`), a race check
-/// (`--race-check`), or a replay self-check (`--replay-check`)? Any of
-/// them makes the bench binaries run their dedicated traced
+/// (`--race-check`), a predictive analysis (`--predict`), a deadlock
+/// scan (`--deadlock`), or a replay self-check (`--replay-check`)? Any
+/// of them makes the bench binaries run their dedicated traced
 /// configuration.
 pub fn obs_requested(args: &Args) -> bool {
     trace_requested(args)
         || args.get_opt("analysis-out").is_some()
         || race_check_requested(args)
         || replay_check_requested(args)
+        || predict_requested(args)
+        || deadlock_check_requested(args)
 }
 
 /// The trace configuration for a bench binary's traced run: enabled,
@@ -392,6 +407,54 @@ pub fn run_race_check(args: &Args, report: &scioto_sim::Report) {
             eprintln!("race check error: {e}");
             std::process::exit(2);
         }
+    }
+}
+
+/// Run the sync-preserving predictive race analysis (`--predict`)
+/// and/or the lock-order deadlock scan (`--deadlock`) on `report`'s
+/// trace and print the verdicts; no-op when neither flag is given.
+/// Exits 1 on findings (predicted races, atomicity violations, or
+/// lock-order cycles) and 2 when the trace cannot be analyzed (e.g.
+/// ring overflow dropped events — rerun with a larger `--trace-ring`).
+/// Panics if the report carries no trace (the caller must have run the
+/// traced machine).
+pub fn run_predict_check(args: &Args, report: &scioto_sim::Report) {
+    let do_predict = predict_requested(args);
+    let do_deadlock = deadlock_check_requested(args);
+    if !do_predict && !do_deadlock {
+        return;
+    }
+    let trace = report
+        .trace
+        .as_ref()
+        .expect("run_predict_check needs a report from a tracing-enabled run");
+    let mut findings = false;
+    if do_predict {
+        match scioto_race::predict(trace) {
+            Ok(verdict) => {
+                eprint!("{verdict}");
+                findings |= !verdict.is_clean();
+            }
+            Err(e) => {
+                eprintln!("predict error: {e}");
+                std::process::exit(2);
+            }
+        }
+    }
+    if do_deadlock {
+        match scioto_race::check_deadlocks(trace) {
+            Ok(verdict) => {
+                eprint!("{verdict}");
+                findings |= !verdict.is_clean();
+            }
+            Err(e) => {
+                eprintln!("deadlock check error: {e}");
+                std::process::exit(2);
+            }
+        }
+    }
+    if findings {
+        std::process::exit(1);
     }
 }
 

@@ -1,22 +1,71 @@
-//! Standalone happens-before race checker for exported JSONL traces.
+//! Standalone race / deadlock checker for exported JSONL traces.
 //!
-//! Usage: `race_check TRACE.jsonl [TRACE2.jsonl ...]`
+//! Usage: `race_check [--predict] [--deadlock] [--json-out FILE] TRACE.jsonl ...`
 //!
-//! Exit status: 0 when every trace is race-free, 1 when any race is
-//! found, 2 on I/O, parse, or replay errors.
+//! Always replays the happens-before check. `--predict` additionally
+//! runs the sync-preserving predictive analysis (schedule-masked races
+//! plus atomic-protocol verification); `--deadlock` runs the cross-rank
+//! lock-order cycle scan. `--json-out FILE` writes one canonical
+//! `scioto-race-v1` JSON object per trace (one per line) to FILE
+//! (`-` for stdout).
+//!
+//! Exit status contract (stable, relied on by `scripts/verify.sh`):
+//! * **0** — every trace analyzed and clean;
+//! * **1** — analysis completed and found races, predicted races,
+//!   atomicity violations, or deadlock cycles;
+//! * **2** — a trace could not be analyzed: I/O error, malformed JSONL
+//!   (never a panic), dropped events, or replay deadlock.
 
 use std::process::ExitCode;
 
+fn usage() {
+    eprintln!("usage: race_check [--predict] [--deadlock] [--json-out FILE] TRACE.jsonl ...");
+    eprintln!("  replays each JSONL trace with vector clocks and reports");
+    eprintln!("  happens-before races on simulated global memory");
+    eprintln!("  --predict    also predict schedule-masked races and check");
+    eprintln!("               atomic-protocol access patterns");
+    eprintln!("  --deadlock   also scan the cross-rank lock-order graph for cycles");
+    eprintln!("  --json-out F write scioto-race-v1 JSON reports to F (- for stdout)");
+    eprintln!("exit status: 0 clean, 1 findings, 2 unanalyzable");
+}
+
 fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    if args.is_empty() || args.iter().any(|a| a == "-h" || a == "--help") {
-        eprintln!("usage: race_check TRACE.jsonl [TRACE2.jsonl ...]");
-        eprintln!("  replays each JSONL trace with vector clocks and reports");
-        eprintln!("  happens-before races on simulated global memory");
+    let mut do_predict = false;
+    let mut do_deadlock = false;
+    let mut json_out: Option<String> = None;
+    let mut paths: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--predict" => do_predict = true,
+            "--deadlock" => do_deadlock = true,
+            "--json-out" => match args.next() {
+                Some(f) => json_out = Some(f),
+                None => {
+                    eprintln!("race_check: --json-out needs a file argument");
+                    return ExitCode::from(2);
+                }
+            },
+            "-h" | "--help" => {
+                usage();
+                return ExitCode::from(2);
+            }
+            flag if flag.starts_with('-') && flag != "-" => {
+                eprintln!("race_check: unknown flag {flag}");
+                usage();
+                return ExitCode::from(2);
+            }
+            _ => paths.push(a),
+        }
+    }
+    if paths.is_empty() {
+        usage();
         return ExitCode::from(2);
     }
-    let mut racy = false;
-    for path in &args {
+
+    let mut findings = false;
+    let mut json_lines = String::new();
+    for path in &paths {
         let body = match std::fs::read_to_string(path) {
             Ok(b) => b,
             Err(e) => {
@@ -31,18 +80,72 @@ fn main() -> ExitCode {
                 return ExitCode::from(2);
             }
         };
-        match scioto_race::check_trace(&trace) {
+        let hb = match scioto_race::check_trace(&trace) {
             Ok(report) => {
                 print!("{path}: {report}");
-                racy |= !report.is_clean();
+                findings |= !report.is_clean();
+                report
             }
             Err(e) => {
                 eprintln!("race_check: {path}: {e}");
                 return ExitCode::from(2);
             }
+        };
+        let predicted = if do_predict {
+            match scioto_race::predict(&trace) {
+                Ok(report) => {
+                    print!("{path}: {report}");
+                    findings |= !report.is_clean();
+                    Some(report)
+                }
+                Err(e) => {
+                    eprintln!("race_check: {path}: predict: {e}");
+                    return ExitCode::from(2);
+                }
+            }
+        } else {
+            None
+        };
+        let deadlocks = if do_deadlock {
+            match scioto_race::check_deadlocks(&trace) {
+                Ok(report) => {
+                    print!("{path}: {report}");
+                    findings |= !report.is_clean();
+                    Some(report)
+                }
+                Err(e) => {
+                    eprintln!("race_check: {path}: deadlock: {e}");
+                    return ExitCode::from(2);
+                }
+            }
+        } else {
+            None
+        };
+        if json_out.is_some() {
+            json_lines.push_str(&scioto_race::render_report(
+                path,
+                trace.nranks(),
+                &hb,
+                predicted.as_ref(),
+                deadlocks.as_ref(),
+            ));
+            json_lines.push('\n');
         }
     }
-    if racy {
+
+    if let Some(f) = &json_out {
+        let res = if f == "-" {
+            print!("{json_lines}");
+            Ok(())
+        } else {
+            std::fs::write(f, &json_lines)
+        };
+        if let Err(e) = res {
+            eprintln!("race_check: {f}: {e}");
+            return ExitCode::from(2);
+        }
+    }
+    if findings {
         ExitCode::from(1)
     } else {
         ExitCode::SUCCESS

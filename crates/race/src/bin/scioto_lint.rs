@@ -1,17 +1,30 @@
 //! Source-tree invariant scanner. See [`scioto_race::lint`] for the rules.
 //!
-//! Usage: `scioto-lint [ROOT ...]` — roots default to `crates` and `src`
-//! under the current directory. Exit status: 0 clean, 1 findings, 2 I/O
-//! error.
+//! Usage: `scioto-lint [--stats] [ROOT ...]` — roots default to `crates`
+//! and `src` under the current directory.
+//!
+//! Default mode prints findings; exit status: 0 clean, 1 findings, 2 I/O
+//! error. `--stats` prints live waiver counts per rule (one `<rule> <n>`
+//! line per known rule, sorted, plus a `total` line) and always exits 0
+//! on success — `verify.sh` diffs this output against the committed
+//! ratchet file `results/lint_waivers.txt` so waiver totals can only
+//! shrink without a bless.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
-    let mut roots: Vec<PathBuf> = std::env::args().skip(1).map(PathBuf::from).collect();
-    if roots.iter().any(|r| r.as_os_str() == "-h" || r.as_os_str() == "--help") {
-        eprintln!("usage: scioto-lint [ROOT ...]   (default: crates src)");
-        return ExitCode::from(2);
+    let mut stats = false;
+    let mut roots: Vec<PathBuf> = Vec::new();
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "-h" | "--help" => {
+                eprintln!("usage: scioto-lint [--stats] [ROOT ...]   (default roots: crates src)");
+                return ExitCode::from(2);
+            }
+            "--stats" => stats = true,
+            _ => roots.push(PathBuf::from(arg)),
+        }
     }
     if roots.is_empty() {
         roots = ["crates", "src"]
@@ -22,6 +35,23 @@ fn main() -> ExitCode {
         if roots.is_empty() {
             eprintln!("scioto-lint: no crates/ or src/ directory here; pass roots explicitly");
             return ExitCode::from(2);
+        }
+    }
+    if stats {
+        match scioto_race::waiver_stats(&roots) {
+            Ok(counts) => {
+                let mut total = 0usize;
+                for (rule, n) in &counts {
+                    println!("{rule} {n}");
+                    total += n;
+                }
+                println!("total {total}");
+                return ExitCode::SUCCESS;
+            }
+            Err(e) => {
+                eprintln!("scioto-lint: --stats: {e}");
+                return ExitCode::from(2);
+            }
         }
     }
     let mut findings = Vec::new();

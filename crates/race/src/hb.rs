@@ -79,17 +79,28 @@ struct WordState {
     reads: Vec<AccessRec>,
 }
 
-/// One detected race: two conflicting accesses to `word` (8-byte index
-/// within segment `seg` owned by rank `owner`) with no happens-before
-/// order between them.
+/// One detected race: two conflicting accesses to the word range
+/// `word..=word_hi` (8-byte indices within segment `seg` owned by rank
+/// `owner`) with no happens-before order between them.
+///
+/// Reports are deduplicated by *access-site pair*: all raced words
+/// between the same pair of sites (same ranks, operation kinds, and
+/// write/atomic classes on the same segment) collapse into one report
+/// whose `word_count` counts the distinct 8-byte words exactly. The
+/// attributed `first`/`second` events are the earliest raced pair of
+/// the site.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Race {
-    /// Rank whose segment slice holds the word.
+    /// Rank whose segment slice holds the words.
     pub owner: u32,
     /// Segment id (`Gmem` creation order).
     pub seg: u32,
-    /// 8-byte word index within the owner's slice.
+    /// Lowest raced 8-byte word index within the owner's slice.
     pub word: u64,
+    /// Highest raced word index (equals `word` for single-word races).
+    pub word_hi: u64,
+    /// Exact number of distinct raced words collapsed into this report.
+    pub word_count: u64,
     /// The earlier-replayed access of the unordered pair.
     pub first: AccessInfo,
     /// The later-replayed access of the unordered pair.
@@ -119,12 +130,14 @@ impl fmt::Display for Race {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(
             f,
-            "race on rank {} seg {} word {} (bytes {}..{}):",
+            "race on rank {} seg {} words {}..={} ({} word(s), bytes {}..{}):",
             self.owner,
             self.seg,
             self.word,
+            self.word_hi,
+            self.word_count,
             self.word * 8,
-            self.word * 8 + 8
+            self.word_hi * 8 + 8
         )?;
         for (tag, a) in [("first", &self.first), ("second", &self.second)] {
             write!(
@@ -260,8 +273,7 @@ pub fn check_trace(trace: &Trace) -> Result<RaceReport, String> {
     let mut barrier_join: HashMap<u64, Vec<u64>> = HashMap::new();
 
     let mut words: HashMap<(u32, u32, u64), WordState> = HashMap::new();
-    let mut races: Vec<Race> = Vec::new();
-    let mut seen_pairs: Vec<((u32, u32), (u32, u32))> = Vec::new();
+    let mut raws: Vec<RawRace> = Vec::new();
     let mut events_replayed = 0u64;
     let mut sync_edges = 0u64;
 
@@ -382,9 +394,7 @@ pub fn check_trace(trace: &Trace) -> Result<RaceReport, String> {
                     TraceEvent::RemoteOp { kind, target, seg, offset, bytes, atomic } => {
                         record_access(
                             &mut words,
-                            &mut races,
-                            &mut seen_pairs,
-                            trace,
+                            &mut raws,
                             &clocks[r],
                             AccessRec {
                                 rank: r as u32,
@@ -402,9 +412,7 @@ pub fn check_trace(trace: &Trace) -> Result<RaceReport, String> {
                     TraceEvent::LocalAccess { seg, offset, bytes, write, atomic } => {
                         record_access(
                             &mut words,
-                            &mut races,
-                            &mut seen_pairs,
-                            trace,
+                            &mut raws,
                             &clocks[r],
                             AccessRec {
                                 rank: r as u32,
@@ -459,11 +467,73 @@ pub fn check_trace(trace: &Trace) -> Result<RaceReport, String> {
     }
 
     Ok(RaceReport {
-        races,
+        races: dedupe_races(trace, raws),
         events: events_replayed,
         sync_edges,
         words: words.len(),
     })
+}
+
+/// One raw (word, unordered-pair) hit recorded during replay, before
+/// site-pair deduplication.
+struct RawRace {
+    owner: u32,
+    seg: u32,
+    word: u64,
+    prior: AccessRec,
+    rec: AccessRec,
+}
+
+/// Collapse raw hits into site-pair-deduplicated [`Race`] reports: one
+/// report per (owner, seg, first-site class, second-site class), where a
+/// site class is the access's (rank, operation, write, atomic) tuple.
+/// The report keeps the earliest raced event pair and counts the exact
+/// set of distinct raced words.
+fn dedupe_races(trace: &Trace, raws: Vec<RawRace>) -> Vec<Race> {
+    type SiteClass = (u32, String, bool, bool);
+    let mut grouped: Vec<(Race, std::collections::BTreeSet<u64>)> = Vec::new();
+    let mut index: HashMap<(u32, u32, SiteClass, SiteClass), usize> = HashMap::new();
+    for raw in raws {
+        let first = access_info(trace, raw.prior);
+        let second = access_info(trace, raw.rec);
+        let key = (
+            raw.owner,
+            raw.seg,
+            (first.rank, first.op.clone(), first.write, first.atomic),
+            (second.rank, second.op.clone(), second.write, second.atomic),
+        );
+        match index.get(&key) {
+            Some(&i) => {
+                grouped[i].1.insert(raw.word);
+            }
+            None => {
+                index.insert(key, grouped.len());
+                let mut set = std::collections::BTreeSet::new();
+                set.insert(raw.word);
+                grouped.push((
+                    Race {
+                        owner: raw.owner,
+                        seg: raw.seg,
+                        word: raw.word,
+                        word_hi: raw.word,
+                        word_count: 1,
+                        first,
+                        second,
+                    },
+                    set,
+                ));
+            }
+        }
+    }
+    grouped
+        .into_iter()
+        .map(|(mut race, set)| {
+            race.word = *set.iter().next().expect("non-empty word set");
+            race.word_hi = *set.iter().next_back().expect("non-empty word set");
+            race.word_count = set.len() as u64;
+            race
+        })
+        .collect()
 }
 
 /// Words overlapped by a byte range (8-byte granularity).
@@ -475,9 +545,7 @@ fn word_range(offset: u64, bytes: u32) -> std::ops::RangeInclusive<u64> {
 #[allow(clippy::too_many_arguments)]
 fn record_access(
     words: &mut HashMap<(u32, u32, u64), WordState>,
-    races: &mut Vec<Race>,
-    seen_pairs: &mut Vec<((u32, u32), (u32, u32))>,
-    trace: &Trace,
+    raws: &mut Vec<RawRace>,
     clock: &[u64],
     rec: AccessRec,
     owner: u32,
@@ -485,39 +553,28 @@ fn record_access(
     offset: u64,
     bytes: u32,
 ) {
-    let mut report = |prior: &AccessRec, w: u64| {
+    let report = |prior: &AccessRec, w: u64| {
         if prior.rank == rec.rank
             || (prior.atomic && rec.atomic)
             || prior.clock <= clock[prior.rank as usize]
         {
             return None;
         }
-        let pair = ((prior.rank, prior.ev_idx), (rec.rank, rec.ev_idx));
-        if seen_pairs.contains(&pair) {
-            return None;
-        }
-        seen_pairs.push(pair);
-        Some(Race {
-            owner,
-            seg,
-            word: w,
-            first: access_info(trace, *prior),
-            second: access_info(trace, rec),
-        })
+        Some(RawRace { owner, seg, word: w, prior: *prior, rec })
     };
     for w in word_range(offset, bytes) {
         let st = words.entry((owner, seg, w)).or_default();
         // A write conflicts with prior writes and reads; a read only with
         // prior writes.
         for prior in &st.writes {
-            if let Some(race) = report(prior, w) {
-                races.push(race);
+            if let Some(raw) = report(prior, w) {
+                raws.push(raw);
             }
         }
         if rec.write {
             for prior in &st.reads {
-                if let Some(race) = report(prior, w) {
-                    races.push(race);
+                if let Some(raw) = report(prior, w) {
+                    raws.push(raw);
                 }
             }
         }
@@ -530,6 +587,20 @@ fn record_access(
             None => list.push(rec),
         }
     }
+}
+
+/// Build the report-side attribution for one access on `rank` at event
+/// index `ev_idx` with replay clock `clock` (shared with the predictive
+/// engine, which reuses the same attribution format).
+pub(crate) fn attribute(
+    trace: &Trace,
+    rank: u32,
+    ev_idx: u32,
+    clock: u64,
+    write: bool,
+    atomic: bool,
+) -> AccessInfo {
+    access_info(trace, AccessRec { rank, ev_idx, clock, write, atomic })
 }
 
 /// Build the report-side attribution for one access record.
@@ -786,12 +857,20 @@ mod tests {
             vec![(6, put(0, 8, 8))],
         ]);
         assert!(check_trace(&t).unwrap().is_clean());
-        // A 16-byte put overlaps both words and races once (deduped).
+        // A 16-byte put overlaps both locally written words. Both hits
+        // share the same access-site pair (rank 0 local write vs rank 1
+        // put), so they collapse into one report counting both words.
         let t = trace_of(vec![
             vec![(5, local(0, 8, true, false)), (6, local(8, 8, true, false))],
             vec![(7, put(0, 0, 16))],
         ]);
-        assert_eq!(check_trace(&t).unwrap().races.len(), 2);
+        let r = check_trace(&t).unwrap();
+        assert_eq!(r.races.len(), 1, "{r}");
+        let race = &r.races[0];
+        assert_eq!((race.word, race.word_hi, race.word_count), (0, 1, 2));
+        // The attributed pair is the earliest raced one.
+        assert_eq!(race.first.op, "local write");
+        assert_eq!(race.second.op, "put");
     }
 
     #[test]

@@ -20,8 +20,15 @@
 //!
 //! [`Trace`]: scioto_sim::Trace
 
+pub mod deadlock;
 pub mod hb;
+pub mod lexer;
 pub mod lint;
+pub mod predict;
+pub mod report;
 
+pub use deadlock::{check_deadlocks, Cycle, DeadlockReport, Resource};
 pub use hb::{check_trace, AccessInfo, Race, RaceReport};
-pub use lint::{lint_tree, Finding};
+pub use lint::{lint_tree, waiver_stats, Finding};
+pub use predict::{check_protocols, predict, AtomicityViolation, PredictReport, PredictedRace};
+pub use report::render as render_report;

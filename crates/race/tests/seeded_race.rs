@@ -70,7 +70,9 @@ fn lock_skipping_rank_is_flagged_with_attribution() {
     assert_eq!(report.races.len(), 3, "{report}");
     for race in &report.races {
         assert_eq!(race.owner, 0, "counter lives on rank 0");
-        assert_eq!(race.word, 0);
+        // Site-pair dedup: each op pair races on exactly the one counter
+        // word, so every deduped report has word_count 1.
+        assert_eq!((race.word, race.word_hi, race.word_count), (0, 0, 1));
         assert_eq!(race.first.rank, 0);
         assert_eq!(race.second.rank, 1);
         assert!(

@@ -171,6 +171,9 @@ impl FiberSet {
                 // 16-align the top, then lay the bootstrap frame under it.
                 let top = (base + stack.len()) & !15;
                 let frame = top - BOOT_SLOTS * 8;
+                // SAFETY: `frame..top` lies inside the freshly boxed
+                // stack and is 8-aligned, so the BOOT_SLOTS usize writes
+                // stay in bounds of memory this Fiber uniquely owns.
                 unsafe {
                     let slots = frame as *mut usize;
                     for i in 0..BOOT_SLOTS {
@@ -202,6 +205,8 @@ impl FiberSet {
     /// started fiber runs to completion (normally or by unwinding) before
     /// anything the closure borrows — or this `FiberSet` — is dropped.
     pub(crate) unsafe fn set_task<'a>(&mut self, idx: usize, task: Box<dyn FnOnce() + 'a>) {
+        // SAFETY: pure lifetime erasure on the box's trait-object type;
+        // the caller upholds the outlives contract documented above.
         let erased: Box<dyn FnOnce() + 'static> = unsafe { std::mem::transmute(task) };
         *self.fibers[idx].task.borrow_mut() = Some(erased);
     }
@@ -211,6 +216,7 @@ impl FiberSet {
     /// # Safety
     /// Same lifetime-erasure contract as [`FiberSet::set_task`].
     pub(crate) unsafe fn set_exit<'a>(&mut self, exit: Box<dyn Fn(usize) + 'a>) {
+        // SAFETY: pure lifetime erasure, same contract as `set_task`.
         let erased: Box<dyn Fn(usize) + 'static> = unsafe { std::mem::transmute(exit) };
         *self.exit.borrow_mut() = Some(erased);
     }
@@ -228,6 +234,9 @@ impl FiberSet {
             Some(p) => self.fibers[p].sp.as_ptr(),
             None => self.main_sp.as_ptr(),
         };
+        // SAFETY: `save` points at a live sp cell owned by this set, and
+        // the target sp is either fiber `idx`'s primed bootstrap frame or
+        // the frame a previous switch parked; the shim only swaps stacks.
         unsafe { scioto_fiber_switch(save, self.fibers[idx].sp.get()) };
         // Back on `prev`'s stack: restore the current marker the resumer
         // overwrote with its own index.
@@ -240,6 +249,8 @@ impl FiberSet {
             .current
             .replace(None)
             .expect("switch_to_main from the main context");
+        // SAFETY: the current fiber's sp cell is live, and `main_sp` holds
+        // the frame the main context parked in `enter`'s initial switch.
         unsafe { scioto_fiber_switch(self.fibers[prev].sp.as_ptr(), self.main_sp.get()) };
         self.current.set(Some(prev));
     }
@@ -344,6 +355,7 @@ mod tests {
                 with_active(|fs| fs.switch_to_main());
                 log.borrow_mut().push((i, 1));
             });
+            // SAFETY: both fibers run to completion inside `enter` below.
             unsafe { fs.set_task(i, task) };
         }
         enter(&fs, || {
@@ -363,10 +375,12 @@ mod tests {
         let mut fs = FiberSet::new(1, 64 * 1024);
         {
             let order = Rc::clone(&order);
+            // SAFETY: the fiber runs to completion inside `enter` below.
             unsafe { fs.set_task(0, Box::new(move || order.borrow_mut().push("task"))) };
         }
         {
             let order = Rc::clone(&order);
+            // SAFETY: the exit hook's borrows outlive the `enter` below.
             unsafe {
                 fs.set_exit(Box::new(move |idx| {
                     order.borrow_mut().push("exit");
@@ -396,6 +410,7 @@ mod tests {
                 });
                 seen.set(seen.get() + 1);
             });
+            // SAFETY: fiber 0 runs to completion inside `enter` below.
             unsafe { fs.set_task(0, task) };
         }
         {
@@ -407,6 +422,7 @@ mod tests {
                 });
                 seen.set(seen.get() + 10);
             });
+            // SAFETY: fiber 1 runs to completion inside `enter` below.
             unsafe { fs.set_task(1, task) };
         }
         enter(&fs, || {

@@ -210,10 +210,9 @@ fn run_events<R, F>(
             // `ctx` (with its kernel/shared Arcs) drops on return, before
             // the exit hook abandons this stack for good.
         });
-        // SAFETY: every started fiber runs to completion inside the
-        // `enter` block below (the cleanup loop resumes stragglers until
-        // they unwind), so the erased borrows of `f`, `results` and
-        // `panic_payload` never outlive this frame.
+        // SAFETY: every started fiber runs to completion inside `enter`
+        // below (the cleanup loop resumes stragglers until they unwind),
+        // so the erased borrows of `f`/`results`/`panic_payload` die here.
         unsafe { fs.set_task(rank, task) };
     }
     {

@@ -36,8 +36,10 @@ echo "ok: dependency graph is workspace-only"
 echo "== cargo build --release --offline =="
 cargo build --release --offline
 
-echo "== cargo test -q --offline (tier-1) =="
-cargo test -q --offline
+echo "== cargo test -q --offline --workspace (tier-1) =="
+# The root manifest is a package AND the workspace root; without
+# --workspace only the root cross-crate suite runs.
+cargo test -q --offline --workspace
 
 echo "== scioto-lint: source invariant scan (hard gate) =="
 cargo run --release --offline -q -p scioto-race --bin scioto-lint
@@ -59,6 +61,29 @@ diff_all() {
         --all "$1" --rel-tol "$2"
 }
 
+echo "== scioto-lint: waiver ratchet (counts may only shrink) =="
+cargo run --release --offline -q -p scioto-race --bin scioto-lint -- --stats \
+    > "$work/lint_waivers.txt"
+if [ "$BLESS" = 1 ]; then
+    cp "$work/lint_waivers.txt" results/lint_waivers.txt
+    echo "blessed results/lint_waivers.txt"
+else
+    while read -r rule count; do
+        old=$(awk -v r="$rule" '$1 == r { print $2 }' results/lint_waivers.txt)
+        [ -z "$old" ] && old=0
+        if [ "$count" -gt "$old" ]; then
+            echo "FAIL: lint waivers for '$rule' grew $old -> $count" >&2
+            echo "  (remove the new waiver, or bless with verify.sh --bless)" >&2
+            exit 1
+        fi
+    done < "$work/lint_waivers.txt"
+    if ! cmp -s "$work/lint_waivers.txt" results/lint_waivers.txt; then
+        echo "note: waiver counts shrank — refresh the ratchet with verify.sh --bless"
+        diff results/lint_waivers.txt "$work/lint_waivers.txt" || true
+    fi
+    echo "ok: waiver ratchet holds"
+fi
+
 echo "== trace smoke: table1 --trace-out round-trips through trace_check =="
 cargo run --release --offline -q -p scioto-bench --bin table1 -- \
     --trace-out "$work/table1_chrome.json" > /dev/null
@@ -72,7 +97,7 @@ echo "== analyze: traced table1 -> blame/critical-path report =="
 cargo run --release --offline -q -p scioto-bench --bin table1 -- \
     --trace-out "$work/table1.jsonl" \
     --analysis-out "$work/table1_analysis.json" \
-    --race-check --replay-check \
+    --race-check --predict --deadlock --replay-check \
     --json-out "$work/loose/BENCH_table1.json" > /dev/null
 # The offline analyzer re-parses the JSONL dump; its report must match
 # the in-memory analysis byte for byte.
@@ -102,19 +127,19 @@ echo "== bench runs: fig7 / fig4 / ablation / fig8 (new default policy) =="
 cargo run --release --offline -q -p scioto-bench --bin fig7_uts_cluster -- \
     --max-ranks 8 --tree small --trace-out "$work/fig7.jsonl" \
     --analysis-out "$work/fig7_analysis.json" \
-    --race-check --replay-check \
+    --race-check --predict --deadlock --replay-check \
     --json-out "$work/loose/BENCH_fig7.json" > /dev/null
 cargo run --release --offline -q -p scioto-bench --bin fig4_termination -- \
-    --race-check --replay-check \
+    --race-check --predict --deadlock --replay-check \
     --json-out "$work/loose/BENCH_fig4.json" > /dev/null
 cargo run --release --offline -q -p scioto-bench --bin ablation -- \
-    --race-check --replay-check \
+    --race-check --predict --deadlock --replay-check \
     --json-out "$work/loose/BENCH_ablation.json" > /dev/null
 cargo run --release --offline -q -p scioto-bench --bin fig8_uts_xt4 -- \
-    --max-ranks 8 --tree small --race-check --replay-check \
+    --max-ranks 8 --tree small --race-check --predict --deadlock --replay-check \
     --json-out "$work/loose/BENCH_fig8.json" > /dev/null
 cargo run --release --offline -q -p scioto-bench --bin fig5_fig6_apps -- \
-    --max-ranks 1 --race-check --replay-check > /dev/null
+    --max-ranks 1 --race-check --predict --deadlock --replay-check > /dev/null
 
 echo "== replay: fig7@8 recorded trace reproduces blame + critical path =="
 cargo run --release --offline -q -p scioto-bench --bin trace_check -- \
@@ -212,15 +237,25 @@ if [ "$BLESS" = 0 ]; then
     diff_all "$work/exact" 0
 fi
 
-echo "== race check: happens-before replay of table1 + fig7 traces (hard gate) =="
+echo "== race check: HB + predictive + deadlock on table1 + fig7 traces (hard gate) =="
+# The standalone checker re-parses the exported JSONL dumps and must come
+# back clean on all three analyses; the canonical scioto-race-v1 report is
+# emitted and sanity-checked. Timed: the predictive pass may add at most
+# 45s on top of the old 30s HB budget.
 race_t0=$(date +%s)
 cargo run --release --offline -q -p scioto-race --bin race_check -- \
+    --predict --deadlock --json-out "$work/race_report.jsonl" \
     "$work/table1.jsonl" "$work/fig7.jsonl"
+grep -q '"schema":"scioto-race-v1"' "$work/race_report.jsonl"
+if grep -q '"clean":false' "$work/race_report.jsonl"; then
+    echo "FAIL: race_check JSON report flags an unclean trace" >&2
+    exit 1
+fi
 race_t1=$(date +%s)
 race_secs=$((race_t1 - race_t0))
-echo "ok: race check finished in ${race_secs}s"
-if [ "$race_secs" -ge 30 ]; then
-    echo "FAIL: race check took ${race_secs}s (budget: <30s)" >&2
+echo "ok: race + predict + deadlock check finished in ${race_secs}s"
+if [ "$race_secs" -ge 45 ]; then
+    echo "FAIL: race check took ${race_secs}s (budget: <45s)" >&2
     exit 1
 fi
 
@@ -237,7 +272,7 @@ cargo run --release --offline -q -p scioto-bench --bin concurrent_obs -- \
     --chrome-out "$work/conc_chrome.json" \
     --analysis-out "$work/conc_analysis.json" \
     --trace-summary "$work/conc_summary.txt" \
-    --race-check
+    --race-check --predict --deadlock
 # Both exports validate; the JSONL classifies as wall-clock (valid,
 # analyzable, not replayable by design — exit 0, not an error cascade).
 cargo run --release --offline -q -p scioto-bench --bin trace_check -- \
@@ -251,9 +286,10 @@ cargo run --release --offline -q -p scioto-bench --bin analyze -- \
     --file "$work/conc.jsonl" \
     --json-out "$work/conc_analysis_offline.json" > /dev/null
 cmp "$work/conc_analysis.json" "$work/conc_analysis_offline.json"
-# The standalone race checker accepts the wall-clock dump too.
+# The standalone race checker accepts the wall-clock dump too — all
+# three analyses pair by generations/epochs, never timestamps.
 cargo run --release --offline -q -p scioto-race --bin race_check -- \
-    "$work/conc.jsonl"
+    --predict --deadlock "$work/conc.jsonl"
 conc_t1=$(date +%s)
 conc_secs=$((conc_t1 - conc_t0))
 echo "ok: concurrent observability lane finished in ${conc_secs}s"
