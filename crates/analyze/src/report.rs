@@ -15,6 +15,13 @@ use crate::timeline::{self, Category, CATEGORIES};
 /// Schema tag written into every analysis JSON document.
 pub const ANALYSIS_SCHEMA: &str = "scioto-analysis-v1";
 
+/// Name of the runtime's sticky startup gauge (`scioto::trace::GAUGE_STARTUP`
+/// — this crate only depends on scioto-sim, so the name is mirrored here).
+/// Each rank samples it once, at the moment `TaskCollection::process`
+/// finishes its entry barrier: the value is the rank's clock when the
+/// machine first became collectively ready to execute tasks.
+pub const STARTUP_GAUGE: &str = "startup_ns";
+
 /// Complete analysis of one trace.
 #[derive(Clone, Debug)]
 pub struct AnalysisReport {
@@ -29,6 +36,12 @@ pub struct AnalysisReport {
     /// mode). The blame invariant (rows sum to elapsed) holds in both
     /// clock domains; wall reports are just not reproducible run-to-run.
     pub wall_clock: bool,
+    /// Per-rank startup completion stamp (ns), read from the runtime's
+    /// sticky [`STARTUP_GAUGE`]. Zero for ranks that never reached
+    /// `TaskCollection::process`; all-zero vectors are omitted from both
+    /// renderings so traces without the gauge export byte-identically to
+    /// earlier schema versions.
+    pub startup_ns: Vec<u64>,
     /// Per-rank blame decomposition (each sums to its elapsed time).
     pub blame: Vec<Blame>,
     /// Steal-provenance profile.
@@ -72,11 +85,15 @@ impl AnalysisReport {
                 ));
             }
         }
+        let startup_ns: Vec<u64> = (0..ranks)
+            .map(|r| trace.gauges.get(r).and_then(|g| g.get(STARTUP_GAUGE)).map_or(0, |g| g.last))
+            .collect();
         AnalysisReport {
             ranks,
             makespan_ns: elapsed_ns.iter().copied().max().unwrap_or(0),
             elapsed_ns,
             wall_clock: trace.wall_clock,
+            startup_ns,
             blame,
             provenance: provenance::analyze(trace),
             critical_path,
@@ -108,6 +125,13 @@ impl AnalysisReport {
         // stay byte-identical to every pinned baseline.
         if self.wall_clock {
             out.push_str("\"clock\":\"wall\",\n");
+        }
+        // Emitted only when at least one rank recorded the startup gauge,
+        // same compatibility rule as the wall-clock marker above.
+        if self.startup_ns.iter().any(|&v| v > 0) {
+            out.push_str("\"startup_ns\":[");
+            push_u64s(&mut out, &self.startup_ns);
+            out.push_str("],\n");
         }
         out.push_str("\"dropped_events\":[");
         push_u64s(&mut out, &self.dropped);
@@ -197,6 +221,14 @@ impl AnalysisReport {
         );
         for w in &self.warnings {
             let _ = writeln!(out, "WARNING: {w}");
+        }
+        if self.startup_ns.iter().any(|&v| v > 0) {
+            let max = self.startup_ns.iter().copied().max().unwrap_or(0);
+            let agg: u64 = self.startup_ns.iter().sum();
+            let _ = writeln!(
+                out,
+                "startup: ready at {max} ns (slowest rank); {agg} rank-ns aggregate"
+            );
         }
         let _ = writeln!(
             out,
@@ -419,6 +451,31 @@ mod tests {
         let json = report.to_json();
         validate_json(&json).unwrap();
         assert!(json.contains("ring overflow"));
+    }
+
+    #[test]
+    fn startup_gauge_surfaces_in_json_and_text_only_when_present() {
+        // Without the gauge: no key, no text line (back-compat with every
+        // pinned baseline that predates startup accounting).
+        let plain = AnalysisReport::from_trace(&sample_trace());
+        assert_eq!(plain.startup_ns, vec![0, 0]);
+        assert!(!plain.to_json().contains("startup_ns"));
+        assert!(!plain.to_text().contains("startup:"));
+
+        // With it: per-rank stamps in the JSON array and a summary line.
+        let sink = TraceSink::new(&TraceConfig::enabled(), 2);
+        sink.emit(0, 50, || TraceEvent::TaskExecBegin { callback: 0, creator: 0 });
+        sink.emit(0, 80, || TraceEvent::TaskExecEnd { callback: 0 });
+        sink.gauge(0, STARTUP_GAUGE, 40);
+        sink.gauge(1, STARTUP_GAUGE, 45);
+        let mut t = sink.finish().unwrap();
+        t.final_clock_ns = vec![80, 100];
+        let report = AnalysisReport::from_trace(&t);
+        assert_eq!(report.startup_ns, vec![40, 45]);
+        let json = report.to_json();
+        validate_json(&json).unwrap();
+        assert!(json.contains("\"startup_ns\":[40,45]"));
+        assert!(report.to_text().contains("startup: ready at 45 ns (slowest rank); 85 rank-ns aggregate"));
     }
 
     #[test]

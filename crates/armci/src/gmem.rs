@@ -58,6 +58,12 @@ impl Gmem {
 impl Armci {
     /// Collectively allocate `bytes` bytes of remotely accessible,
     /// zero-initialized memory on every rank.
+    ///
+    /// Barrier-free under the default coalesced startup protocol: rank 0
+    /// publishes the segment through the collective log and the handle is
+    /// valid the moment a rank receives it (the backing store is built
+    /// before publication). Batch several allocations under one
+    /// [`Ctx::collective_epoch`] to pay a single commit barrier.
     pub fn malloc(&self, ctx: &Ctx, bytes: usize) -> Gmem {
         let n = self.nranks;
         let handle = ctx.collective(|| {
@@ -261,7 +267,10 @@ impl Armci {
         f: impl FnOnce(&[u8]) -> R,
     ) -> R {
         self.check_bounds(g, ctx.rank(), offset, len);
-        ctx.trace(|| TraceEvent::LocalAccess {
+        // Order-only instant: the race checker needs the access's position
+        // in the rank's timeline, never a duration from its stamp — so the
+        // hot per-word protocol path skips the wall-clock query.
+        ctx.trace_instant(|| TraceEvent::LocalAccess {
             seg: g.id as u32,
             offset: offset as u64,
             bytes: len as u32,
@@ -286,7 +295,10 @@ impl Armci {
         f: impl FnOnce(&mut [u8]) -> R,
     ) -> R {
         self.check_bounds(g, ctx.rank(), offset, len);
-        ctx.trace(|| TraceEvent::LocalAccess {
+        // Order-only instant: the race checker needs the access's position
+        // in the rank's timeline, never a duration from its stamp — so the
+        // hot per-word protocol path skips the wall-clock query.
+        ctx.trace_instant(|| TraceEvent::LocalAccess {
             seg: g.id as u32,
             offset: offset as u64,
             bytes: len as u32,

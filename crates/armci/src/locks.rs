@@ -31,7 +31,9 @@ impl MutexSet {
 }
 
 impl Armci {
-    /// Collectively create `count` mutexes on every rank.
+    /// Collectively create `count` mutexes on every rank. Barrier-free
+    /// under the default coalesced startup protocol; batch with other
+    /// collective creations under one [`Ctx::collective_epoch`].
     pub fn create_mutexes(&self, ctx: &Ctx, count: usize) -> MutexSet {
         let n = self.nranks;
         let handle = ctx.collective(|| {
@@ -67,23 +69,26 @@ impl Armci {
     /// Acquire mutex `idx` on `rank`, blocking in virtual time while held.
     pub fn lock(&self, ctx: &Ctx, set: MutexSet, idx: usize, rank: usize) {
         let storage = self.mutex(set, idx, rank);
-        let t0 = if ctx.trace_enabled() { ctx.now() } else { 0 };
+        let traced = ctx.trace_enabled();
+        let t0 = if traced { ctx.now() } else { 0 };
         let seq = storage.locks[rank][idx].acquire(ctx, self.lock_cost(ctx, rank));
-        // Emitted at completion so acquisition events appear in lock order:
-        // the n-th LockAcq of a mutex carries seq n and is ordered after
-        // the LockRel with seq n - 1.
-        ctx.trace(|| TraceEvent::LockAcq {
-            target: rank as u32,
-            set: set.id as u32,
-            idx: idx as u32,
-            seq,
-        });
-        // The span covers the queue wait plus the acquire round trip.
-        // Zero-length waits are elided.
-        if ctx.trace_enabled() {
-            let dur_ns = ctx.now().saturating_sub(t0);
+        if traced {
+            // One completion-time clock read stamps both events. LockAcq
+            // is emitted at completion so acquisition events appear in
+            // lock order: the n-th LockAcq of a mutex carries seq n and is
+            // ordered after the LockRel with seq n - 1.
+            let t1 = ctx.now();
+            ctx.trace_at(t1, || TraceEvent::LockAcq {
+                target: rank as u32,
+                set: set.id as u32,
+                idx: idx as u32,
+                seq,
+            });
+            // The span covers the queue wait plus the acquire round trip.
+            // Zero-length waits are elided.
+            let dur_ns = t1.saturating_sub(t0);
             if dur_ns > 0 {
-                ctx.trace(|| TraceEvent::LockWait {
+                ctx.trace_at(t1, || TraceEvent::LockWait {
                     target: rank as u32,
                     dur_ns,
                 });

@@ -18,14 +18,15 @@ use scioto::{StatsSummary, Task, TaskCollection, TcConfig, AFFINITY_HIGH};
 use scioto_armci::Armci;
 use scioto_bench::{
     dump_analysis, dump_trace, engine_from_args, obs_requested, run_predict_check, run_race_check, run_replay_check, render_table,
-    trace_config, us, Args, BenchOut, LatencyPreset, PolicyFlags,
+    startup_from_args, startup_param, trace_config, us, Args, BenchOut, LatencyPreset, PolicyFlags,
 };
-use scioto_sim::{Engine, LatencyModel, Machine, MachineConfig, SpeedModel};
+use scioto_sim::{Engine, LatencyModel, Machine, MachineConfig, SpeedModel, StartupMode};
 
 #[derive(Clone, Copy)]
 struct SimOpts {
     engine: Engine,
     latency: LatencyPreset,
+    startup: StartupMode,
 }
 
 fn cluster_machine(p: usize, policy: PolicyFlags, sim: SimOpts) -> MachineConfig {
@@ -33,6 +34,7 @@ fn cluster_machine(p: usize, policy: PolicyFlags, sim: SimOpts) -> MachineConfig
         .with_latency(sim.latency.apply(LatencyModel::cluster()))
         .with_barrier(policy.barrier)
         .with_engine(sim.engine)
+        .with_startup(sim.startup)
 }
 use scioto_uts::scioto_driver::{run_scioto_uts, SciotoUtsConfig};
 use scioto_uts::{presets, TreeStats};
@@ -178,6 +180,7 @@ fn main() {
     let sim = SimOpts {
         engine: engine_from_args(&args),
         latency: LatencyPreset::from_args(&args),
+        startup: startup_from_args(&args),
     };
     if obs_requested(&args) {
         // Dedicated traced votes-before run at 8 ranks; the ablation
@@ -212,6 +215,9 @@ fn main() {
         bench.param(k, v);
     }
     if let Some((k, v)) = sim.latency.param() {
+        bench.param(k, v);
+    }
+    if let Some((k, v)) = startup_param(sim.startup) {
         bench.param(k, v);
     }
     chunk_sweep(&mut bench, policy, sim);

@@ -23,6 +23,11 @@
 //! both documents before the equality gate — for deliberate cross-policy
 //! comparisons (e.g. the old-vs-new hot-path ablation), where the runs
 //! differ *only* in those recorded knobs.
+//!
+//! `--ignore-metrics split_startup_ns_*` drops matching metrics from both
+//! documents before comparison (a trailing `*` matches any suffix) — for
+//! cross-mode diffs where one side legitimately records extra metrics
+//! (the coalesced startup split is absent under `--old-startup`).
 
 use scioto_bench::{benchjson, Args};
 
@@ -41,6 +46,15 @@ struct Tolerance {
     rel: f64,
     abs: f64,
     ignore: Vec<String>,
+    ignore_metrics: Vec<String>,
+}
+
+/// `pat` matches `key` exactly, or by prefix when it ends in `*`.
+fn metric_matches(pat: &str, key: &str) -> bool {
+    match pat.strip_suffix('*') {
+        Some(prefix) => key.starts_with(prefix),
+        None => pat == key,
+    }
 }
 
 /// Compare one baseline/new pair. Returns the number of drifted metrics;
@@ -51,6 +65,10 @@ fn compare(base_path: &str, new_path: &str, tol: &Tolerance) -> usize {
     for key in &tol.ignore {
         base.params.remove(key);
         new.params.remove(key);
+    }
+    for pat in &tol.ignore_metrics {
+        base.metrics.retain(|k, _| !metric_matches(pat, k));
+        new.metrics.retain(|k, _| !metric_matches(pat, k));
     }
 
     if base.name != new.name {
@@ -124,6 +142,16 @@ fn main() {
                     .collect()
             })
             .unwrap_or_default(),
+        ignore_metrics: args
+            .get_opt("ignore-metrics")
+            .map(|spec| {
+                spec.split(',')
+                    .map(str::trim)
+                    .filter(|k| !k.is_empty())
+                    .map(str::to_string)
+                    .collect()
+            })
+            .unwrap_or_default(),
     };
 
     if let Some(dir) = args.get_opt("all") {
@@ -171,7 +199,8 @@ fn main() {
     let (Some(base_path), Some(new_path)) = (args.get_opt("baseline"), args.get_opt("new")) else {
         eprintln!(
             "usage: bench_diff --baseline <base.json> --new <new.json> | --all <dir> \
-             [--baseline-dir <dir>] [--rel-tol 0.05] [--abs-tol 1e-9] [--ignore-params a,b,c]"
+             [--baseline-dir <dir>] [--rel-tol 0.05] [--abs-tol 1e-9] [--ignore-params a,b,c] \
+             [--ignore-metrics a,b*]"
         );
         std::process::exit(2);
     };

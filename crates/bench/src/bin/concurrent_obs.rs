@@ -13,31 +13,49 @@
 //! Run: `cargo run --release -p scioto-bench --bin concurrent_obs -- \
 //!           --ranks 4 --reps 5 --trace-out /tmp/conc.jsonl --race-check`
 //!
-//! Options: `--ranks N` (default 4), `--tree tiny|small|medium|large`
-//! (default tiny), `--seed S` (workload seed, default 42), `--reps N`
+//! Options: `--ranks N` (default 4), `--app uts|scf` (default uts: the
+//! seeded unbalanced tree; scf runs the fig5-style Hartree-Fock task
+//! pool, sized by `--atoms N`, default 6), `--tree
+//! tiny|small|medium|large` (default tiny), `--seed S` (workload seed,
+//! default 42), `--reps N`
 //! (default 5), `--max-overhead X` (default 3.0; wall timing on shared
 //! CI machines is noisy, so the band is deliberately generous — the gate
 //! exists to catch order-of-magnitude perturbation, not 5% drift),
 //! `--chrome-out <path>` (Chrome JSON from the same traced run), plus
 //! the standard observability flags `--trace-out`, `--trace-summary`,
-//! `--analysis-out`, `--race-check`, `--trace-ring`.
+//! `--analysis-out`, `--race-check`, `--trace-ring`, and `--trace-batch N`
+//! (per-rank staged-publication batch; 0/1 selects the historical
+//! publish-every-event path). `--old-startup` selects the historical
+//! two-barriers-per-collective startup protocol.
 //!
 //! Exit codes: 0 on success, 1 when the overhead band or a blame/report
 //! invariant is violated (race-check failures exit through
 //! [`scioto_bench::run_race_check`] with its usual codes).
 
 use scioto_bench::{
-    dump_analysis, dump_trace, run_predict_check, run_race_check, trace_config, Args, PolicyFlags,
+    dump_analysis, dump_trace, run_predict_check, run_race_check, startup_from_args, trace_config,
+    Args, PolicyFlags,
 };
 use scioto_det::MonoClock;
-use scioto_sim::{Machine, MachineConfig, Report, TraceConfig};
+use scioto_scf::{run_scf_parallel, BasisSet, LoadBalance, Molecule, ParallelScfConfig};
+use scioto_sim::{Machine, MachineConfig, Report, StartupMode, TraceConfig};
 use scioto_uts::scioto_driver::{run_scioto_uts, SciotoUtsConfig};
 use scioto_uts::{presets, TreeParams};
 
-fn machine(ranks: usize, seed: u64, policy: PolicyFlags) -> MachineConfig {
+/// Which workload drives the concurrent machine.
+#[derive(Clone, Copy)]
+enum App {
+    /// Seeded unbalanced tree search (`--tree` selects the preset).
+    Uts(TreeParams),
+    /// Fig5-style Hartree-Fock Fock-build task pool (`--atoms` atoms).
+    Scf { atoms: usize },
+}
+
+fn machine(ranks: usize, seed: u64, policy: PolicyFlags, startup: StartupMode) -> MachineConfig {
     MachineConfig::concurrent(ranks)
         .with_seed(seed)
         .with_barrier(policy.barrier)
+        .with_startup(startup)
 }
 
 fn uts_config(params: TreeParams, policy: PolicyFlags) -> SciotoUtsConfig {
@@ -53,19 +71,44 @@ fn uts_config(params: TreeParams, policy: PolicyFlags) -> SciotoUtsConfig {
 fn run_once(
     ranks: usize,
     seed: u64,
-    params: TreeParams,
+    app: App,
     policy: PolicyFlags,
+    startup: StartupMode,
     trace: Option<TraceConfig>,
 ) -> (Report, u64) {
-    let mut cfg = machine(ranks, seed, policy);
+    let mut cfg = machine(ranks, seed, policy, startup);
     if let Some(t) = trace {
         cfg = cfg.with_trace(t);
     }
     let clock = MonoClock::new();
-    let out = Machine::run(cfg, move |ctx| {
-        run_scioto_uts(ctx, &uts_config(params, policy)).0
-    });
-    (out.report, clock.now_ns())
+    let out = match app {
+        App::Uts(params) => {
+            Machine::run(cfg, move |ctx| {
+                run_scioto_uts(ctx, &uts_config(params, policy)).0
+            })
+            .report
+        }
+        App::Scf { atoms } => {
+            let basis = BasisSet::even_tempered(Molecule::h_chain(atoms), 2, 0.4, 3.5);
+            Machine::run(cfg, move |ctx| {
+                let mut c = ParallelScfConfig {
+                    lb: LoadBalance::Scioto,
+                    block: 4,
+                    chunk: 4,
+                    victim: Some(policy.victim),
+                    td_batch: Some(policy.td_batch),
+                    ..Default::default()
+                };
+                // Fixed work, like the fig5 harness: iteration count is
+                // the benchmark knob, not convergence.
+                c.scf.max_iters = 4;
+                c.scf.tol = 0.0;
+                run_scf_parallel(ctx, &basis, &c).energy
+            })
+            .report
+        }
+    };
+    (out, clock.now_ns())
 }
 
 fn main() {
@@ -76,12 +119,21 @@ fn main() {
     let max_overhead: f64 = args.get("max-overhead", 3.0);
     let tree: String = args.get("tree", "tiny".to_string());
     let policy = PolicyFlags::from_args(&args);
+    let startup = startup_from_args(&args);
     let params = match tree.as_str() {
         "tiny" => presets::tiny(),
         "small" => presets::small(),
         "medium" => presets::medium(),
         "large" => presets::large(),
         other => panic!("unknown tree preset {other}"),
+    };
+    let app_name: String = args.get("app", "uts".to_string());
+    let app = match app_name.as_str() {
+        "uts" => App::Uts(params),
+        "scf" => App::Scf {
+            atoms: args.get("atoms", 6),
+        },
+        other => panic!("unknown --app {other} (expected uts or scf)"),
     };
     let trace_cfg = trace_config(&args);
 
@@ -91,9 +143,9 @@ fn main() {
     let mut traced_ns = Vec::with_capacity(reps);
     let mut traced_report = None;
     for rep in 0..reps {
-        let (_, ns) = run_once(ranks, seed, params, policy, None);
+        let (_, ns) = run_once(ranks, seed, app, policy, startup, None);
         untraced_ns.push(ns);
-        let (report, ns) = run_once(ranks, seed, params, policy, Some(trace_cfg.clone()));
+        let (report, ns) = run_once(ranks, seed, app, policy, startup, Some(trace_cfg.clone()));
         traced_ns.push(ns);
         eprintln!(
             "rep {}/{reps}: untraced {:.3} ms, traced {:.3} ms",
@@ -106,9 +158,13 @@ fn main() {
     let untraced_min = *untraced_ns.iter().min().unwrap();
     let traced_min = *traced_ns.iter().min().unwrap();
     let overhead = traced_min as f64 / untraced_min.max(1) as f64;
+    let workload = match app {
+        App::Uts(_) => format!("uts/{tree}"),
+        App::Scf { atoms } => format!("scf/{atoms} atoms"),
+    };
     println!(
         "concurrent tracing overhead: traced {:.3} ms vs untraced {:.3} ms \
-         (min of {reps} reps, {ranks} ranks, {tree} tree) -> {overhead:.2}x \
+         (min of {reps} reps, {ranks} ranks, {workload}) -> {overhead:.2}x \
          (budget {max_overhead:.2}x)",
         traced_min as f64 / 1e6,
         untraced_min as f64 / 1e6,

@@ -17,15 +17,17 @@ use scioto::{Task, TaskCollection, TcConfig, AFFINITY_HIGH};
 use scioto_armci::Armci;
 use scioto_bench::{
     dump_analysis, dump_trace, engine_from_args, obs_requested, only_ranks, render_table,
-    run_predict_check, run_race_check, run_replay_check, trace_config, us, Args, BenchOut, LatencyPreset, PolicyFlags,
+    run_predict_check, run_race_check, run_replay_check, startup_from_args, startup_param,
+    trace_config, us, Args, BenchOut, LatencyPreset, PolicyFlags,
 };
 use scioto_mpi::Comm;
-use scioto_sim::{Engine, LatencyModel, Machine, MachineConfig, Report, TraceConfig};
+use scioto_sim::{Engine, LatencyModel, Machine, MachineConfig, Report, StartupMode, TraceConfig};
 
 #[derive(Clone, Copy)]
 struct SimOpts {
     engine: Engine,
     latency: LatencyPreset,
+    startup: StartupMode,
 }
 
 fn machine(p: usize, policy: PolicyFlags, sim: SimOpts) -> MachineConfig {
@@ -33,6 +35,7 @@ fn machine(p: usize, policy: PolicyFlags, sim: SimOpts) -> MachineConfig {
         .with_latency(sim.latency.apply(LatencyModel::cluster()))
         .with_barrier(policy.barrier)
         .with_engine(sim.engine)
+        .with_startup(sim.startup)
 }
 
 /// Max over ranks of a per-rank duration measurement.
@@ -102,6 +105,7 @@ fn main() {
     let sim = SimOpts {
         engine: engine_from_args(&args),
         latency: LatencyPreset::from_args(&args),
+        startup: startup_from_args(&args),
     };
     let only = only_ranks(&args);
     if obs_requested(&args) {
@@ -121,6 +125,9 @@ fn main() {
         bench.param(k, v);
     }
     if let Some((k, v)) = sim.latency.param() {
+        bench.param(k, v);
+    }
+    if let Some((k, v)) = startup_param(sim.startup) {
         bench.param(k, v);
     }
     if let Some(o) = only {

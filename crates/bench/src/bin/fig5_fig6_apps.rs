@@ -16,16 +16,18 @@
 
 use scioto_bench::{
     cluster_rank_sweep, dump_analysis, dump_trace, engine_from_args, obs_requested, only_ranks,
-    render_table, run_predict_check, run_race_check, run_replay_check, secs, trace_config, Args, BenchOut, LatencyPreset, PolicyFlags,
+    render_table, run_predict_check, run_race_check, run_replay_check, secs, startup_from_args,
+    startup_param, trace_config, Args, BenchOut, LatencyPreset, PolicyFlags,
 };
 use scioto_scf::{run_scf_parallel, BasisSet, LoadBalance, Molecule, ParallelScfConfig};
-use scioto_sim::{Engine, LatencyModel, Machine, MachineConfig, SpeedModel};
+use scioto_sim::{Engine, LatencyModel, Machine, MachineConfig, SpeedModel, StartupMode};
 use scioto_tce::{run_contraction, ContractionConfig, SparsityPattern, TceLoadBalance};
 
 #[derive(Clone, Copy)]
 struct SimOpts {
     engine: Engine,
     latency: LatencyPreset,
+    startup: StartupMode,
 }
 
 fn machine(p: usize, policy: PolicyFlags, sim: SimOpts) -> MachineConfig {
@@ -34,6 +36,7 @@ fn machine(p: usize, policy: PolicyFlags, sim: SimOpts) -> MachineConfig {
         .with_speed(SpeedModel::hetero_cluster(p))
         .with_barrier(policy.barrier)
         .with_engine(sim.engine)
+        .with_startup(sim.startup)
 }
 
 fn scf_run(p: usize, atoms: usize, lb: LoadBalance, policy: PolicyFlags, sim: SimOpts) -> u64 {
@@ -87,6 +90,7 @@ fn main() {
     let sim = SimOpts {
         engine: engine_from_args(&args),
         latency: LatencyPreset::from_args(&args),
+        startup: startup_from_args(&args),
     };
     let only = only_ranks(&args);
 
@@ -126,6 +130,9 @@ fn main() {
         bench.param(k, v);
     }
     if let Some((k, v)) = sim.latency.param() {
+        bench.param(k, v);
+    }
+    if let Some((k, v)) = startup_param(sim.startup) {
         bench.param(k, v);
     }
     if let Some(o) = only {

@@ -15,7 +15,10 @@
 //! flat|nearfar` (near/far distance tiers), plus the hot-path policy
 //! flags `--victim uniform|locality`, `--barrier flat|tree`,
 //! `--td-batch on|off` and the `--old-policy` shorthand for the
-//! pre-locality baseline triple.
+//! pre-locality baseline triple. `--old-startup` selects the historical
+//! two-barriers-per-collective startup protocol (ablation for the
+//! coalesced default); the coalesced runs additionally record
+//! `split_startup_ns_pNNN` aggregate startup metrics.
 //!
 //! `--steal-dist` additionally runs the dedicated traced configuration
 //! and records the per-steal ring-distance histogram from the analyzer's
@@ -25,9 +28,10 @@
 
 use scioto_bench::{
     cluster_rank_sweep, dump_analysis, dump_trace, engine_from_args, obs_requested, only_ranks,
-    render_table, run_predict_check, run_race_check, run_replay_check, trace_config, Args, BenchOut, LatencyPreset, PolicyFlags,
+    render_table, run_predict_check, run_race_check, run_replay_check, startup_from_args,
+    startup_param, trace_config, Args, BenchOut, LatencyPreset, PolicyFlags,
 };
-use scioto_sim::{Engine, LatencyModel, Machine, MachineConfig, SpeedModel};
+use scioto_sim::{Engine, LatencyModel, Machine, MachineConfig, SpeedModel, StartupMode};
 use scioto_uts::mpi_ws::{run_mpi_uts, MpiUtsConfig};
 use scioto_uts::scioto_driver::{run_scioto_uts, SciotoUtsConfig};
 use scioto_uts::{presets, TreeParams, TreeStats};
@@ -36,6 +40,7 @@ use scioto_uts::{presets, TreeParams, TreeStats};
 struct SimOpts {
     engine: Engine,
     latency: LatencyPreset,
+    startup: StartupMode,
 }
 
 fn machine(p: usize, policy: PolicyFlags, sim: SimOpts) -> MachineConfig {
@@ -44,6 +49,7 @@ fn machine(p: usize, policy: PolicyFlags, sim: SimOpts) -> MachineConfig {
         .with_speed(SpeedModel::hetero_cluster(p))
         .with_barrier(policy.barrier)
         .with_engine(sim.engine)
+        .with_startup(sim.startup)
 }
 
 fn uts_config(params: TreeParams, policy: PolicyFlags) -> SciotoUtsConfig {
@@ -59,25 +65,28 @@ fn rate(nodes: u64, ns: u64) -> f64 {
     nodes as f64 / (ns as f64 / 1e9) / 1e6
 }
 
+/// Returns (Mnodes/s, aggregate per-rank startup ns) for one run.
 fn scioto_rate(
     p: usize,
     params: TreeParams,
     queue: scioto::QueueKind,
     policy: PolicyFlags,
     sim: SimOpts,
-) -> f64 {
+) -> (f64, u64) {
     let out = Machine::run(machine(p, policy, sim), move |ctx| {
         let cfg = SciotoUtsConfig {
             queue,
             ..uts_config(params, policy)
         };
-        run_scioto_uts(ctx, &cfg).0
+        run_scioto_uts(ctx, &cfg)
     });
     let mut total = TreeStats::default();
-    for s in &out.results {
-        total.merge(s);
+    let mut startup_ns = 0u64;
+    for (tree, stats) in &out.results {
+        total.merge(tree);
+        startup_ns += stats.startup_ns;
     }
-    rate(total.nodes, out.report.makespan_ns)
+    (rate(total.nodes, out.report.makespan_ns), startup_ns)
 }
 
 fn mpi_rate(p: usize, params: TreeParams, policy: PolicyFlags, sim: SimOpts) -> f64 {
@@ -99,6 +108,7 @@ fn main() {
     let sim = SimOpts {
         engine: engine_from_args(&args),
         latency: LatencyPreset::from_args(&args),
+        startup: startup_from_args(&args),
     };
     let only = only_ranks(&args);
     let params = match tree.as_str() {
@@ -116,6 +126,9 @@ fn main() {
         bench.param(k, v);
     }
     if let Some((k, v)) = sim.latency.param() {
+        bench.param(k, v);
+    }
+    if let Some((k, v)) = startup_param(sim.startup) {
         bench.param(k, v);
     }
     if let Some(o) = only {
@@ -178,12 +191,20 @@ fn main() {
             continue;
         }
         eprintln!("running P = {p} ...");
-        let split = scioto_rate(p, params, scioto::QueueKind::Split, policy, sim);
+        let (split, startup_ns) = scioto_rate(p, params, scioto::QueueKind::Split, policy, sim);
         let mpi = mpi_rate(p, params, policy, sim);
-        let nosplit = scioto_rate(p, params, scioto::QueueKind::Locked, policy, sim);
+        let (nosplit, _) = scioto_rate(p, params, scioto::QueueKind::Locked, policy, sim);
         bench.metric(&format!("split_mnodes_p{p:03}"), split);
         bench.metric(&format!("mpi_ws_mnodes_p{p:03}"), mpi);
         bench.metric(&format!("nosplit_mnodes_p{p:03}"), nosplit);
+        // Aggregate rank-ns of startup for the split run. Printed in both
+        // startup modes (the ablation compares them), recorded as a bench
+        // metric only under the coalesced default: old-startup runs must
+        // diff cleanly against pre-coalescing baselines, which lack it.
+        eprintln!("  split startup: {startup_ns} rank-ns aggregate");
+        if sim.startup == StartupMode::Coalesced {
+            bench.metric(&format!("split_startup_ns_p{p:03}"), startup_ns as f64);
+        }
         rows.push(vec![
             p.to_string(),
             format!("{split:.2}"),

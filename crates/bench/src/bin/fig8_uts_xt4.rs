@@ -16,9 +16,10 @@
 
 use scioto_bench::{
     dump_analysis, dump_trace, engine_from_args, obs_requested, only_ranks, render_table,
-    run_predict_check, run_race_check, run_replay_check, trace_config, Args, BenchOut, LatencyPreset, PolicyFlags,
+    run_predict_check, run_race_check, run_replay_check, startup_from_args, startup_param,
+    trace_config, Args, BenchOut, LatencyPreset, PolicyFlags,
 };
-use scioto_sim::{Engine, LatencyModel, Machine, MachineConfig, SpeedModel};
+use scioto_sim::{Engine, LatencyModel, Machine, MachineConfig, SpeedModel, StartupMode};
 use scioto_uts::mpi_ws::{run_mpi_uts, MpiUtsConfig};
 use scioto_uts::scioto_driver::{run_scioto_uts, SciotoUtsConfig};
 use scioto_uts::{presets, TreeParams, TreeStats};
@@ -30,6 +31,7 @@ const XT4_FACTOR: f64 = 0.5681 / 0.3158;
 struct SimOpts {
     engine: Engine,
     latency: LatencyPreset,
+    startup: StartupMode,
 }
 
 fn machine(p: usize, policy: PolicyFlags, sim: SimOpts) -> MachineConfig {
@@ -38,6 +40,7 @@ fn machine(p: usize, policy: PolicyFlags, sim: SimOpts) -> MachineConfig {
         .with_speed(SpeedModel::from_factors(vec![XT4_FACTOR; p]))
         .with_barrier(policy.barrier)
         .with_engine(sim.engine)
+        .with_startup(sim.startup)
 }
 
 fn uts_config(params: TreeParams, policy: PolicyFlags) -> SciotoUtsConfig {
@@ -82,6 +85,7 @@ fn main() {
     let sim = SimOpts {
         engine: engine_from_args(&args),
         latency: LatencyPreset::from_args(&args),
+        startup: startup_from_args(&args),
     };
     let only = only_ranks(&args);
     let params = match tree.as_str() {
@@ -113,6 +117,9 @@ fn main() {
         bench.param(k, v);
     }
     if let Some((k, v)) = sim.latency.param() {
+        bench.param(k, v);
+    }
+    if let Some((k, v)) = startup_param(sim.startup) {
         bench.param(k, v);
     }
     if let Some(o) = only {

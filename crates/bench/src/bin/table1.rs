@@ -7,16 +7,17 @@
 //!
 //! Run: `cargo run --release -p scioto-bench --bin table1`
 //! Options: `--engine auto|threads|events`, `--latency flat|nearfar`,
-//! plus the policy flags `--victim`, `--barrier`, `--td-batch`,
+//! `--old-startup` (historical two-barriers-per-collective startup), plus
+//! the policy flags `--victim`, `--barrier`, `--td-batch`,
 //! `--old-policy` shared with the other bench binaries.
 
 use scioto::{Task, TaskCollection, TcConfig};
 use scioto_armci::Armci;
 use scioto_bench::{
     dump_analysis, dump_trace, engine_from_args, obs_requested, run_predict_check, run_race_check, run_replay_check, render_table,
-    trace_config, us, Args, BenchOut, LatencyPreset, PolicyFlags,
+    startup_from_args, startup_param, trace_config, us, Args, BenchOut, LatencyPreset, PolicyFlags,
 };
-use scioto_sim::{Engine, LatencyModel, Machine, MachineConfig, Report, TraceConfig};
+use scioto_sim::{Engine, LatencyModel, Machine, MachineConfig, Report, StartupMode, TraceConfig};
 
 const BODY: usize = 1024;
 const CHUNK: usize = 10;
@@ -34,13 +35,15 @@ fn measure(
     trace: TraceConfig,
     policy: PolicyFlags,
     engine: Engine,
+    startup: StartupMode,
 ) -> (OpTimes, Report) {
     let out = Machine::run(
         MachineConfig::virtual_time(2)
             .with_latency(latency)
             .with_trace(trace)
             .with_barrier(policy.barrier)
-            .with_engine(engine),
+            .with_engine(engine)
+            .with_startup(startup),
         move |ctx| {
             let armci = Armci::init(ctx);
             // Local-op collection with default split policy.
@@ -121,13 +124,20 @@ fn main() {
     } else {
         TraceConfig::disabled()
     };
-    let (cluster, cluster_report) =
-        measure(latency.apply(LatencyModel::cluster()), trace, policy, engine);
+    let startup = startup_from_args(&args);
+    let (cluster, cluster_report) = measure(
+        latency.apply(LatencyModel::cluster()),
+        trace,
+        policy,
+        engine,
+        startup,
+    );
     let (xt4, _) = measure(
         latency.apply(LatencyModel::xt4()),
         TraceConfig::disabled(),
         policy,
         engine,
+        startup,
     );
     dump_trace(&args, &cluster_report);
     dump_analysis(&args, &cluster_report);
@@ -143,6 +153,9 @@ fn main() {
         bench.param(k, v);
     }
     if let Some((k, v)) = latency.param() {
+        bench.param(k, v);
+    }
+    if let Some((k, v)) = startup_param(startup) {
         bench.param(k, v);
     }
     for (model, t) in [("cluster", &cluster), ("xt4", &xt4)] {

@@ -12,6 +12,13 @@
 //! is *by design* not replayable — they classify as such with a
 //! descriptive note and exit 0, not an error cascade.
 //!
+//! `--max-episodes N` (with `--replayable`) additionally gates the
+//! lowered program's barrier-episode census: more than `N` episodes
+//! exits 1. This is the verify-script guard against collective-startup
+//! regressions — the coalesced protocol keeps fixed-shape workloads at a
+//! known episode count, and an accidental extra barrier shows up here
+//! long before it shows up in a throughput figure.
+//!
 //! Exits 0 on success, 1 with a diagnostic on stderr otherwise. Used by
 //! `scripts/verify.sh` to smoke-test the tracing pipeline end to end.
 
@@ -58,6 +65,20 @@ fn main() {
                     "trace_check: {path} is replayable ({} ranks, {} barrier episode(s))",
                     prog.nranks, prog.episodes
                 );
+                if let Some(max) = args.get_opt("max-episodes") {
+                    let max: usize = max
+                        .parse()
+                        .unwrap_or_else(|e| panic!("--max-episodes {max}: {e}"));
+                    if prog.episodes > max {
+                        eprintln!(
+                            "trace_check: {path} has {} barrier episode(s), over the \
+                             --max-episodes budget {max} — a collective on the startup \
+                             or steady-state path regressed to extra barrier rounds",
+                            prog.episodes
+                        );
+                        std::process::exit(1);
+                    }
+                }
                 return;
             }
             Err(e) => {

@@ -22,8 +22,10 @@
 
 use scioto_analyze::tune::{candidates, config_json, render_report, replay_score, Score, TuneRow};
 use scioto_analyze::whatif::Knobs;
-use scioto_bench::{engine_from_args, Args, BenchOut, LatencyPreset};
-use scioto_sim::{Engine, LatencyModel, Machine, MachineConfig, SpeedModel, Trace, TraceConfig};
+use scioto_bench::{engine_from_args, startup_from_args, startup_param, Args, BenchOut, LatencyPreset};
+use scioto_sim::{
+    Engine, LatencyModel, Machine, MachineConfig, SpeedModel, StartupMode, Trace, TraceConfig,
+};
 use scioto_uts::presets;
 use scioto_uts::scioto_driver::{run_scioto_uts, SciotoUtsConfig};
 use scioto_uts::TreeParams;
@@ -35,6 +37,7 @@ struct RunCfg {
     seed: u64,
     engine: Engine,
     latency: LatencyPreset,
+    startup: StartupMode,
 }
 
 /// One live traced seeded run under `knobs`; returns the trace.
@@ -54,6 +57,7 @@ fn live_run(rc: RunCfg, knobs: &Knobs) -> Trace {
             .with_speed(SpeedModel::hetero_cluster(rc.ranks))
             .with_seed(rc.seed)
             .with_engine(rc.engine)
+            .with_startup(rc.startup)
             .with_trace(TraceConfig::enabled()),
         move |ctx| run_scioto_uts(ctx, &uts).0,
     )
@@ -76,6 +80,7 @@ fn main() {
         seed: args.get("seed", 0xD5EED),
         engine: engine_from_args(&args),
         latency: LatencyPreset::from_args(&args),
+        startup: startup_from_args(&args),
     };
     let tree: String = args.get("tree", "small".to_string());
     let max_candidates: usize = args.get("max-candidates", usize::MAX);
@@ -214,6 +219,9 @@ fn main() {
     bench.param("seed", rc.seed);
     bench.param("winner", &winner);
     if let Some((k, v)) = rc.latency.param() {
+        bench.param(k, v);
+    }
+    if let Some((k, v)) = startup_param(rc.startup) {
         bench.param(k, v);
     }
     bench.metric("makespan_default_ns", base_score.makespan_ns as f64);

@@ -172,6 +172,30 @@ impl LatencyPreset {
     }
 }
 
+/// `--old-startup`: run the historical two-barriers-per-collective
+/// startup protocol instead of the coalesced default (the PR-5 ablation
+/// pattern — old behaviour stays selectable and byte-identical to the
+/// pre-coalescing baselines).
+pub fn startup_from_args(args: &Args) -> scioto_sim::StartupMode {
+    if args.has("old-startup") {
+        scioto_sim::StartupMode::Old
+    } else {
+        scioto_sim::StartupMode::Coalesced
+    }
+}
+
+/// The `startup` bench param, recorded only under `--old-startup`:
+/// coalesced runs (the new default) gain no key, so their BENCH files
+/// diff cleanly against freshly blessed baselines, while old-startup runs
+/// compare against pre-coalescing baselines with
+/// `bench_diff --ignore-params startup`.
+pub fn startup_param(mode: scioto_sim::StartupMode) -> Option<(&'static str, String)> {
+    match mode {
+        scioto_sim::StartupMode::Coalesced => None,
+        scioto_sim::StartupMode::Old => Some(("startup", "old".into())),
+    }
+}
+
 /// The hot-path policy knobs shared by every bench binary:
 /// `--victim uniform|locality`, `--barrier flat|tree`,
 /// `--td-batch on|off`. Defaults are the new policies; the `old` triple
@@ -308,13 +332,18 @@ pub fn obs_requested(args: &Args) -> bool {
 /// The trace configuration for a bench binary's traced run: enabled,
 /// with the per-rank ring capacity from `--trace-ring N` when given
 /// (events beyond the capacity are dropped oldest-first and reported in
-/// the trace's `dropped` counters).
+/// the trace's `dropped` counters), and the staging batch from
+/// `--trace-batch N` (0 or 1 disables batched ring publication; the
+/// default batches [`scioto_sim::DEFAULT_TRACE_BATCH`] events).
 pub fn trace_config(args: &Args) -> scioto_sim::TraceConfig {
-    let cfg = scioto_sim::TraceConfig::enabled();
-    match args.get_opt("trace-ring").and_then(|v| v.parse::<usize>().ok()) {
-        Some(cap) => cfg.with_capacity(cap),
-        None => cfg,
+    let mut cfg = scioto_sim::TraceConfig::enabled();
+    if let Some(cap) = args.get_opt("trace-ring").and_then(|v| v.parse::<usize>().ok()) {
+        cfg = cfg.with_capacity(cap);
     }
+    if let Some(b) = args.get_opt("trace-batch").and_then(|v| v.parse::<usize>().ok()) {
+        cfg = cfg.with_batch(b);
+    }
+    cfg
 }
 
 /// Analyze `report`'s trace and write the `scioto-analysis-v1` JSON to

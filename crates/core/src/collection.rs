@@ -5,7 +5,7 @@ use std::sync::atomic::Ordering;
 use std::sync::Arc;
 
 use scioto_armci::Armci;
-use scioto_sim::{Ctx, TraceEvent};
+use scioto_sim::{Ctx, StartupMode, TraceEvent};
 
 use crate::clo::{CloHandle, CloRegistry};
 use crate::config::{LbKind, TcConfig};
@@ -76,23 +76,33 @@ impl TaskCollection {
         if let Err(e) = cfg.validate() {
             panic!("invalid TcConfig: {e}");
         }
-        let n = ctx.nranks();
-        let queue = PatchQueue::new(ctx, armci, &cfg);
-        let detector = WaveDetector::new(ctx, armci, cfg.td_votes_before_opt, cfg.td_batch);
-        let armci2 = Arc::clone(armci);
-        let tc = ctx.collective(move || TaskCollection {
-            armci: armci2,
-            cfg,
-            queue,
-            detector,
-            registry: Registry::new(n),
-            clos: CloRegistry::new(n),
-            counters: (0..n).map(|_| RankCounters::default()).collect(),
-        });
-        tc.queue.reset_local(ctx, &tc.armci);
-        tc.detector.reset_local(ctx, &tc.armci);
-        tc.armci.barrier(ctx);
-        tc
+        // One startup epoch covers the whole creation: the queue's and
+        // detector's collective allocations, the collection object itself,
+        // and each rank's local fills. Under the coalesced startup
+        // protocol the epoch's single commit barrier replaces both the
+        // per-collective barrier pairs and the historical trailing
+        // `armci.barrier`, which is kept verbatim under `--old-startup`.
+        ctx.collective_epoch(|| {
+            let n = ctx.nranks();
+            let queue = PatchQueue::new(ctx, armci, &cfg);
+            let detector = WaveDetector::new(ctx, armci, cfg.td_votes_before_opt, cfg.td_batch);
+            let armci2 = Arc::clone(armci);
+            let tc = ctx.collective(move || TaskCollection {
+                armci: armci2,
+                cfg,
+                queue,
+                detector,
+                registry: Registry::new(n),
+                clos: CloRegistry::new(n),
+                counters: (0..n).map(|_| RankCounters::default()).collect(),
+            });
+            tc.queue.reset_local(ctx, &tc.armci);
+            tc.detector.reset_local(ctx, &tc.armci);
+            if ctx.startup() == StartupMode::Old {
+                tc.armci.barrier(ctx);
+            }
+            tc
+        })
     }
 
     /// The configuration the collection was created with.
@@ -174,6 +184,13 @@ impl TaskCollection {
         // Statistics accumulate from `create` (or the last `reset`), so the
         // seeding phase's spawn counts are part of the report.
         self.armci.barrier(ctx);
+        // Everything up to here — world init, collective creations, entry
+        // barrier — is startup. Recorded once (first phase only) so the
+        // blame report and bench JSON can split it out per rank.
+        let t_up = ctx.now().max(1);
+        if self.counters[me].record_startup(t_up) {
+            ctx.trace_gauge(crate::trace::GAUGE_STARTUP, t_up);
+        }
         let stealing = self.cfg.ldbal == LbKind::WorkStealing && n > 1;
         let mut since_td = 0u32;
         // Exponential backoff on consecutive failed steals: when the
@@ -253,8 +270,10 @@ impl TaskCollection {
                     self.queue.steal(ctx, &self.armci, victim)
                 };
                 if traced {
-                    let rtt = ctx.now().saturating_sub(steal_start);
-                    ctx.trace(|| TraceEvent::StealAttempt {
+                    // One completion read stamps the event and the hist.
+                    let t1 = ctx.now();
+                    let rtt = t1.saturating_sub(steal_start);
+                    ctx.trace_at(t1, || TraceEvent::StealAttempt {
                         victim: victim as u32,
                         got: stolen.len() as u32,
                         dur_ns: rtt,
@@ -345,19 +364,20 @@ impl TaskCollection {
         };
         let traced = ctx.trace_enabled();
         let start = if traced { ctx.now() } else { 0 };
-        ctx.trace(|| TraceEvent::TaskExecBegin {
-            callback: rec.header.callback,
-            creator: rec.header.creator,
-        });
-        f(&tctx);
-        ctx.trace(|| TraceEvent::TaskExecEnd {
-            callback: rec.header.callback,
-        });
         if traced {
-            ctx.trace_hist(
-                crate::trace::HIST_TASK_EXEC,
-                ctx.now().saturating_sub(start),
-            );
+            ctx.trace_at(start, || TraceEvent::TaskExecBegin {
+                callback: rec.header.callback,
+                creator: rec.header.creator,
+            });
+        }
+        f(&tctx);
+        if traced {
+            // One completion read stamps the end event and the hist.
+            let end = ctx.now();
+            ctx.trace_at(end, || TraceEvent::TaskExecEnd {
+                callback: rec.header.callback,
+            });
+            ctx.trace_hist(crate::trace::HIST_TASK_EXEC, end.saturating_sub(start));
         }
         self.counters[me]
             .tasks_executed

@@ -15,9 +15,29 @@ pub(crate) struct RankCounters {
     pub dirty_marks_elided: AtomicU64,
     pub splits_released: AtomicU64,
     pub splits_reclaimed: AtomicU64,
+    /// Clock value (ns) when this rank completed its first `tc_process`
+    /// prologue — everything before it is startup: world init, collective
+    /// creations, the commit/entry barriers. Recorded once per collection
+    /// (see [`RankCounters::record_startup`]) and deliberately NOT cleared
+    /// by [`RankCounters::reset`]: startup happens once per run, not once
+    /// per phase.
+    pub startup_ns: AtomicU64,
 }
 
 impl RankCounters {
+    /// Record the startup-complete clock value, first call wins. The
+    /// caller is this rank's own thread, so load-then-store is race-free.
+    pub(crate) fn record_startup(&self, now_ns: u64) -> bool {
+        if self.startup_ns.load(Ordering::Relaxed) != 0 {
+            return false;
+        }
+        // A 0 ns startup is indistinguishable from "unrecorded"; clamp to
+        // 1 ns so record-once still holds (only reachable under a
+        // zero-latency model).
+        self.startup_ns.store(now_ns.max(1), Ordering::Relaxed);
+        true
+    }
+
     pub(crate) fn snapshot(&self) -> ProcessStats {
         ProcessStats {
             tasks_executed: self.tasks_executed.load(Ordering::Relaxed),
@@ -30,9 +50,12 @@ impl RankCounters {
             dirty_marks_elided: self.dirty_marks_elided.load(Ordering::Relaxed),
             splits_released: self.splits_released.load(Ordering::Relaxed),
             splits_reclaimed: self.splits_reclaimed.load(Ordering::Relaxed),
+            startup_ns: self.startup_ns.load(Ordering::Relaxed),
         }
     }
 
+    /// Clear the per-phase counters. `startup_ns` is sticky (see its
+    /// field docs) and survives resets.
     pub(crate) fn reset(&self) {
         self.tasks_executed.store(0, Ordering::Relaxed);
         self.tasks_spawned.store(0, Ordering::Relaxed);
@@ -73,6 +96,11 @@ pub struct ProcessStats {
     pub splits_released: u64,
     /// Times the owner reclaimed shared work for local execution.
     pub splits_reclaimed: u64,
+    /// Clock value (ns) when this rank first completed a `process`
+    /// prologue — the per-rank startup cost (world init, collective
+    /// creations, entry barriers). Merging sums it, so an aggregate is
+    /// total rank-nanoseconds spent in startup. 0 if `process` never ran.
+    pub startup_ns: u64,
 }
 
 impl ProcessStats {
@@ -91,6 +119,7 @@ impl ProcessStats {
         self.dirty_marks_elided += other.dirty_marks_elided;
         self.splits_released += other.splits_released;
         self.splits_reclaimed += other.splits_reclaimed;
+        self.startup_ns += other.startup_ns;
     }
 
     /// Fraction of steal attempts that returned at least one task.

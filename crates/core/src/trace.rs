@@ -26,6 +26,12 @@ pub const HIST_STEAL_RTT: &str = "steal_rtt_ns";
 /// detection waves seen by a rank (the quiescence-probe cadence).
 pub const HIST_TD_WAVE_GAP: &str = "td_wave_gap_ns";
 
+/// Gauge of the per-rank startup cost: the rank's clock (ns) when it
+/// first completed a `TaskCollection::process` prologue. Sampled once per
+/// collection, so `last == max` and it survives trace replay byte-exactly
+/// (gauges round-trip through JSONL and the replay engine verbatim).
+pub const GAUGE_STARTUP: &str = "startup_ns";
+
 /// Gauge of the owner-private queue portion, sampled at detector polls.
 pub const GAUGE_QUEUE_LOCAL: &str = "queue_local";
 

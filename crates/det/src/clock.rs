@@ -35,13 +35,16 @@ impl MonoClock {
     /// Nanoseconds elapsed since construction. Saturates at `u64::MAX`
     /// (≈584 years), and is monotone non-decreasing across calls from
     /// any thread.
+    ///
+    /// One monotonic read against the cached origin, converted in `u64`
+    /// arithmetic — no `u128` widening on the concurrent kernel's stamp
+    /// path, which calls this once per trace event.
+    #[inline]
     pub fn now_ns(&self) -> u64 {
-        let ns = self.start.elapsed().as_nanos();
-        if ns > u64::MAX as u128 {
-            u64::MAX
-        } else {
-            ns as u64
-        }
+        let d = self.start.elapsed();
+        d.as_secs()
+            .saturating_mul(1_000_000_000)
+            .saturating_add(u64::from(d.subsec_nanos()))
     }
 }
 

@@ -5,7 +5,7 @@
 
 use scioto_armci::Armci;
 use scioto_race::check_trace;
-use scioto_sim::{Machine, MachineConfig, TraceConfig};
+use scioto_sim::{Machine, MachineConfig, StartupMode, TraceConfig};
 
 #[test]
 fn locked_shared_counter_is_clean() {
@@ -38,9 +38,14 @@ fn locked_shared_counter_is_clean() {
 #[test]
 fn lock_skipping_rank_is_flagged_with_attribution() {
     // Seeded synthetic race: rank 0 plays by the rules (read-modify-write
-    // under the mutex), rank 1 skips the lock entirely.
+    // under the mutex), rank 1 skips the lock entirely. Pinned to the old
+    // startup protocol: the attribution assertions below count the setup
+    // collectives' barrier episodes, which the coalesced protocol removes
+    // (rank 1's nearest pre-access sync would vanish with them).
     let out = Machine::run(
-        MachineConfig::virtual_time(2).with_trace(TraceConfig::enabled()),
+        MachineConfig::virtual_time(2)
+            .with_startup(StartupMode::Old)
+            .with_trace(TraceConfig::enabled()),
         |ctx| {
             let armci = Armci::init(ctx);
             let g = armci.malloc(ctx, 8);

@@ -317,6 +317,22 @@ impl SpeedModel {
     }
 }
 
+/// How [`crate::Ctx::collective`] synchronizes object distribution.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StartupMode {
+    /// Barrier-free collectives: rank 0 publishes each object into an
+    /// append-only log and wakes any rank parked on that ordinal; an
+    /// enclosing [`crate::Ctx::collective_epoch`] commits N registered
+    /// objects with a single barrier. The default — a standard
+    /// create→process startup runs 2 barrier episodes instead of ~14.
+    Coalesced,
+    /// The historical protocol: every collective runs a publish barrier
+    /// plus a read-fence barrier around one reusable slot (2 episodes
+    /// per collective). Selected by `--old-startup` in the bench bins;
+    /// byte-identical to all pre-coalescing pinned baselines.
+    Old,
+}
+
 /// How the machine-wide barrier charges its participants.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum BarrierKind {
@@ -359,6 +375,10 @@ pub struct MachineConfig {
     /// Execution substrate for [`ExecMode::VirtualTime`]
     /// ([`Engine::Auto`] by default). Never changes results, only capacity.
     pub engine: Engine,
+    /// Collective synchronization protocol ([`StartupMode::Coalesced`] by
+    /// default; [`StartupMode::Old`] reproduces the pre-coalescing
+    /// two-barriers-per-collective startup byte for byte).
+    pub startup: StartupMode,
 }
 
 impl MachineConfig {
@@ -375,6 +395,7 @@ impl MachineConfig {
             trace: TraceConfig::disabled(),
             barrier: BarrierKind::Flat,
             engine: Engine::Auto,
+            startup: StartupMode::Coalesced,
         }
     }
 
@@ -421,6 +442,12 @@ impl MachineConfig {
     /// Replace the virtual-time execution engine.
     pub fn with_engine(mut self, engine: Engine) -> Self {
         self.engine = engine;
+        self
+    }
+
+    /// Replace the collective startup protocol.
+    pub fn with_startup(mut self, startup: StartupMode) -> Self {
+        self.startup = startup;
         self
     }
 

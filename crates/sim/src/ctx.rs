@@ -1,12 +1,12 @@
 //! `Ctx` — the per-rank handle passed to every SPMD rank program.
 
 use std::any::Any;
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
 use std::sync::Arc;
 
 use scioto_det::Rng;
 
-use crate::config::{ExecMode, LatencyModel};
+use crate::config::{ExecMode, LatencyModel, StartupMode};
 use crate::kernel::Kernel;
 use crate::machine::Shared;
 use crate::trace::TraceEvent;
@@ -24,6 +24,12 @@ pub struct Ctx {
     kernel: Arc<Kernel>,
     shared: Arc<Shared>,
     rng: RefCell<Rng>,
+    /// Ordinal of this rank's next collective call (divergence diagnostics
+    /// in both startup modes; the coalesced log index).
+    coll_ordinal: Cell<usize>,
+    /// Nesting depth of [`Ctx::collective_epoch`]; the commit barrier runs
+    /// when the outermost epoch closes.
+    epoch_depth: Cell<u32>,
 }
 
 impl Ctx {
@@ -39,6 +45,8 @@ impl Ctx {
             // linear: e.g. (seed = CONST, rank = 0) and (seed = 0,
             // rank = 1) produced identical streams.
             rng: RefCell::new(Rng::stream(seed, rank as u64)),
+            coll_ordinal: Cell::new(0),
+            epoch_depth: Cell::new(0),
         }
     }
 
@@ -137,29 +145,157 @@ impl Ctx {
         self.shared.barrier.wait(&self.kernel, self.rank, cost);
     }
 
+    /// The collective startup protocol this machine runs
+    /// ([`StartupMode::Coalesced`] unless configured otherwise).
+    pub fn startup(&self) -> StartupMode {
+        self.shared.startup
+    }
+
     /// Collectively create one shared object: rank 0 runs `make`, every rank
     /// receives an `Arc` to the same instance. All ranks must call
     /// `collective` in the same order with the same `T`.
+    ///
+    /// Under [`StartupMode::Coalesced`] (the default) this is barrier-free:
+    /// rank 0 appends the object to a shared publication log and wakes any
+    /// rank parked on that ordinal. Callers that batch several collectives
+    /// plus rank-local initialization should wrap the group in
+    /// [`Ctx::collective_epoch`], whose single commit barrier replaces the
+    /// per-object barrier pairs of [`StartupMode::Old`].
     pub fn collective<T: Send + Sync + 'static>(&self, make: impl FnOnce() -> T) -> Arc<T> {
+        match self.shared.startup {
+            StartupMode::Coalesced => self.collective_coalesced(make),
+            StartupMode::Old => self.collective_old(make),
+        }
+    }
+
+    /// The historical two-barrier slot protocol, byte-identical to every
+    /// pre-coalescing recording.
+    fn collective_old<T: Send + Sync + 'static>(&self, make: impl FnOnce() -> T) -> Arc<T> {
+        let ord = self.coll_ordinal.get();
+        self.coll_ordinal.set(ord + 1);
         if self.rank == 0 {
             let obj: Arc<dyn Any + Send + Sync> = Arc::new(make());
-            *self.shared.slot.lock() = Some(obj);
+            *self.shared.slot.lock() = Some((obj, std::any::type_name::<T>()));
         }
         self.barrier_with_cost(self.shared.latency.barrier_cost(self.nranks));
-        let arc = self
+        let (arc, stored) = self
             .shared
             .slot
             .lock()
             .as_ref()
-            .expect("collective slot empty: collectives called in divergent order")
+            .unwrap_or_else(|| {
+                panic!(
+                    "collective divergence: rank {} reached collective #{ord} expecting a \
+                     {}, but rank 0 published nothing (ranks disagree on the collective \
+                     call sequence)",
+                    self.rank,
+                    std::any::type_name::<T>()
+                )
+            })
             .clone();
-        let typed = arc
-            .downcast::<T>()
-            .expect("collective type mismatch: collectives called in divergent order");
+        let typed = arc.downcast::<T>().unwrap_or_else(|_| {
+            panic!(
+                "collective divergence: rank {} reached collective #{ord} expecting a {}, \
+                 but rank 0 published a {stored} (ranks disagree on the collective call \
+                 sequence)",
+                self.rank,
+                std::any::type_name::<T>()
+            )
+        });
         // Second barrier: rank 0 must not start the next collective (and
         // overwrite the slot) before everyone has read this one.
         self.barrier_with_cost(0);
         typed
+    }
+
+    /// Barrier-free publication through the append-only collective log.
+    ///
+    /// Every rank's resulting clock is `max(own arrival, rank 0's publish
+    /// time)` — a rank that arrives after publication pays nothing, one
+    /// that arrives early parks at `collective.wait` and resumes at the
+    /// publish stamp — so the outcome is schedule-independent and the
+    /// virtual-time determinism guarantee holds without any barrier.
+    fn collective_coalesced<T: Send + Sync + 'static>(&self, make: impl FnOnce() -> T) -> Arc<T> {
+        let ord = self.coll_ordinal.get();
+        self.coll_ordinal.set(ord + 1);
+        if self.rank == 0 {
+            let obj: Arc<dyn Any + Send + Sync> = Arc::new(make());
+            let now = self.now();
+            let woken = {
+                let mut log = self.shared.coll.lock();
+                debug_assert_eq!(log.entries.len(), ord, "rank 0 collective log out of step");
+                log.entries.push((Arc::clone(&obj), std::any::type_name::<T>(), now));
+                let published = log.entries.len();
+                let mut woken = Vec::new();
+                log.waiters.retain(|&(o, r)| {
+                    if o < published {
+                        woken.push(r);
+                        false
+                    } else {
+                        true
+                    }
+                });
+                woken
+            };
+            for r in woken {
+                self.unblock(r, now);
+            }
+            return obj
+                .downcast::<T>()
+                .expect("unreachable: rank 0 published this object itself");
+        }
+        loop {
+            {
+                let mut log = self.shared.coll.lock();
+                if let Some((obj, stored, published_at)) = log.entries.get(ord) {
+                    let (obj, stored, published_at) = (Arc::clone(obj), *stored, *published_at);
+                    drop(log);
+                    // Causality: the reader's clock lands at
+                    // max(own arrival, publish stamp) regardless of the
+                    // order the scheduler ran the ranks in.
+                    self.kernel.advance_to(self.rank, published_at);
+                    return obj.downcast::<T>().unwrap_or_else(|_| {
+                        panic!(
+                            "collective divergence: rank {} reached collective #{ord} \
+                             expecting a {}, but rank 0 published a {stored} (ranks \
+                             disagree on the collective call sequence)",
+                            self.rank,
+                            std::any::type_name::<T>()
+                        )
+                    });
+                }
+                // Not yet published: register (once) and park. Wakeups can
+                // be spurious, so the loop re-checks from the top.
+                if !log.waiters.contains(&(ord, self.rank)) {
+                    log.waiters.push((ord, self.rank));
+                }
+            }
+            self.block_at("collective.wait");
+        }
+    }
+
+    /// Group a batch of [`Ctx::collective`] calls (plus any rank-local
+    /// initialization that the old protocol's trailing barrier used to
+    /// protect) into one startup epoch.
+    ///
+    /// Under [`StartupMode::Coalesced`], closing the outermost epoch runs a
+    /// single commit barrier — all ranks have registered every object and
+    /// finished their local fills before anyone proceeds. Under
+    /// [`StartupMode::Old`] this is a transparent wrapper: each collective
+    /// inside carries its own two barriers and the caller keeps its
+    /// historical trailing barrier, so recordings stay byte-identical.
+    /// Epochs nest; only the outermost close commits.
+    pub fn collective_epoch<R>(&self, f: impl FnOnce() -> R) -> R {
+        if self.shared.startup == StartupMode::Old {
+            return f();
+        }
+        self.epoch_depth.set(self.epoch_depth.get() + 1);
+        let r = f();
+        self.epoch_depth.set(self.epoch_depth.get() - 1);
+        if self.epoch_depth.get() == 0 {
+            self.barrier();
+        }
+        r
     }
 
     /// Is event tracing enabled for this machine? Use to skip measurement
@@ -175,6 +311,26 @@ impl Ctx {
     #[inline]
     pub fn trace(&self, make: impl FnOnce() -> TraceEvent) {
         self.kernel.emit(self.rank, make);
+    }
+
+    /// Record a trace event stamped at `t_ns`, a clock value the caller
+    /// already read ([`Ctx::now`]). Lets span sites that emit several
+    /// events at one completion point reuse a single clock read — in
+    /// concurrent mode each [`Ctx::trace`] costs a monotonic clock read.
+    #[inline]
+    pub fn trace_at(&self, t_ns: u64, make: impl FnOnce() -> TraceEvent) {
+        self.kernel.emit_at(self.rank, t_ns, make);
+    }
+
+    /// Record an *order-only* instant event: one whose stamp is never
+    /// turned into a duration, only into a position in this rank's
+    /// timeline (access records for the race checker, say). Identical to
+    /// [`Ctx::trace`] in virtual time; in concurrent mode the stamp is
+    /// this rank's most recent clock read rather than a fresh query, so
+    /// hot per-word instrumentation stays off the monotonic clock.
+    #[inline]
+    pub fn trace_instant(&self, make: impl FnOnce() -> TraceEvent) {
+        self.kernel.emit_instant(self.rank, make);
     }
 
     /// Record a virtual-time histogram sample under `name`.

@@ -66,6 +66,12 @@ struct Sched {
     done: usize,
 }
 
+/// One cache line per slot: the per-rank stamp caches are written on
+/// every concurrent-mode clock read, and unpadded neighbours would
+/// false-share under free-running threads.
+#[repr(align(64))]
+struct PaddedU64(AtomicU64);
+
 /// The shared scheduling kernel of one simulated machine.
 pub(crate) struct Kernel {
     n: usize,
@@ -80,6 +86,12 @@ pub(crate) struct Kernel {
     /// rank's measured thread span, the concurrent analogue of its final
     /// virtual clock.
     final_ns: Vec<AtomicU64>,
+    /// Concurrent mode only: each rank's most recent wall stamp read
+    /// through [`Kernel::now`], the cheap stamp source for order-only
+    /// instant events ([`Kernel::emit_instant`]). Written and read only
+    /// by the owning rank's thread; padded so neighbouring ranks never
+    /// share a cache line. Stays zero in virtual-time mode.
+    stamp_cache: Vec<PaddedU64>,
     speed: Vec<f64>,
     start: MonoClock,
     poisoned: AtomicBool,
@@ -125,6 +137,7 @@ impl Kernel {
             cvs: (0..n).map(|_| Condvar::new()).collect(),
             clocks: (0..n).map(|_| AtomicU64::new(0)).collect(),
             final_ns: (0..n).map(|_| AtomicU64::new(0)).collect(),
+            stamp_cache: (0..n).map(|_| PaddedU64(AtomicU64::new(0))).collect(),
             speed: (0..n).map(|r| speed.factor(r)).collect(),
             start: MonoClock::new(),
             poisoned: AtomicBool::new(false),
@@ -147,6 +160,46 @@ impl Kernel {
     pub(crate) fn emit(&self, rank: usize, make: impl FnOnce() -> TraceEvent) {
         if self.trace.is_enabled() {
             self.trace.emit(rank, self.now(rank), make);
+        }
+    }
+
+    /// Record a trace event for `rank` at an explicit stamp `t_ns` the
+    /// caller already holds. Span-measuring sites use this to stamp an
+    /// event with the clock value they just read instead of paying a
+    /// second clock read inside [`Kernel::emit`] — on the concurrent
+    /// (wall-clock) path each avoided read is a real monotonic-clock
+    /// query.
+    #[inline]
+    pub(crate) fn emit_at(&self, rank: usize, t_ns: u64, make: impl FnOnce() -> TraceEvent) {
+        if self.trace.is_enabled() {
+            self.trace.emit(rank, t_ns, make);
+        }
+    }
+
+    /// Record an *order-only* instant event for `rank`: one whose stamp
+    /// never feeds a duration or blame span, only the event's position in
+    /// the rank's timeline. In virtual-time mode the stamp is the virtual
+    /// clock, identical to [`Kernel::emit`]. In concurrent mode the stamp
+    /// is the rank's most recent cached wall read — hot instant sites
+    /// (per-word queue-protocol accesses) skip the monotonic-clock query
+    /// that dominates their traced cost. Stamps stay non-decreasing per
+    /// rank: the cache only moves forward, refreshed by every real read.
+    #[inline]
+    pub(crate) fn emit_instant(&self, rank: usize, make: impl FnOnce() -> TraceEvent) {
+        if self.trace.is_enabled() {
+            let t = match self.mode {
+                ExecMode::VirtualTime => self.clocks[rank].load(Ordering::Relaxed),
+                ExecMode::Concurrent => {
+                    let c = self.stamp_cache[rank].0.load(Ordering::Relaxed);
+                    if c == 0 {
+                        // No read yet on this rank: pay one real query.
+                        self.now(rank)
+                    } else {
+                        c
+                    }
+                }
+            };
+            self.trace.emit(rank, t, make);
         }
     }
 
@@ -175,7 +228,13 @@ impl Kernel {
     pub(crate) fn now(&self, rank: usize) -> u64 {
         match self.mode {
             ExecMode::VirtualTime => self.clocks[rank].load(Ordering::Relaxed),
-            ExecMode::Concurrent => self.start.now_ns(),
+            ExecMode::Concurrent => {
+                let t = self.start.now_ns();
+                // Refresh the rank's instant-event stamp cache: every real
+                // read keeps subsequent `emit_instant` stamps current.
+                self.stamp_cache[rank].0.store(t, Ordering::Relaxed);
+                t
+            }
         }
     }
 
@@ -276,6 +335,9 @@ impl Kernel {
     /// `site` is a static tag naming the waiting primitive (for the
     /// deadlock diagnostic).
     pub(crate) fn block(&self, rank: usize, site: &'static str) {
+        // Publication boundary for the batched trace ring: staged events
+        // land in the rank's ring before it parks.
+        self.trace.flush(rank);
         let mut s = self.sched.lock();
         if s.wake_token[rank] {
             // Wake-token fast path: the wake raced ahead of this block, so
@@ -367,6 +429,9 @@ impl Kernel {
             // blame decomposition against the span stays exact.
             self.final_ns[rank].store(self.start.now_ns(), Ordering::Relaxed);
         }
+        // Publication boundary: the rank's staged trace events (already
+        // stamped ≤ the span end) drain into its ring before it goes Done.
+        self.trace.flush(rank);
         let mut s = self.sched.lock();
         s.status[rank] = Status::Done;
         s.done += 1;

@@ -54,7 +54,7 @@ mod vlock;
 pub use barrier::SimBarrier;
 pub use config::{
     ring_distance, BarrierKind, Engine, ExecMode, LatencyModel, LatencyTiers, MachineConfig,
-    SpeedModel,
+    SpeedModel, StartupMode,
 };
 pub use ctx::Ctx;
 pub use machine::{Machine, RunOutput};
@@ -63,6 +63,6 @@ pub use replay::{event_dur, run_replay, run_replay_on, ReplayOp, ReplayProgram, 
 pub use report::{EventCounters, Report};
 pub use trace::{
     validate_json, Gauge, RemoteOpKind, StampedEvent, Trace, TraceConfig, TraceEvent, TraceSink,
-    VtHistogram, WaveDir, HIST_BUCKETS,
+    VtHistogram, WaveDir, DEFAULT_TRACE_BATCH, HIST_BUCKETS,
 };
 pub use vlock::VLock;

@@ -7,7 +7,7 @@ use std::sync::Arc;
 use scioto_det::sync::Mutex;
 
 use crate::barrier::SimBarrier;
-use crate::config::{Engine, ExecMode, LatencyModel, MachineConfig};
+use crate::config::{Engine, ExecMode, LatencyModel, MachineConfig, StartupMode};
 use crate::ctx::Ctx;
 use crate::fiber;
 use crate::kernel::{EngineKind, Kernel};
@@ -17,8 +17,30 @@ use crate::trace::TraceSink;
 /// State shared by all ranks of one machine (beyond the kernel).
 pub(crate) struct Shared {
     pub(crate) latency: LatencyModel,
-    pub(crate) slot: Mutex<Option<Arc<dyn Any + Send + Sync>>>,
+    /// The historical ([`StartupMode::Old`]) collective slot: one reusable
+    /// cell guarded by two barriers per collective. The stored type name
+    /// feeds the divergence diagnostics.
+    pub(crate) slot: Mutex<Option<(Arc<dyn Any + Send + Sync>, &'static str)>>,
     pub(crate) barrier: SimBarrier,
+    pub(crate) startup: StartupMode,
+    /// The coalesced-mode collective log (barrier-free publication).
+    pub(crate) coll: Mutex<CollectiveLog>,
+}
+
+/// Append-only publication log for [`StartupMode::Coalesced`] collectives:
+/// rank 0 pushes each `(object, type name, publish clock)` entry at its
+/// ordinal; ranks that arrive before publication park under `waiters` and
+/// are woken by the publish. The stored clock is the causal stamp every
+/// reader's virtual clock is advanced to — a rank cannot observe the
+/// object before it existed, whatever order the scheduler dispatched the
+/// ranks in. Entries are never reused, so no read-fence barrier is
+/// needed — the one-way wake (or the mutex, in concurrent mode) is the
+/// sync edge.
+#[derive(Default)]
+pub(crate) struct CollectiveLog {
+    pub(crate) entries: Vec<(Arc<dyn Any + Send + Sync>, &'static str, u64)>,
+    /// `(ordinal, rank)` pairs parked until that ordinal publishes.
+    pub(crate) waiters: Vec<(usize, usize)>,
 }
 
 /// Result of a completed SPMD run.
@@ -59,6 +81,8 @@ impl Machine {
             latency: cfg.latency,
             slot: Mutex::new(None),
             barrier: SimBarrier::new(cfg.barrier),
+            startup: cfg.startup,
+            coll: Mutex::new(CollectiveLog::default()),
         });
         let results: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
         let panic_payload: Mutex<Option<Box<dyn Any + Send>>> = Mutex::new(None);

@@ -1,0 +1,9 @@
+//! Guard: the trace hot path copies `StampedEvent` twice per event
+//! (stage, then ring); keep the payload compact so the concurrent
+//! tracing overhead budget holds.
+
+#[test]
+fn stamped_event_stays_compact() {
+    let sz = std::mem::size_of::<scioto_sim::StampedEvent>();
+    assert!(sz <= 64, "StampedEvent grew to {sz} bytes; events are copied twice per emission on the traced hot path");
+}

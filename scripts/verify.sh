@@ -111,8 +111,13 @@ echo "== replay: recorded traces re-execute byte-identically (hard gate) =="
 # The replay engine reconstructs the run from the trace alone — no
 # workload closure — and must reproduce the live analysis (blame
 # decomposition + critical path) byte for byte: table1 and fig7@8.
+# --max-episodes is the barrier-episode census gate: the coalesced
+# startup path brings the traced table1 run to 4 barrier episodes
+# (create + process prologue + termination + teardown); budget 6 so a
+# collective regressing to extra barrier rounds fails loudly while
+# leaving headroom for a deliberate new collective.
 cargo run --release --offline -q -p scioto-bench --bin trace_check -- \
-    --file "$work/table1.jsonl" --replayable
+    --file "$work/table1.jsonl" --replayable --max-episodes 6
 cargo run --release --offline -q -p scioto-bench --bin replay -- \
     --file "$work/table1.jsonl" --check \
     --analysis-out "$work/table1_analysis_replay.json" > /dev/null
@@ -158,11 +163,30 @@ cargo run --release --offline -q -p scioto-bench --bin fig7_uts_cluster -- \
     --json-out "$work/exact/BENCH_fig7_oldpolicy.json" > /dev/null
 # New policy vs old policy on the same workload: the knobs are expected to
 # move throughput (that is the point), but never catastrophically — the
-# params differ by construction, so they are excluded from the gate.
+# params differ by construction, so they are excluded from the gate, as
+# is the startup split (the flat barrier makes the old policy's startup
+# ~2x costlier; the startup ablation below gates startup on its own).
 cargo run --release --offline -q -p scioto-bench --bin bench_diff -- \
     --baseline "$work/exact/BENCH_fig7_oldpolicy.json" \
     --new "$work/loose/BENCH_fig7.json" \
-    --ignore-params victim,barrier,td_batch --rel-tol 0.5
+    --ignore-params victim,barrier,td_batch \
+    --ignore-metrics 'split_startup_ns_*' --rel-tol 0.5
+
+echo "== startup ablation: --old-startup reproduces the historical schedule =="
+# Coalesced startup collectives are the default; the historical
+# two-barriers-per-collective protocol stays selectable via
+# --old-startup and is pinned as its own deterministic baseline at
+# rel-tol 0 (the diff_all over exact/ below), so the old path can never
+# silently drift. Cross-diff against the coalesced default run:
+# coalescing moves startup cost, never throughput (the startup param
+# and the coalesced-only startup split differ by construction).
+cargo run --release --offline -q -p scioto-bench --bin fig7_uts_cluster -- \
+    --max-ranks 8 --tree small --old-startup \
+    --json-out "$work/exact/BENCH_fig7_oldstartup.json" > /dev/null
+cargo run --release --offline -q -p scioto-bench --bin bench_diff -- \
+    --baseline "$work/exact/BENCH_fig7_oldstartup.json" \
+    --new "$work/loose/BENCH_fig7.json" \
+    --ignore-params startup --ignore-metrics 'split_startup_ns_*' --rel-tol 0.5
 
 echo "== engine equivalence: pinned baselines at rel-tol 0 under BOTH engines =="
 # The virtual-time kernel has two execution substrates (parked threads,
@@ -260,18 +284,26 @@ if [ "$race_secs" -ge 45 ]; then
 fi
 
 echo "== concurrent backend: wall-clock observability lane (hard gate) =="
-# Real free-running threads, seeded UTS workload: measure the tracing
-# overhead (printed and asserted within the band by the binary), then
-# export and cross-check the whole observability surface — wall-stamped
-# JSONL + Chrome traces, blame decomposition exact per thread span, and
-# a clean happens-before race check.
+# Real free-running threads, two workloads: the seeded UTS small tree
+# (steal-heavy, gmem-access dominated) and the fig5-style SCF task pool
+# (compute-heavy). Each run measures the tracing overhead (printed and
+# asserted within the band by the binary — 2.0x, tightened from the
+# pre-batching 3.0x now that staged ring publication and order-only
+# instants hold the measured ratio around 1.4x) and race/predict/
+# deadlock-checks its own trace; the UTS run additionally exports and
+# cross-checks the whole observability surface — wall-stamped JSONL +
+# Chrome traces and blame decomposition exact per thread span.
 conc_t0=$(date +%s)
 cargo run --release --offline -q -p scioto-bench --bin concurrent_obs -- \
-    --ranks 4 --reps 5 --max-overhead 3.0 --seed 42 \
+    --ranks 4 --reps 5 --max-overhead 2.0 --seed 42 --tree small \
+    --trace-ring 262144 \
     --trace-out "$work/conc.jsonl" \
     --chrome-out "$work/conc_chrome.json" \
     --analysis-out "$work/conc_analysis.json" \
     --trace-summary "$work/conc_summary.txt" \
+    --race-check --predict --deadlock
+cargo run --release --offline -q -p scioto-bench --bin concurrent_obs -- \
+    --ranks 4 --reps 3 --max-overhead 2.0 --seed 42 --app scf \
     --race-check --predict --deadlock
 # Both exports validate; the JSONL classifies as wall-clock (valid,
 # analyzable, not replayable by design — exit 0, not an error cascade).
